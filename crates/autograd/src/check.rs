@@ -1,0 +1,91 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test suites of this crate and `mars-nn` to verify every
+//! backward rule against central differences. With `f32` arithmetic a
+//! relatively large probe step and a mixed absolute/relative tolerance
+//! are required; the defaults below are tuned for smooth losses with
+//! values of order 1.
+
+use crate::{Tape, Var};
+use mars_tensor::Matrix;
+
+/// Result of a gradient check for one input.
+#[derive(Debug)]
+pub struct GradCheck {
+    /// Analytic gradient from the tape.
+    pub analytic: Matrix,
+    /// Numeric gradient from central differences.
+    pub numeric: Matrix,
+    /// Largest mixed absolute/relative error observed.
+    pub max_error: f32,
+}
+
+/// Check the tape gradient of `f` with respect to each input matrix.
+///
+/// `f` receives a fresh tape plus one leaf per input (in order) and must
+/// return a scalar loss variable. Returns one [`GradCheck`] per input.
+///
+/// # Panics
+/// If any element mismatch exceeds `tol` by the mixed criterion
+/// `|a − n| / max(1, |a|, |n|) > tol`.
+pub fn check_gradients(
+    inputs: &[Matrix],
+    tol: f32,
+    eps: f32,
+    f: impl Fn(&mut Tape, &[Var]) -> Var,
+) -> Vec<GradCheck> {
+    // Analytic pass.
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone(), true)).collect();
+    let loss = f(&mut tape, &vars);
+    tape.backward(loss);
+    let analytic: Vec<Matrix> = vars
+        .iter()
+        .zip(inputs)
+        .map(|(&v, m)| {
+            tape.grad(v)
+                .cloned()
+                .unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols()))
+        })
+        .collect();
+
+    let eval = |probe: &[Matrix]| -> f32 {
+        let mut t = Tape::new();
+        let vs: Vec<Var> = probe.iter().map(|m| t.leaf(m.clone(), false)).collect();
+        let l = f(&mut t, &vs);
+        t.scalar(l)
+    };
+
+    let mut results = Vec::with_capacity(inputs.len());
+    for (which, input) in inputs.iter().enumerate() {
+        let mut numeric = Matrix::zeros(input.rows(), input.cols());
+        for idx in 0..input.len() {
+            let mut plus: Vec<Matrix> = inputs.to_vec();
+            plus[which].as_mut_slice()[idx] += eps;
+            let mut minus: Vec<Matrix> = inputs.to_vec();
+            minus[which].as_mut_slice()[idx] -= eps;
+            let d = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            numeric.as_mut_slice()[idx] = d;
+        }
+        let a = &analytic[which];
+        let mut max_error = 0.0f32;
+        for (x, y) in a.as_slice().iter().zip(numeric.as_slice()) {
+            let err = (x - y).abs() / 1.0f32.max(x.abs()).max(y.abs());
+            max_error = max_error.max(err);
+        }
+        assert!(
+            max_error <= tol,
+            "gradient check failed for input {which}: max mixed error {max_error} > {tol}\nanalytic: {a:?}\nnumeric: {numeric:?}"
+        );
+        results.push(GradCheck { analytic: a.clone(), numeric, max_error });
+    }
+    results
+}
+
+/// Convenience wrapper with defaults suitable for `f32`.
+pub fn check_gradients_default(
+    inputs: &[Matrix],
+    f: impl Fn(&mut Tape, &[Var]) -> Var,
+) -> Vec<GradCheck> {
+    check_gradients(inputs, 2e-2, 1e-2, f)
+}

@@ -1,0 +1,184 @@
+//! Correctness of the fused LSTM sequence op: value and gradient
+//! equivalence with the op-composed reference implementation, plus
+//! finite-difference checks on every input.
+
+use mars_autograd::check::check_gradients_default;
+use mars_autograd::{Tape, Var};
+use mars_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Composed reference: one step of the same LSTM from primitive ops.
+fn composed_step(
+    t: &mut Tape,
+    x_t: Var,
+    w_ih: Var,
+    w_hh: Var,
+    b: Var,
+    h: Var,
+    c: Var,
+    hd: usize,
+) -> (Var, Var) {
+    let slice_cols = |t: &mut Tape, m: Var, a: usize, bb: usize| {
+        let mt = t.transpose(m);
+        let s = t.slice_rows(mt, a, bb);
+        t.transpose(s)
+    };
+    let xi = t.matmul(x_t, w_ih);
+    let hh = t.matmul(h, w_hh);
+    let z0 = t.add(xi, hh);
+    let z = t.add_bias(z0, b);
+    let i_pre = slice_cols(t, z, 0, hd);
+    let f_pre = slice_cols(t, z, hd, 2 * hd);
+    let g_pre = slice_cols(t, z, 2 * hd, 3 * hd);
+    let o_pre = slice_cols(t, z, 3 * hd, 4 * hd);
+    let i = t.sigmoid(i_pre);
+    let f = t.sigmoid(f_pre);
+    let g = t.tanh(g_pre);
+    let o = t.sigmoid(o_pre);
+    let fc = t.mul(f, c);
+    let ig = t.mul(i, g);
+    let c2 = t.add(fc, ig);
+    let ct = t.tanh(c2);
+    let h2 = t.mul(o, ct);
+    (h2, c2)
+}
+
+fn inputs(t_len: usize, in_dim: usize, hd: usize, seed: u64) -> Vec<Matrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        init::uniform(t_len, in_dim, 0.8, &mut rng),
+        init::uniform(in_dim, 4 * hd, 0.5, &mut rng),
+        init::uniform(hd, 4 * hd, 0.5, &mut rng),
+        init::uniform(1, 4 * hd, 0.3, &mut rng),
+        init::uniform(1, hd, 0.5, &mut rng),
+        init::uniform(1, hd, 0.5, &mut rng),
+    ]
+}
+
+#[test]
+fn fused_values_match_composed() {
+    let (t_len, in_dim, hd) = (5usize, 3usize, 4usize);
+    let ins = inputs(t_len, in_dim, hd, 1);
+
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = ins.iter().map(|m| tape.constant(m.clone())).collect();
+    let fused = tape.lstm_seq(vars[0], vars[1], vars[2], vars[3], vars[4], vars[5]);
+    let fused_val = tape.value(fused).clone();
+    assert_eq!(fused_val.shape(), (t_len + 1, hd));
+
+    // Composed rollout.
+    let mut h = vars[4];
+    let mut c = vars[5];
+    let mut h_rows = Vec::new();
+    for t in 0..t_len {
+        let x_t = tape.slice_rows(vars[0], t, t + 1);
+        let (h2, c2) = composed_step(&mut tape, x_t, vars[1], vars[2], vars[3], h, c, hd);
+        h = h2;
+        c = c2;
+        h_rows.push(h2);
+    }
+    let composed_h = tape.stack_rows(h_rows);
+    let composed_val = tape.value(composed_h).clone();
+    let final_c = tape.value(c).clone();
+
+    assert!(fused_val.slice_rows(0, t_len).max_abs_diff(&composed_val) < 1e-5);
+    assert!(
+        Matrix::row_vector(fused_val.row(t_len)).max_abs_diff(&final_c) < 1e-5,
+        "final cell row mismatch"
+    );
+}
+
+#[test]
+fn fused_gradients_match_composed() {
+    let (t_len, in_dim, hd) = (4usize, 3usize, 3usize);
+    let ins = inputs(t_len, in_dim, hd, 2);
+
+    // Loss through the fused op (hidden rows only).
+    let fused_grads = {
+        let mut tape = Tape::new();
+        let vars: Vec<Var> = ins.iter().map(|m| tape.leaf(m.clone(), true)).collect();
+        let out = tape.lstm_seq(vars[0], vars[1], vars[2], vars[3], vars[4], vars[5]);
+        let h_rows = tape.slice_rows(out, 0, t_len);
+        let act = tape.tanh(h_rows);
+        let loss = tape.mean_all(act);
+        tape.backward(loss);
+        vars.iter().map(|&v| tape.grad(v).expect("grad").clone()).collect::<Vec<_>>()
+    };
+
+    // Same loss through the composed rollout.
+    let composed_grads = {
+        let mut tape = Tape::new();
+        let vars: Vec<Var> = ins.iter().map(|m| tape.leaf(m.clone(), true)).collect();
+        let mut h = vars[4];
+        let mut c = vars[5];
+        let mut h_rows = Vec::new();
+        for t in 0..t_len {
+            let x_t = tape.slice_rows(vars[0], t, t + 1);
+            let (h2, c2) = composed_step(&mut tape, x_t, vars[1], vars[2], vars[3], h, c, hd);
+            h = h2;
+            c = c2;
+            h_rows.push(h2);
+        }
+        let all = tape.stack_rows(h_rows);
+        let act = tape.tanh(all);
+        let loss = tape.mean_all(act);
+        tape.backward(loss);
+        vars.iter().map(|&v| tape.grad(v).expect("grad").clone()).collect::<Vec<_>>()
+    };
+
+    for (idx, (f, cgrad)) in fused_grads.iter().zip(&composed_grads).enumerate() {
+        assert!(
+            f.max_abs_diff(cgrad) < 1e-4,
+            "gradient {idx} mismatch: fused {f:?} vs composed {cgrad:?}"
+        );
+    }
+}
+
+#[test]
+fn fused_gradcheck_finite_differences() {
+    let (t_len, in_dim, hd) = (3usize, 2usize, 2usize);
+    let ins = inputs(t_len, in_dim, hd, 3);
+    check_gradients_default(&ins, move |t, v| {
+        let out = t.lstm_seq(v[0], v[1], v[2], v[3], v[4], v[5]);
+        let h_rows = t.slice_rows(out, 0, t_len);
+        let act = t.tanh(h_rows);
+        t.mean_all(act)
+    });
+}
+
+#[test]
+fn fused_gradcheck_through_final_cell_state() {
+    // Gradient must also flow through the extra c_T row (segment carry).
+    let (t_len, in_dim, hd) = (3usize, 2usize, 2usize);
+    let ins = inputs(t_len, in_dim, hd, 4);
+    check_gradients_default(&ins, move |t, v| {
+        let out = t.lstm_seq(v[0], v[1], v[2], v[3], v[4], v[5]);
+        let c_final = t.slice_rows(out, t_len, t_len + 1);
+        let act = t.tanh(c_final);
+        t.mean_all(act)
+    });
+}
+
+#[test]
+fn fused_state_carry_equals_one_shot() {
+    // Running [0..4) must equal [0..2) then [2..4) carried.
+    let (t_len, in_dim, hd) = (4usize, 3usize, 3usize);
+    let ins = inputs(t_len, in_dim, hd, 5);
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = ins.iter().map(|m| tape.constant(m.clone())).collect();
+    let full = tape.lstm_seq(vars[0], vars[1], vars[2], vars[3], vars[4], vars[5]);
+    let full_val = tape.value(full).clone();
+
+    let x1 = tape.slice_rows(vars[0], 0, 2);
+    let seg1 = tape.lstm_seq(x1, vars[1], vars[2], vars[3], vars[4], vars[5]);
+    let h_mid = tape.slice_rows(seg1, 1, 2); // h at t=1
+    let c_mid = tape.slice_rows(seg1, 2, 3); // final cell row
+    let x2 = tape.slice_rows(vars[0], 2, 4);
+    let seg2 = tape.lstm_seq(x2, vars[1], vars[2], vars[3], h_mid, c_mid);
+
+    let seg1_h = tape.value(seg1).slice_rows(0, 2);
+    let seg2_h = tape.value(seg2).slice_rows(0, 2);
+    let stitched = seg1_h.vcat(&seg2_h);
+    assert!(full_val.slice_rows(0, t_len).max_abs_diff(&stitched) < 1e-5);
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the tape: random differentiable programs
+//! must satisfy structural gradient identities.
+
+use mars_autograd::Tape;
+use mars_tensor::Matrix;
+use proptest::prelude::*;
+
+fn arb_matrix(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, r * c)
+        .prop_map(move |data| Matrix::from_vec(r, c, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn linearity_of_gradients(x in arb_matrix(3, 3), s in 0.1f32..3.0) {
+        // d/dx mean(s·x) == s · d/dx mean(x)
+        let g1 = {
+            let mut t = Tape::new();
+            let v = t.leaf(x.clone(), true);
+            let y = t.scale(v, s);
+            let loss = t.mean_all(y);
+            t.backward(loss);
+            t.grad(v).expect("grad").clone()
+        };
+        let g0 = {
+            let mut t = Tape::new();
+            let v = t.leaf(x.clone(), true);
+            let loss = t.mean_all(v);
+            t.backward(loss);
+            t.grad(v).expect("grad").clone()
+        };
+        prop_assert!(g1.max_abs_diff(&g0.scale(s)) < 1e-5);
+    }
+
+    #[test]
+    fn sum_rule(x in arb_matrix(2, 4)) {
+        // d/dx sum(f(x) + g(x)) == d/dx sum f + d/dx sum g
+        let combined = {
+            let mut t = Tape::new();
+            let v = t.leaf(x.clone(), true);
+            let f = t.tanh(v);
+            let g = t.sigmoid(v);
+            let s = t.add(f, g);
+            let loss = t.sum_all(s);
+            t.backward(loss);
+            t.grad(v).expect("grad").clone()
+        };
+        let parts = {
+            let mut t = Tape::new();
+            let v = t.leaf(x.clone(), true);
+            let f = t.tanh(v);
+            let loss = t.sum_all(f);
+            t.backward(loss);
+            let gf = t.grad(v).expect("grad").clone();
+            let mut t2 = Tape::new();
+            let v2 = t2.leaf(x.clone(), true);
+            let g = t2.sigmoid(v2);
+            let loss2 = t2.sum_all(g);
+            t2.backward(loss2);
+            gf.add(t2.grad(v2).expect("grad"))
+        };
+        prop_assert!(combined.max_abs_diff(&parts) < 1e-5);
+    }
+
+    #[test]
+    fn chain_through_identity_ops(x in arb_matrix(3, 2)) {
+        // transpose∘transpose, slice of full range, gather(identity)
+        // must all be gradient-transparent.
+        let direct = {
+            let mut t = Tape::new();
+            let v = t.leaf(x.clone(), true);
+            let y = t.tanh(v);
+            let loss = t.mean_all(y);
+            t.backward(loss);
+            t.grad(v).expect("grad").clone()
+        };
+        let wrapped = {
+            let mut t = Tape::new();
+            let v = t.leaf(x.clone(), true);
+            let a = t.transpose(v);
+            let b = t.transpose(a);
+            let c = t.slice_rows(b, 0, x.rows());
+            let d = t.gather_rows(c, (0..x.rows()).collect());
+            let y = t.tanh(d);
+            let loss = t.mean_all(y);
+            t.backward(loss);
+            t.grad(v).expect("grad").clone()
+        };
+        prop_assert!(direct.max_abs_diff(&wrapped) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_gradient_rows_sum_to_zero(x in arb_matrix(3, 4), w in arb_matrix(4, 1)) {
+        // For y = f(softmax(x)), each row of dx sums to 0 (softmax is
+        // invariant to per-row constant shifts).
+        let mut t = Tape::new();
+        let v = t.leaf(x, true);
+        let wv = t.constant(w);
+        let p = t.softmax_rows(v);
+        let y = t.matmul(p, wv);
+        let s = t.tanh(y);
+        let loss = t.mean_all(s);
+        t.backward(loss);
+        let g = t.grad(v).expect("grad");
+        for r in 0..g.rows() {
+            let sum: f32 = g.row(r).iter().sum();
+            prop_assert!(sum.abs() < 1e-4, "row {} grad sum {}", r, sum);
+        }
+    }
+
+    #[test]
+    fn log_softmax_gradient_rows_sum_to_zero(x in arb_matrix(3, 5)) {
+        let mut t = Tape::new();
+        let v = t.leaf(x, true);
+        let lp = t.log_softmax_rows(v);
+        let sel = t.select_per_row(lp, vec![0, 2, 4]);
+        let loss = t.mean_all(sel);
+        t.backward(loss);
+        let g = t.grad(v).expect("grad");
+        for r in 0..g.rows() {
+            let sum: f32 = g.row(r).iter().sum();
+            prop_assert!(sum.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn detached_subgraphs_get_no_gradient(x in arb_matrix(2, 2)) {
+        let mut t = Tape::new();
+        let v = t.leaf(x.clone(), true);
+        let detached = t.constant(x);
+        let y = t.mul(v, detached);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        prop_assert!(t.grad(v).is_some());
+        prop_assert!(t.grad(detached).is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! Ablation: classical min-cut graph partitioning vs. the RL agent
+//! (§2: cost-model-driven solvers like Scotch "fail to achieve
+//! satisfactory results").
+//!
+//! The partitioner optimizes cut bytes + compute balance — a proxy
+//! that ignores scheduling/pipelining — while Mars optimizes measured
+//! step time directly.
+
+use mars_bench::{bench_label, cell, measure_placement, print_table, run_agent_multi, save_json, ExpConfig, BENCHMARKS};
+use mars_core::agent::AgentKind;
+use mars_core::partitioner::best_min_cut;
+use mars_sim::Cluster;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    min_cut_s: String,
+    mars_s: String,
+    cut_bytes_mb: f64,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!(
+        "Partitioner ablation — profile {:?}, budget {}, {} seeds",
+        cfg.profile, cfg.budget, cfg.seeds
+    );
+
+    let cluster = Cluster::p100_quad();
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (wi, w) in BENCHMARKS.iter().copied().enumerate() {
+        let graph = w.build(cfg.profile);
+        let (cut_cell, cut_mb) = match best_min_cut(&graph, &cluster) {
+            Some(p) => {
+                let out = measure_placement(&cfg, w, &p, 6000 + wi as u64);
+                (cell(&out), p.cut_bytes(&graph) as f64 / (1 << 20) as f64)
+            }
+            None => ("infeasible".to_string(), 0.0),
+        };
+        let mars = run_agent_multi(&cfg, AgentKind::Mars, w, true, cfg.budget, 6100 + wi as u64);
+        let mars_cell =
+            mars.mean_best.map(|b| format!("{b:.3}")).unwrap_or_else(|| "-".into());
+        println!(
+            "  {:<14} min-cut {} ({:.0} MB cut)  Mars {}",
+            bench_label(w),
+            cut_cell,
+            cut_mb,
+            mars_cell
+        );
+        table.push(vec![bench_label(w).to_string(), cut_cell.clone(), mars_cell.clone()]);
+        rows.push(Row {
+            workload: bench_label(w).to_string(),
+            min_cut_s: cut_cell,
+            mars_s: mars_cell,
+            cut_bytes_mb: cut_mb,
+        });
+    }
+    print_table(
+        "Ablation: min-cut partitioner vs Mars (per-step s)",
+        &["Workload", "Min-cut partitioner", "Mars"],
+        &table,
+    );
+    save_json("ablation_partitioner", &rows);
+}

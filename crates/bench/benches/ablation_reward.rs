@@ -1,0 +1,64 @@
+//! Ablation: reward shaping (Eq. 7 uses `R = −√t`; compare against
+//! `−t` and `−ln(1+t)`). The square root compresses the 100 s invalid
+//! penalty relative to good readings, keeping advantages from being
+//! dominated by OOM samples — linear shaping should be noisier on
+//! memory-constrained workloads.
+
+use mars_bench::{bench_label, print_table, run_agent_multi, save_json, ExpConfig};
+use mars_core::agent::AgentKind;
+use mars_core::ppo::RewardShaping;
+use mars_graph::generators::Workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    shaping: String,
+    mean_best_s: Option<f64>,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!(
+        "Reward-shaping ablation — profile {:?}, budget {}, {} seeds",
+        cfg.profile, cfg.budget, cfg.seeds
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (wi, w) in [Workload::Gnmt4, Workload::BertBase].into_iter().enumerate() {
+        for (si, shaping) in
+            [RewardShaping::NegSqrt, RewardShaping::NegLinear, RewardShaping::NegLog]
+                .into_iter()
+                .enumerate()
+        {
+            let mut exp = cfg.clone();
+            exp.mars.reward_shaping = shaping;
+            let r = run_agent_multi(
+                &exp,
+                AgentKind::Mars,
+                w,
+                true,
+                exp.budget,
+                (wi * 8 + si) as u64 + 7000,
+            );
+            println!("  {:<10} {:?}: mean best {:?}", bench_label(w), shaping, r.mean_best);
+            table.push(vec![
+                bench_label(w).to_string(),
+                format!("{shaping:?}"),
+                r.mean_best.map(|b| format!("{b:.3}")).unwrap_or_else(|| "-".into()),
+            ]);
+            rows.push(Row {
+                workload: bench_label(w).to_string(),
+                shaping: format!("{shaping:?}"),
+                mean_best_s: r.mean_best,
+            });
+        }
+    }
+    print_table(
+        "Ablation: reward shaping (Mars agent)",
+        &["Workload", "Shaping", "Mean best (s)"],
+        &table,
+    );
+    save_json("ablation_reward", &rows);
+}

@@ -1,0 +1,90 @@
+//! Ablation: PPO vs. plain REINFORCE (§2 motivates PPO by the "slow
+//! convergence of reinforcement learning based on REINFORCE").
+//!
+//! REINFORCE is realized as the degenerate PPO configuration: one
+//! epoch, one minibatch, effectively-unbounded clip — the first (and
+//! only) update then uses ratio ≡ 1, i.e. the vanilla policy gradient
+//! `∇ log π × Â`.
+
+use mars_bench::{bench_label, print_table, run_agent_multi, save_json, ExpConfig};
+use mars_core::agent::AgentKind;
+use mars_core::config::MarsConfig;
+use mars_graph::generators::Workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    algo: String,
+    mean_best_s: Option<f64>,
+    mean_samples_to_converge: Option<f64>,
+}
+
+fn reinforce_cfg(base: &MarsConfig) -> MarsConfig {
+    let mut c = base.clone();
+    c.ppo_epochs = 1;
+    c.minibatches = 1;
+    c.clip_eps = 1e6;
+    c
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!(
+        "RL-algorithm ablation — profile {:?}, budget {}, {} seeds",
+        cfg.profile, cfg.budget, cfg.seeds
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (wi, w) in [Workload::InceptionV3, Workload::Gnmt4].into_iter().enumerate() {
+        for (ci, (algo, exp_cfg)) in [
+            ("PPO", cfg.clone()),
+            ("REINFORCE", ExpConfig { mars: reinforce_cfg(&cfg.mars), ..cfg.clone() }),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let r = run_agent_multi(
+                &exp_cfg,
+                AgentKind::Mars,
+                w,
+                true,
+                exp_cfg.budget,
+                (wi * 4 + ci) as u64 + 4000,
+            );
+            let convs: Vec<f64> = r
+                .logs
+                .iter()
+                .filter_map(|l| l.samples_to_converge(1.05).map(|s| s as f64))
+                .collect();
+            let mean_conv =
+                (!convs.is_empty()).then(|| convs.iter().sum::<f64>() / convs.len() as f64);
+            println!(
+                "  {:<14} {:<10} mean best {:?}, mean samples-to-converge {:?}",
+                bench_label(w),
+                algo,
+                r.mean_best,
+                mean_conv
+            );
+            table.push(vec![
+                bench_label(w).to_string(),
+                algo.to_string(),
+                r.mean_best.map(|b| format!("{b:.3}")).unwrap_or_else(|| "-".into()),
+                mean_conv.map(|c| format!("{c:.0}")).unwrap_or_else(|| "-".into()),
+            ]);
+            rows.push(Row {
+                workload: bench_label(w).to_string(),
+                algo: algo.to_string(),
+                mean_best_s: r.mean_best,
+                mean_samples_to_converge: mean_conv,
+            });
+        }
+    }
+    print_table(
+        "Ablation: PPO vs REINFORCE (Mars agent)",
+        &["Workload", "Algorithm", "Mean best (s)", "Samples to converge"],
+        &table,
+    );
+    save_json("ablation_rl", &rows);
+}

@@ -1,0 +1,62 @@
+//! Ablation: segment size `s` of the Mars placer (§3.3 fixes s = 128
+//! at paper scale; the reduced profile uses 32). Sweeps s to show the
+//! sweet spot between per-op context (small s ⇒ more recurrence
+//! carry-over) and encoding efficiency (large s ⇒ full-sequence
+//! seq2seq behaviour, which Table 1 shows degrading).
+
+use mars_bench::{bench_label, print_table, run_agent_multi, save_json, ExpConfig};
+use mars_core::agent::AgentKind;
+use mars_graph::generators::Workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    segment_size: usize,
+    mean_best_s: Option<f64>,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!(
+        "Segment-size ablation — profile {:?}, budget {}, {} seeds",
+        cfg.profile, cfg.budget, cfg.seeds
+    );
+
+    let sweep: &[usize] =
+        if matches!(cfg.profile, mars_graph::generators::Profile::Paper) {
+            &[32, 64, 128, 256, 4096]
+        } else {
+            &[8, 16, 32, 64, 4096]
+        };
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (wi, w) in [Workload::Gnmt4, Workload::BertBase].into_iter().enumerate() {
+        for (si, &s) in sweep.iter().enumerate() {
+            let mut exp = cfg.clone();
+            exp.mars.segment_size = s;
+            let r = run_agent_multi(
+                &exp,
+                AgentKind::Mars,
+                w,
+                true,
+                exp.budget,
+                (wi * 16 + si) as u64 + 5000,
+            );
+            println!("  {:<10} s={:<5} mean best {:?}", bench_label(w), s, r.mean_best);
+            table.push(vec![
+                bench_label(w).to_string(),
+                if s >= 4096 { "whole-seq".into() } else { s.to_string() },
+                r.mean_best.map(|b| format!("{b:.3}")).unwrap_or_else(|| "-".into()),
+            ]);
+            rows.push(Row { workload: bench_label(w).to_string(), segment_size: s, mean_best_s: r.mean_best });
+        }
+    }
+    print_table(
+        "Ablation: Mars placer segment size",
+        &["Workload", "Segment size", "Mean best (s)"],
+        &table,
+    );
+    save_json("ablation_segment", &rows);
+}

@@ -1,0 +1,136 @@
+//! Fig. 7 — per-step runtime of the placements found during training,
+//! for Inception-V3 (7a) and GNMT-4 (7b), comparing Mars against the
+//! grouper-placer and encoder-placer structures. Averaged over seeds.
+//!
+//! Paper shapes to reproduce:
+//! * 7a: Mars finds the Inception optimum quickly; the encoder-placer
+//!   converges far more slowly (paper: ~2500 steps vs Mars < 100).
+//! * 7b: Mars starts from better placements (all < 4 s even at the
+//!   beginning) and finds the best final placement.
+
+use mars_bench::{bench_label, run_agent_multi, save_json, ExpConfig};
+use mars_core::agent::AgentKind;
+use mars_graph::generators::Workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    agent: String,
+    samples: Vec<usize>,
+    /// Mean (over seeds) of the per-round mean-valid reading.
+    mean_valid_s: Vec<Option<f64>>,
+    /// Mean (over seeds) best-so-far.
+    best_so_far_s: Vec<Option<f64>>,
+    /// Mean policy entropy per round (exploration trace).
+    policy_entropy: Vec<f64>,
+    /// Mean samples until within 10% of this agent's own final best.
+    samples_to_converge_10pct: Option<f64>,
+    /// Final mean best.
+    final_best_s: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Figure {
+    workload: String,
+    series: Vec<Series>,
+}
+
+fn mean_opt(values: Vec<Option<f64>>) -> Option<f64> {
+    let found: Vec<f64> = values.into_iter().flatten().collect();
+    (!found.is_empty()).then(|| found.iter().sum::<f64>() / found.len() as f64)
+}
+
+fn ascii_plot(series: &[Series]) {
+    let max_t = series
+        .iter()
+        .flat_map(|s| s.best_so_far_s.iter().flatten())
+        .fold(0.0f64, |a, &b| a.max(b));
+    if max_t <= 0.0 {
+        return;
+    }
+    for s in series {
+        let line: String = s
+            .best_so_far_s
+            .iter()
+            .map(|v| match v {
+                None => '!',
+                Some(t) => {
+                    let lvl = (t / max_t * 8.0).min(8.0) as usize;
+                    char::from_digit(lvl as u32, 10).unwrap_or('8')
+                }
+            })
+            .collect();
+        println!("  {:<24} |{line}|", s.agent);
+    }
+    println!("  (digits: mean best-so-far per update round, 0 = fastest, 8 = slowest)");
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!(
+        "Fig. 7 reproduction — profile {:?}, budget {} placements/agent, {} seeds",
+        cfg.profile, cfg.budget, cfg.seeds
+    );
+
+    let mut figures = Vec::new();
+    for (wi, w) in [Workload::InceptionV3, Workload::Gnmt4].into_iter().enumerate() {
+        println!("\n== Fig. 7{} — {}", if wi == 0 { 'a' } else { 'b' }, bench_label(w));
+        let mut series = Vec::new();
+        for (ai, (kind, pre)) in [
+            (AgentKind::Mars, true),
+            (AgentKind::GrouperPlacer, false),
+            (AgentKind::EncoderPlacer, false),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let r = run_agent_multi(&cfg, kind, w, pre, cfg.budget, (wi * 32 + ai) as u64 + 700);
+            let rounds = r.logs.iter().map(|l| l.records.len()).min().unwrap_or(0);
+            let samples: Vec<usize> =
+                (0..rounds).map(|i| r.logs[0].records[i].samples_so_far).collect();
+            let best_so_far: Vec<Option<f64>> = (0..rounds)
+                .map(|i| {
+                    mean_opt(r.logs.iter().map(|l| l.records[i].best_so_far_s).collect())
+                })
+                .collect();
+            let mean_valid: Vec<Option<f64>> = (0..rounds)
+                .map(|i| {
+                    mean_opt(r.logs.iter().map(|l| l.records[i].mean_valid_reading_s).collect())
+                })
+                .collect();
+            let entropy: Vec<f64> = (0..rounds)
+                .map(|i| {
+                    r.logs.iter().map(|l| l.records[i].policy_entropy).sum::<f64>()
+                        / r.logs.len() as f64
+                })
+                .collect();
+            let convs: Vec<f64> = r
+                .logs
+                .iter()
+                .filter_map(|l| l.samples_to_converge(1.10).map(|s| s as f64))
+                .collect();
+            let conv =
+                (!convs.is_empty()).then(|| convs.iter().sum::<f64>() / convs.len() as f64);
+            println!(
+                "  {:<24} mean best {}  converged@{} samples  entropy {:.2}→{:.2}",
+                kind.label(),
+                r.mean_best.map(|b| format!("{b:.3}s")).unwrap_or_else(|| "-".into()),
+                conv.map(|c| format!("{c:.0}")).unwrap_or_else(|| "-".into()),
+                entropy.first().copied().unwrap_or(0.0),
+                entropy.last().copied().unwrap_or(0.0),
+            );
+            series.push(Series {
+                agent: kind.label(),
+                samples,
+                mean_valid_s: mean_valid,
+                best_so_far_s: best_so_far,
+                policy_entropy: entropy,
+                samples_to_converge_10pct: conv,
+                final_best_s: r.mean_best,
+            });
+        }
+        ascii_plot(&series);
+        figures.push(Figure { workload: bench_label(w).to_string(), series });
+    }
+    save_json("fig7_curves", &figures);
+}

@@ -1,0 +1,105 @@
+//! Table 2 — per-step runtime (s) of the best placements found by each
+//! approach.
+//!
+//! Paper reference values:
+//! | Model        | Human | GPU-Only | Grouper | Encoder | Mars  | Mars (no pre) |
+//! |--------------|-------|----------|---------|---------|-------|----------------|
+//! | Inception-V3 | 0.071 | 0.071    | 0.067   | 0.067   | 0.067 | 0.067          |
+//! | GNMT-4       | 1.661 | OOM      | 1.418   | 1.437   | 1.379 | 1.396          |
+//! | BERT         | OOM   | OOM      | 12.661  | 11.737  | 9.214 | 11.363         |
+
+use mars_bench::{
+    bench_label, cell, cell_opt, measure_placement, print_table, run_agent_multi, save_json,
+    ExpConfig, BENCHMARKS,
+};
+use mars_core::agent::AgentKind;
+use mars_core::baselines::{gpu_only, human_expert};
+use mars_sim::Cluster;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    human: String,
+    gpu_only: String,
+    grouper_placer: String,
+    encoder_placer: String,
+    mars: String,
+    mars_no_pretrain: String,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!(
+        "Table 2 reproduction — profile {:?}, budget {} placements/agent, {} seeds",
+        cfg.profile, cfg.budget, cfg.seeds
+    );
+
+    let cluster = Cluster::p100_quad();
+    let mut rows = Vec::new();
+    for (wi, w) in BENCHMARKS.iter().copied().enumerate() {
+        let graph = w.build(cfg.profile);
+        let human = measure_placement(&cfg, w, &human_expert(w, &graph, &cluster), 1);
+        let gpu = measure_placement(&cfg, w, &gpu_only(&graph, &cluster), 2);
+
+        let mut agent_best = Vec::new();
+        for (ai, (kind, pre)) in [
+            (AgentKind::GrouperPlacer, false),
+            (AgentKind::EncoderPlacer, false),
+            (AgentKind::Mars, true),
+            (AgentKind::MarsNoPretrain, false),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let r = run_agent_multi(&cfg, kind, w, pre, cfg.budget, (wi * 16 + ai) as u64 + 100);
+            eprintln!(
+                "  {} on {}: mean best {:?} over seeds {:?}",
+                kind.label(),
+                w.name(),
+                r.mean_best,
+                r.bests
+            );
+            agent_best.push(r.mean_best);
+        }
+
+        rows.push(Row {
+            model: bench_label(w).to_string(),
+            human: cell(&human),
+            gpu_only: cell(&gpu),
+            grouper_placer: cell_opt(agent_best[0]),
+            encoder_placer: cell_opt(agent_best[1]),
+            mars: cell_opt(agent_best[2]),
+            mars_no_pretrain: cell_opt(agent_best[3]),
+        });
+    }
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.human.clone(),
+                r.gpu_only.clone(),
+                r.grouper_placer.clone(),
+                r.encoder_placer.clone(),
+                r.mars.clone(),
+                r.mars_no_pretrain.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2: per-step runtime (s) of best placements",
+        &[
+            "Models",
+            "Human Experts",
+            "GPU Only",
+            "Grouper-Placer",
+            "Encoder-Placer",
+            "Mars",
+            "Mars (no pre-training)",
+        ],
+        &table_rows,
+    );
+    save_json("table2_final", &rows);
+}

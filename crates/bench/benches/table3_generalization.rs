@@ -1,0 +1,119 @@
+//! Table 3 — generalizability: per-step time (s) of placements found
+//! by direct training vs. a policy generalized from a similar-type or
+//! different-type workload (100 fine-tuning steps).
+//!
+//! Paper reference values:
+//! | Unseen       | Direct | Similar type | Different type |
+//! |--------------|--------|--------------|----------------|
+//! | Inception-V3 | 0.067  | 0.067        | 0.067          |
+//! | GNMT-4       | 1.379  | 1.422        | 1.472          |
+//! | BERT         | 9.214  | 10.127       | 12.426         |
+
+use mars_bench::{bench_label, cell_opt, print_table, save_json, ExpConfig, BENCHMARKS};
+use mars_core::generalize::{different_source, direct, generalize, similar_source};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    unseen: String,
+    direct: String,
+    similar: String,
+    different: String,
+    similar_source: String,
+    different_source: String,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    // Paper protocol: fine-tune for 100 steps; source training until
+    // no improvement for 100 steps (capped by the budget).
+    let finetune = 100;
+    let patience = 100;
+    println!(
+        "Table 3 reproduction — profile {:?}, source budget {} + {} fine-tune samples",
+        cfg.profile, cfg.budget, finetune
+    );
+
+    let mean = |xs: &[Option<f64>]| -> Option<f64> {
+        let found: Vec<f64> = xs.iter().flatten().copied().collect();
+        (!found.is_empty()).then(|| found.iter().sum::<f64>() / found.len() as f64)
+    };
+
+    let mut rows = Vec::new();
+    for (wi, w) in BENCHMARKS.iter().copied().enumerate() {
+        let sim_src = similar_source(w);
+        let dif_src = different_source(w);
+
+        let mut sim_bests = Vec::new();
+        let mut dif_bests = Vec::new();
+        let mut dir_bests = Vec::new();
+        for s in 0..cfg.seeds as u64 {
+            let sim = generalize(
+                &cfg.mars,
+                sim_src,
+                w,
+                cfg.profile,
+                cfg.budget,
+                patience,
+                finetune,
+                cfg.seed ^ (wi as u64 * 31 + 1 + s * 977),
+            );
+            let dif = generalize(
+                &cfg.mars,
+                dif_src,
+                w,
+                cfg.profile,
+                cfg.budget,
+                patience,
+                finetune,
+                cfg.seed ^ (wi as u64 * 31 + 2 + s * 977),
+            );
+            // Fair comparison: direct training gets the same total budget.
+            let total = sim.train_samples + finetune;
+            let d = direct(
+                &cfg.mars,
+                w,
+                cfg.profile,
+                total,
+                cfg.seed ^ (wi as u64 * 31 + 3 + s * 977),
+            );
+            sim_bests.push(sim.best_s);
+            dif_bests.push(dif.best_s);
+            dir_bests.push(d);
+        }
+        let sim_best = mean(&sim_bests);
+        let dif_best = mean(&dif_bests);
+        let dir = mean(&dir_bests);
+
+        println!(
+            "  {:<14} direct {:>8}  similar({}) {:>8}  different({}) {:>8}",
+            bench_label(w),
+            cell_opt(dir),
+            sim_src.name(),
+            cell_opt(sim_best),
+            dif_src.name(),
+            cell_opt(dif_best),
+        );
+        rows.push(Row {
+            unseen: bench_label(w).to_string(),
+            direct: cell_opt(dir),
+            similar: cell_opt(sim_best),
+            different: cell_opt(dif_best),
+            similar_source: sim_src.name().to_string(),
+            different_source: dif_src.name().to_string(),
+        });
+    }
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![r.unseen.clone(), r.direct.clone(), r.similar.clone(), r.different.clone()]
+        })
+        .collect();
+    print_table(
+        "Table 3: generalization (100 fine-tune steps on the unseen workload)",
+        &["Unseen workloads", "Direct training", "Generalized from similar type", "Generalized from different type"],
+        &table_rows,
+    );
+    save_json("table3_generalization", &rows);
+}

@@ -1,0 +1,139 @@
+//! Non-learning baselines of §4.1: Human Expert and GPU-Only.
+
+use mars_graph::generators::Workload;
+use mars_graph::CompGraph;
+use mars_sim::{Cluster, Placement};
+
+/// GPU-Only (§4.1): "places all GPU compatible operations on a single
+/// GPU while running incompatible operations on CPUs."
+pub fn gpu_only(graph: &CompGraph, cluster: &Cluster) -> Placement {
+    let gpu = cluster.gpu_ids()[0];
+    let mut p = Placement::all_on(graph, gpu);
+    p.enforce_compatibility(graph, cluster);
+    p
+}
+
+/// Human Expert placements (§4.1), per workload:
+///
+/// * Inception-V3 / VGG16 — TF-Slim's single-GPU placement.
+/// * GNMT-4 / seq2seq — Google's NMT implementation: "each GNMT layer
+///   is assigned to each device in a round-robin manner" (layer-wise
+///   round-robin over the GPUs, embeddings and softmax colocated with
+///   their adjacent layers).
+/// * BERT / Transformer — "does not support multi-GPU training using
+///   model parallelism by default": everything on one GPU (OOMs for
+///   BERT, exactly as the paper's Table 2 reports).
+pub fn human_expert(workload: Workload, graph: &CompGraph, cluster: &Cluster) -> Placement {
+    let gpus = cluster.gpu_ids();
+    let mut p = match workload {
+        Workload::InceptionV3
+        | Workload::Vgg16
+        | Workload::BertBase
+        | Workload::Transformer
+        | Workload::Resnet50
+        | Workload::Gpt2Small => Placement::all_on(graph, gpus[0]),
+        Workload::Gnmt4 | Workload::Seq2Seq => {
+            let mut devices = vec![gpus[0]; graph.num_nodes()];
+            for (i, node) in graph.nodes().iter().enumerate() {
+                let name = &node.name;
+                let layer = layer_index(name);
+                let dev = match () {
+                    _ if name.starts_with("encoder/embedding")
+                        || name.starts_with("input") => gpus[0],
+                    _ if name.starts_with("decoder/embedding") => gpus[0],
+                    _ if name.starts_with("encoder") => gpus[layer % gpus.len()],
+                    _ if name.starts_with("decoder") => gpus[layer % gpus.len()],
+                    _ if name.starts_with("attention") => gpus[gpus.len() - 1],
+                    // Softmax / loss / optimizer on the last GPU.
+                    _ => gpus[gpus.len() - 1],
+                };
+                devices[i] = dev;
+            }
+            Placement(devices)
+        }
+    };
+    p.enforce_compatibility(graph, cluster);
+    p
+}
+
+/// Extract the `lN`-style layer index from a generated node name.
+fn layer_index(name: &str) -> usize {
+    for part in name.split('/') {
+        if let Some(rest) = part.strip_prefix('l') {
+            if let Ok(v) = rest.parse::<usize>() {
+                return v;
+            }
+        }
+        if let Some(rest) = part.strip_prefix("bi_l") {
+            if let Ok(v) = rest.parse::<usize>() {
+                return v;
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_graph::generators::Profile;
+    use mars_sim::{check_memory, SimEnv};
+
+    #[test]
+    fn gpu_only_valid_for_inception_only() {
+        let c = Cluster::p100_quad();
+        let inception = Workload::InceptionV3.build(Profile::Reduced);
+        let p = gpu_only(&inception, &c);
+        assert!(check_memory(&inception, &p, &c).is_ok());
+
+        // Paper Table 2: GPU-Only OOMs for GNMT and BERT.
+        for w in [Workload::Gnmt4, Workload::BertBase] {
+            let g = w.build(Profile::Reduced);
+            let p = gpu_only(&g, &c);
+            assert!(check_memory(&g, &p, &c).is_err(), "{} should OOM", w.name());
+        }
+    }
+
+    #[test]
+    fn human_expert_gnmt_is_valid_and_multi_gpu() {
+        let c = Cluster::p100_quad();
+        let g = Workload::Gnmt4.build(Profile::Reduced);
+        let p = human_expert(Workload::Gnmt4, &g, &c);
+        assert!(check_memory(&g, &p, &c).is_ok(), "human GNMT placement must run");
+        assert!(p.devices_used().len() >= 3, "round-robin uses several GPUs");
+    }
+
+    #[test]
+    fn human_expert_bert_ooms() {
+        // Paper Table 2: Human Experts = OOM for BERT.
+        let c = Cluster::p100_quad();
+        let g = Workload::BertBase.build(Profile::Reduced);
+        let p = human_expert(Workload::BertBase, &g, &c);
+        assert!(check_memory(&g, &p, &c).is_err());
+    }
+
+    #[test]
+    fn human_expert_gnmt_beats_nothing_fancy() {
+        // The human placement must be a reasonable (valid, not absurd)
+        // starting point: within 3× of a blocked 4-GPU split.
+        let c = Cluster::p100_quad();
+        let g = Workload::Gnmt4.build(Profile::Reduced);
+        let env = SimEnv::new(g.clone(), c.clone(), 0);
+        let human = env
+            .true_step_time(&human_expert(Workload::Gnmt4, &g, &c))
+            .expect("valid")
+            .makespan_s;
+        let mut blocked = Placement::blocked(&g, &c.gpu_ids());
+        blocked.enforce_compatibility(&g, &c);
+        let reference = env.true_step_time(&blocked).expect("valid").makespan_s;
+        assert!(human < 3.0 * reference, "human {human} vs blocked {reference}");
+    }
+
+    #[test]
+    fn layer_index_parses_generated_names() {
+        assert_eq!(layer_index("encoder/l2/t5"), 2);
+        assert_eq!(layer_index("encoder/bi_l0/t9"), 0);
+        assert_eq!(layer_index("decoder/l3/t0"), 3);
+        assert_eq!(layer_index("softmax/proj/t1"), 0);
+    }
+}

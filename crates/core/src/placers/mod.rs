@@ -1,0 +1,59 @@
+//! Placer networks (§3.3).
+//!
+//! Every placer maps per-op representations (`N × d`) to per-op device
+//! logits (`N × D`). Placements are sampled per-op from the row-wise
+//! categorical distribution; PPO re-evaluates the log-probability of
+//! sampled actions through the same forward pass.
+//!
+//! Compared in Table 1:
+//! * [`seq2seq::FullSeq2Seq`] — classic full-sequence seq2seq with
+//!   attention (struggles on long op sequences);
+//! * [`segment::SegmentSeq2Seq`] — **the Mars placer**: segment-level
+//!   BiLSTM encoder + LSTM decoder with state carried across segments;
+//! * [`trfxl::TrfXlPlacer`] — a Transformer-XL-style segment-recurrent
+//!   attention placer (the GDP baseline's placer, "a little heavy");
+//! * [`mlp::MlpPlacer`] — the two-layer MLP the paper dismisses
+//!   ("easily overfits, gets stuck at a local optimum").
+
+pub mod mlp;
+pub mod segment;
+pub mod seq2seq;
+pub mod trfxl;
+
+use mars_autograd::Var;
+use mars_nn::FwdCtx;
+
+/// A network producing per-op device logits.
+pub trait PlacerNet {
+    /// Compute `N × num_devices` logits from `N × d` representations.
+    fn logits(&self, ctx: &mut FwdCtx<'_>, reps: Var) -> Var;
+    /// Action-space width.
+    fn num_devices(&self) -> usize;
+    /// Short name for logs and tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Which placer architecture to instantiate (Table 1 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacerChoice {
+    /// Full-sequence seq2seq.
+    Seq2Seq,
+    /// Segment-level seq2seq (Mars).
+    Segment,
+    /// Transformer-XL-style.
+    TrfXl,
+    /// Two-layer MLP.
+    Mlp,
+}
+
+impl PlacerChoice {
+    /// Canonical column label used in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacerChoice::Seq2Seq => "Seq2seq",
+            PlacerChoice::Segment => "Seq2seq (segment)",
+            PlacerChoice::TrfXl => "Trf-XL",
+            PlacerChoice::Mlp => "MLP",
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Pre-extracted encoder input for one workload.
+
+use mars_graph::features::{node_features, normalized_adjacency};
+use mars_graph::CompGraph;
+use mars_tensor::ops::CsrMatrix;
+use mars_tensor::Matrix;
+use std::sync::Arc;
+
+/// Node features + normalized adjacency, computed once per workload.
+#[derive(Clone)]
+pub struct WorkloadInput {
+    /// `N × FEATURE_DIM` node features (one-hot kind + normalized costs).
+    pub features: Matrix,
+    /// Symmetrically-normalized adjacency with self-loops.
+    pub adj: Arc<CsrMatrix>,
+    /// Number of operations.
+    pub num_ops: usize,
+}
+
+impl WorkloadInput {
+    /// Extract from a computational graph.
+    pub fn from_graph(graph: &CompGraph) -> Self {
+        let features = node_features(graph);
+        let adj = normalized_adjacency(graph);
+        WorkloadInput { num_ops: features.rows(), features, adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_graph::generators::{Profile, Workload};
+
+    #[test]
+    fn dimensions_consistent() {
+        let g = Workload::InceptionV3.build(Profile::Reduced);
+        let w = WorkloadInput::from_graph(&g);
+        assert_eq!(w.num_ops, g.num_nodes());
+        assert_eq!(w.features.rows(), w.num_ops);
+        assert_eq!(w.adj.rows(), w.num_ops);
+        assert_eq!(w.adj.cols(), w.num_ops);
+    }
+}

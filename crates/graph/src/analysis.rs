@@ -1,0 +1,154 @@
+//! Graph analysis and export utilities.
+
+use crate::graph::CompGraph;
+use crate::op::OpKind;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Summary statistics of a computational graph.
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Nodes per op kind.
+    pub kind_histogram: Vec<(OpKind, usize)>,
+    /// Total training FLOPs.
+    pub total_flops: f64,
+    /// Total memory (parameters + activations), bytes.
+    pub total_memory_bytes: u64,
+    /// Length (in nodes) of the longest dependency chain.
+    pub depth: usize,
+    /// Maximum antichain width estimate (peak nodes per topological level).
+    pub max_width: usize,
+    /// Mean bytes per edge.
+    pub mean_edge_bytes: f64,
+}
+
+/// Compute summary statistics.
+pub fn stats(graph: &CompGraph) -> GraphStats {
+    let mut hist: HashMap<OpKind, usize> = HashMap::new();
+    for n in graph.nodes() {
+        *hist.entry(n.kind).or_default() += 1;
+    }
+    let mut kind_histogram: Vec<(OpKind, usize)> = hist.into_iter().collect();
+    kind_histogram.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+
+    // Level = longest path from a source, computed along a topo order.
+    let order = graph.topo_order().expect("DAG");
+    let in_edges = graph.in_edges();
+    let mut level = vec![0usize; graph.num_nodes()];
+    for &n in &order {
+        level[n] = in_edges[n]
+            .iter()
+            .map(|&e| level[graph.edges()[e].src] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    let depth = level.iter().copied().max().unwrap_or(0) + 1;
+    let mut width: HashMap<usize, usize> = HashMap::new();
+    for &l in &level {
+        *width.entry(l).or_default() += 1;
+    }
+    let max_width = width.values().copied().max().unwrap_or(0);
+
+    let mean_edge_bytes = if graph.num_edges() == 0 {
+        0.0
+    } else {
+        graph.edges().iter().map(|e| e.bytes as f64).sum::<f64>() / graph.num_edges() as f64
+    };
+
+    GraphStats {
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        kind_histogram,
+        total_flops: graph.total_flops(),
+        total_memory_bytes: graph.total_memory_bytes(),
+        depth,
+        max_width,
+        mean_edge_bytes,
+    }
+}
+
+/// Render the graph in Graphviz DOT format. `max_nodes` truncates very
+/// large graphs (truncation is marked with an ellipsis node).
+pub fn to_dot(graph: &CompGraph, max_nodes: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name);
+    let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontsize=10];");
+    let shown = graph.num_nodes().min(max_nodes);
+    for (i, n) in graph.nodes().iter().take(shown).enumerate() {
+        let color = if n.kind.is_compute_heavy() { "lightblue" } else { "white" };
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{}\\n{:?} {:.1} GF\", style=filled, fillcolor={color}];",
+            n.name,
+            n.kind,
+            n.flops / 1e9
+        );
+    }
+    if shown < graph.num_nodes() {
+        let _ = writeln!(out, "  more [label=\"… {} more ops\"];", graph.num_nodes() - shown);
+    }
+    for e in graph.edges() {
+        if e.src < shown && e.dst < shown {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{:.1} MB\", fontsize=8];",
+                e.src,
+                e.dst,
+                e.bytes as f64 / (1 << 20) as f64
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{Profile, Workload};
+
+    #[test]
+    fn stats_of_bert_reflect_structure() {
+        let g = Workload::BertBase.build(Profile::Reduced);
+        let s = stats(&g);
+        assert_eq!(s.nodes, g.num_nodes());
+        assert_eq!(s.edges, g.num_edges());
+        // 12 chained layers: depth must be ≥ 12 × ops-per-layer-chain.
+        assert!(s.depth >= 50, "depth {}", s.depth);
+        // Mostly sequential: width stays small.
+        assert!(s.max_width <= 12, "width {}", s.max_width);
+        let total_hist: usize = s.kind_histogram.iter().map(|x| x.1).sum();
+        assert_eq!(total_hist, s.nodes);
+        assert!(s.mean_edge_bytes > 1e6, "BERT edges are MB-scale");
+    }
+
+    #[test]
+    fn inception_is_wide_and_shallow_compared_to_bert() {
+        let inc = stats(&Workload::InceptionV3.build(Profile::Reduced));
+        let bert = stats(&Workload::BertBase.build(Profile::Reduced));
+        assert!(inc.max_width > bert.max_width, "inception branches in parallel");
+        assert!(bert.depth > inc.depth / 2, "bert is deeply chained");
+    }
+
+    #[test]
+    fn dot_export_well_formed() {
+        let g = Workload::Vgg16.build(Profile::Reduced);
+        let dot = to_dot(&g, 1000);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches(" -> ").count(), g.num_edges());
+    }
+
+    #[test]
+    fn dot_truncation() {
+        let g = Workload::BertBase.build(Profile::Reduced);
+        let dot = to_dot(&g, 10);
+        assert!(dot.contains("more ops"));
+        assert!(dot.matches("n9 ").count() >= 1);
+        assert!(!dot.contains("n10 ["));
+    }
+}

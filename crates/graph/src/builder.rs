@@ -1,0 +1,148 @@
+//! Fluent construction helper used by the workload generators.
+//!
+//! Wraps [`CompGraph`] with sensible defaults: edge bytes default to the
+//! producer's output-tensor size, activation bytes default to twice the
+//! output size (the tensor itself plus backward-pass workspace), and
+//! GPU compatibility defaults from the op kind.
+
+use crate::graph::{CompGraph, NodeId, OpNode, TensorShape};
+use crate::op::OpKind;
+
+/// Builder for one workload graph.
+///
+/// ```
+/// use mars_graph::{shape, GraphBuilder, OpKind};
+///
+/// let mut b = GraphBuilder::new("toy");
+/// let x = b.compute(OpKind::Input, "x", shape![8, 8], 0.0, &[]);
+/// let y = b.layer(OpKind::MatMul, "fc", shape![8, 4], 2.0 * 8.0 * 8.0 * 4.0, 128, &[x]);
+/// b.compute(OpKind::Loss, "loss", shape![1], 8.0, &[y]);
+/// let g = b.build();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// assert!(g.topo_order().is_some());
+/// ```
+pub struct GraphBuilder {
+    graph: CompGraph,
+}
+
+/// Specification of one op for [`GraphBuilder::add`].
+pub struct NodeSpec {
+    /// Op kind.
+    pub kind: OpKind,
+    /// Name.
+    pub name: String,
+    /// Output shape.
+    pub out: TensorShape,
+    /// FLOPs (forward + backward).
+    pub flops: f64,
+    /// Persistent parameter bytes.
+    pub param_bytes: u64,
+    /// Live activation bytes; `None` → `2 × output bytes`.
+    pub activation_bytes: Option<u64>,
+}
+
+impl NodeSpec {
+    /// Spec with zero cost (plumbing ops).
+    pub fn plumbing(kind: OpKind, name: impl Into<String>, out: TensorShape) -> Self {
+        NodeSpec { kind, name: name.into(), out, flops: 0.0, param_bytes: 0, activation_bytes: None }
+    }
+}
+
+impl GraphBuilder {
+    /// Start a new graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder { graph: CompGraph::new(name) }
+    }
+
+    /// Add an op, wiring data edges from `deps` with the producers'
+    /// output sizes.
+    pub fn add(&mut self, spec: NodeSpec, deps: &[NodeId]) -> NodeId {
+        let activation = spec.activation_bytes.unwrap_or(spec.out.bytes() * 2);
+        let gpu_compatible = spec.kind.gpu_compatible();
+        let id = self.graph.add_node(OpNode {
+            name: spec.name,
+            kind: spec.kind,
+            output_shape: spec.out,
+            flops: spec.flops,
+            param_bytes: spec.param_bytes,
+            activation_bytes: activation,
+            gpu_compatible,
+        });
+        for &d in deps {
+            let bytes = self.graph.node(d).output_shape.bytes();
+            self.graph.add_edge(d, id, bytes);
+        }
+        id
+    }
+
+    /// Shorthand: op with compute cost, no parameters.
+    pub fn compute(
+        &mut self,
+        kind: OpKind,
+        name: impl Into<String>,
+        out: TensorShape,
+        flops: f64,
+        deps: &[NodeId],
+    ) -> NodeId {
+        self.add(
+            NodeSpec {
+                kind,
+                name: name.into(),
+                out,
+                flops,
+                param_bytes: 0,
+                activation_bytes: None,
+            },
+            deps,
+        )
+    }
+
+    /// Shorthand: parameterized op (conv/matmul/etc.).
+    pub fn layer(
+        &mut self,
+        kind: OpKind,
+        name: impl Into<String>,
+        out: TensorShape,
+        flops: f64,
+        param_bytes: u64,
+        deps: &[NodeId],
+    ) -> NodeId {
+        self.add(
+            NodeSpec { kind, name: name.into(), out, flops, param_bytes, activation_bytes: None },
+            deps,
+        )
+    }
+
+    /// Shorthand: zero-cost plumbing op.
+    pub fn plumb(
+        &mut self,
+        kind: OpKind,
+        name: impl Into<String>,
+        out: TensorShape,
+        deps: &[NodeId],
+    ) -> NodeId {
+        self.add(NodeSpec::plumbing(kind, name, out), deps)
+    }
+
+    /// Scale the compute cost of every node by `factor` (used for
+    /// calibrating a generator against the paper's absolute runtimes).
+    pub fn scale_flops(&mut self, factor: f64) {
+        for id in 0..self.graph.num_nodes() {
+            self.graph.node_mut(id).flops *= factor;
+        }
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> CompGraph {
+        self.graph
+            .validate()
+            .unwrap_or_else(|e| panic!("generator produced invalid graph: {e}"));
+        self.graph
+    }
+
+    /// Access the graph under construction.
+    pub fn graph(&self) -> &CompGraph {
+        &self.graph
+    }
+}

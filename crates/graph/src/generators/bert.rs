@@ -1,0 +1,343 @@
+//! BERT-Base (Devlin et al., 2019) — benchmark 3, the hardest workload.
+//!
+//! §4.1: "We use BERT-Base with a maximum sequence length of 384 and a
+//! batch size of 24, which requires about 24GB GPU memory. Under this
+//! setting, the model has to be split across multiple GPUs and the
+//! communication between GPUs becomes the bottleneck."
+//!
+//! 12 transformer layers; [`Profile::Reduced`] emits ~11 fused ops per
+//! layer (QKV, attention score/softmax/context, output projection,
+//! residual+LN, FFN×2 with GELU, residual+LN), [`Profile::Paper`] emits
+//! unfused ops (separate Q/K/V, biases, transposes, dropouts) at TF
+//! granularity. The MLM head predicts masked positions only.
+
+use crate::builder::NodeSpec;
+use crate::generators::{Profile, TRAIN_FLOPS_FACTOR};
+use crate::graph::{CompGraph, NodeId};
+use crate::op::OpKind;
+use crate::shape;
+use crate::GraphBuilder;
+
+const BATCH: usize = 24;
+const SEQ: usize = 384;
+const HIDDEN: usize = 768;
+const HEADS: usize = 12;
+const FFN: usize = 3072;
+const LAYERS: usize = 12;
+const VOCAB: usize = 30_522;
+const MASKED: usize = 58; // ~15% of 384
+/// Activation-memory calibration (gradient buffers + Adam slots).
+const MEM_SCALE: u64 = 3;
+
+fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64 * TRAIN_FLOPS_FACTOR
+}
+
+struct LayerCtx<'a> {
+    b: &'a mut GraphBuilder,
+    profile: Profile,
+}
+
+impl LayerCtx<'_> {
+    fn dense(
+        &mut self,
+        name: String,
+        input: NodeId,
+        rows: usize,
+        k: usize,
+        n: usize,
+        out: crate::graph::TensorShape,
+    ) -> NodeId {
+        let act = out.bytes() * MEM_SCALE;
+        let m = self.b.add(
+            NodeSpec {
+                kind: OpKind::MatMul,
+                name: name.clone(),
+                out: out.clone(),
+                flops: matmul_flops(rows, k, n),
+                param_bytes: (k * n + n) as u64 * 4,
+                activation_bytes: Some(act),
+            },
+            &[input],
+        );
+        if self.profile == Profile::Paper {
+            // Unfused bias add, as in the TF graph (in-place: no extra
+            // live memory).
+            self.b.add(
+                NodeSpec {
+                    kind: OpKind::Add,
+                    name: format!("{name}/bias"),
+                    out: out.clone(),
+                    flops: out.num_elements() as f64 * TRAIN_FLOPS_FACTOR,
+                    param_bytes: 0,
+                    activation_bytes: Some(out.bytes() / 8),
+                },
+                &[m],
+            )
+        } else {
+            m
+        }
+    }
+}
+
+/// In-place plumbing op (transpose/dropout): negligible live memory.
+fn plumb_inplace(
+    b: &mut GraphBuilder,
+    kind: OpKind,
+    name: String,
+    out: crate::graph::TensorShape,
+    deps: &[NodeId],
+) -> NodeId {
+    let act = out.bytes() / 8;
+    b.add(
+        NodeSpec { kind, name, out, flops: 0.0, param_bytes: 0, activation_bytes: Some(act) },
+        deps,
+    )
+}
+
+fn transformer_layer(c: &mut LayerCtx<'_>, l: usize, input: NodeId) -> NodeId {
+    let tok = BATCH * SEQ;
+    let hid_shape = shape![BATCH, SEQ, HIDDEN];
+    let paper = c.profile == Profile::Paper;
+
+    // Attention block.
+    let (q, k, v) = if paper {
+        let q = c.dense(format!("l{l}/attn/q"), input, tok, HIDDEN, HIDDEN, hid_shape.clone());
+        let k = c.dense(format!("l{l}/attn/k"), input, tok, HIDDEN, HIDDEN, hid_shape.clone());
+        let v = c.dense(format!("l{l}/attn/v"), input, tok, HIDDEN, HIDDEN, hid_shape.clone());
+        let qt = plumb_inplace(c.b, OpKind::Transpose, format!("l{l}/attn/q_t"), hid_shape.clone(), &[q]);
+        let kt = plumb_inplace(c.b, OpKind::Transpose, format!("l{l}/attn/k_t"), hid_shape.clone(), &[k]);
+        let vt = plumb_inplace(c.b, OpKind::Transpose, format!("l{l}/attn/v_t"), hid_shape.clone(), &[v]);
+        (qt, kt, vt)
+    } else {
+        let qkv_shape = shape![BATCH, SEQ, 3 * HIDDEN];
+        let qkv = c.dense(format!("l{l}/attn/qkv"), input, tok, HIDDEN, 3 * HIDDEN, qkv_shape);
+        (qkv, qkv, qkv)
+    };
+
+    let score_shape = shape![BATCH, HEADS, SEQ, SEQ];
+    let score_deps: Vec<NodeId> = if paper { vec![q, k] } else { vec![q] };
+    let score = c.b.add(
+        NodeSpec {
+            kind: OpKind::AttentionScore,
+            name: format!("l{l}/attn/score"),
+            out: score_shape.clone(),
+            flops: matmul_flops(BATCH * HEADS * SEQ, HIDDEN / HEADS, SEQ),
+            param_bytes: 0,
+            activation_bytes: Some(score_shape.bytes() * MEM_SCALE),
+        },
+        &score_deps,
+    );
+    let sm = c.b.add(
+        NodeSpec {
+            kind: OpKind::Softmax,
+            name: format!("l{l}/attn/softmax"),
+            out: score_shape.clone(),
+            flops: score_shape.num_elements() as f64 * 3.0 * TRAIN_FLOPS_FACTOR,
+            param_bytes: 0,
+            activation_bytes: Some(score_shape.bytes() * MEM_SCALE),
+        },
+        &[score],
+    );
+    let ctx_deps: Vec<NodeId> = vec![sm, v];
+    let ctx = c.b.add(
+        NodeSpec {
+            kind: OpKind::AttentionContext,
+            name: format!("l{l}/attn/context"),
+            out: hid_shape.clone(),
+            flops: matmul_flops(BATCH * HEADS * SEQ, SEQ, HIDDEN / HEADS),
+            param_bytes: 0,
+            activation_bytes: Some(hid_shape.bytes() * MEM_SCALE),
+        },
+        &ctx_deps,
+    );
+    let proj = c.dense(format!("l{l}/attn/out"), ctx, tok, HIDDEN, HIDDEN, hid_shape.clone());
+    let drop1 = if paper {
+        plumb_inplace(c.b, OpKind::Dropout, format!("l{l}/attn/dropout"), hid_shape.clone(), &[proj])
+    } else {
+        proj
+    };
+    let ln1 = c.b.add(
+        NodeSpec {
+            kind: OpKind::LayerNorm,
+            name: format!("l{l}/ln1"),
+            out: hid_shape.clone(),
+            flops: hid_shape.num_elements() as f64 * 5.0 * TRAIN_FLOPS_FACTOR,
+            param_bytes: (2 * HIDDEN) as u64 * 4,
+            activation_bytes: Some(hid_shape.bytes() * MEM_SCALE),
+        },
+        &[drop1, input],
+    );
+
+    // FFN block.
+    let ffn_shape = shape![BATCH, SEQ, FFN];
+    let f1 = c.dense(format!("l{l}/ffn/fc1"), ln1, tok, HIDDEN, FFN, ffn_shape.clone());
+    let gelu = c.b.compute(
+        OpKind::Gelu,
+        format!("l{l}/ffn/gelu"),
+        ffn_shape.clone(),
+        ffn_shape.num_elements() as f64 * 8.0 * TRAIN_FLOPS_FACTOR,
+        &[f1],
+    );
+    let f2 = c.dense(format!("l{l}/ffn/fc2"), gelu, tok, FFN, HIDDEN, hid_shape.clone());
+    let drop2 = if paper {
+        plumb_inplace(c.b, OpKind::Dropout, format!("l{l}/ffn/dropout"), hid_shape.clone(), &[f2])
+    } else {
+        f2
+    };
+    c.b.add(
+        NodeSpec {
+            kind: OpKind::LayerNorm,
+            name: format!("l{l}/ln2"),
+            out: hid_shape.clone(),
+            flops: hid_shape.num_elements() as f64 * 5.0 * TRAIN_FLOPS_FACTOR,
+            param_bytes: (2 * HIDDEN) as u64 * 4,
+            activation_bytes: Some(hid_shape.bytes() * MEM_SCALE),
+        },
+        &[drop2, ln1],
+    )
+}
+
+/// Build the BERT-Base graph.
+pub fn build(profile: Profile) -> CompGraph {
+    let mut b = GraphBuilder::new("bert_base");
+    let hid_shape = shape![BATCH, SEQ, HIDDEN];
+
+    let pre = b.add(
+        NodeSpec {
+            kind: OpKind::Preprocess,
+            name: "input/tokenize".into(),
+            out: shape![BATCH, SEQ],
+            flops: 2e7,
+            param_bytes: 0,
+            activation_bytes: Some(16 << 20),
+        },
+        &[],
+    );
+    let input = b.plumb(OpKind::Input, "input/ids", shape![BATCH, SEQ], &[pre]);
+    let emb = b.layer(
+        OpKind::Embedding,
+        "embeddings/lookup",
+        hid_shape.clone(),
+        (BATCH * SEQ) as f64 * 3.0 * TRAIN_FLOPS_FACTOR,
+        ((VOCAB + 512 + 2) * HIDDEN) as u64 * 4,
+        &[input],
+    );
+    let emb_ln = b.layer(
+        OpKind::LayerNorm,
+        "embeddings/ln",
+        hid_shape.clone(),
+        hid_shape.num_elements() as f64 * 5.0 * TRAIN_FLOPS_FACTOR,
+        (2 * HIDDEN) as u64 * 4,
+        &[emb],
+    );
+
+    let mut cur = emb_ln;
+    {
+        let mut ctx = LayerCtx { b: &mut b, profile };
+        for l in 0..LAYERS {
+            cur = transformer_layer(&mut ctx, l, cur);
+        }
+    }
+
+    // MLM head over masked positions.
+    let gathered = b.plumb(OpKind::Split, "mlm/gather", shape![BATCH, MASKED, HIDDEN], &[cur]);
+    let transform = b.layer(
+        OpKind::MatMul,
+        "mlm/transform",
+        shape![BATCH, MASKED, HIDDEN],
+        matmul_flops(BATCH * MASKED, HIDDEN, HIDDEN),
+        (HIDDEN * HIDDEN + HIDDEN) as u64 * 4,
+        &[gathered],
+    );
+    let logits_shape = shape![BATCH, MASKED, VOCAB];
+    let logits = b.add(
+        NodeSpec {
+            kind: OpKind::MatMul,
+            name: "mlm/logits".into(),
+            out: logits_shape.clone(),
+            flops: matmul_flops(BATCH * MASKED, HIDDEN, VOCAB),
+            param_bytes: 0, // tied to embedding table
+            activation_bytes: Some(logits_shape.bytes() * 3),
+        },
+        &[transform],
+    );
+    let sm = b.compute(
+        OpKind::Softmax,
+        "mlm/softmax",
+        logits_shape.clone(),
+        logits_shape.num_elements() as f64 * 3.0,
+        &[logits],
+    );
+    let loss = b.compute(OpKind::Loss, "mlm/loss", shape![1], logits_shape.num_elements() as f64, &[sm]);
+    b.layer(
+        OpKind::ApplyGradient,
+        "train/apply_gradients",
+        shape![1],
+        1.1e8 * TRAIN_FLOPS_FACTOR, // touch every parameter
+        0,
+        &[loss],
+    );
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_around_24_gb() {
+        let g = build(Profile::Reduced);
+        let gb = g.total_memory_bytes() as f64 / (1u64 << 30) as f64;
+        assert!((20.0..32.0).contains(&gb), "BERT memory {gb:.1} GB, expected ~24");
+    }
+
+    #[test]
+    fn training_flops_match_hand_calculation() {
+        // ~1.7 TFLOP forward → ~5.2 TFLOP training (+ MLM head).
+        let g = build(Profile::Reduced);
+        let t = g.total_flops();
+        assert!((4e12..8e12).contains(&t), "BERT flops {t:.3e}");
+    }
+
+    #[test]
+    fn twelve_layers_chained() {
+        let g = build(Profile::Reduced);
+        let order = g.topo_order().expect("acyclic");
+        let pos = |name: &str| {
+            let id = g.nodes().iter().position(|n| n.name == name).expect(name);
+            order.iter().position(|&x| x == id).expect("in order")
+        };
+        for l in 0..LAYERS - 1 {
+            assert!(pos(&format!("l{l}/ln2")) < pos(&format!("l{}/ln2", l + 1)));
+        }
+    }
+
+    #[test]
+    fn residual_edges_exist() {
+        // ln1 must consume both the attention output and the block input.
+        let g = build(Profile::Reduced);
+        let ln1 = g.nodes().iter().position(|n| n.name == "l3/ln1").expect("l3/ln1");
+        let indeg = g.in_degrees()[ln1];
+        assert_eq!(indeg, 2);
+    }
+
+    #[test]
+    fn node_counts() {
+        let r = build(Profile::Reduced);
+        assert!((120..240).contains(&r.num_nodes()), "reduced {}", r.num_nodes());
+        let p = build(Profile::Paper);
+        assert!((250..500).contains(&p.num_nodes()), "paper {}", p.num_nodes());
+    }
+
+    #[test]
+    fn inter_layer_tensors_are_large() {
+        // "communication between GPUs becomes the bottleneck" — the
+        // tensors crossing layer boundaries are ~28 MB each.
+        let g = build(Profile::Reduced);
+        let ln2 = g.nodes().iter().position(|n| n.name == "l0/ln2").expect("l0/ln2");
+        let e = g.edges().iter().find(|e| e.src == ln2).expect("outgoing edge");
+        assert!(e.bytes > 20 << 20, "{}", e.bytes);
+    }
+}

@@ -1,0 +1,238 @@
+//! GPT-2 Small (Radford et al., 2019) — a decoder-only Transformer
+//! workload beyond the paper's benchmark set. Batch 8, context 1024.
+//!
+//! Like BERT it is a deep chain of identical layers, but with causal
+//! attention (larger score tensors kept for the backward pass) and a
+//! full-vocab tied output head at every step — a heavier communication
+//! profile per parameter.
+
+use crate::builder::NodeSpec;
+use crate::generators::{Profile, TRAIN_FLOPS_FACTOR};
+use crate::graph::{CompGraph, NodeId};
+use crate::op::OpKind;
+use crate::shape;
+use crate::GraphBuilder;
+
+const BATCH: usize = 8;
+const SEQ: usize = 1024;
+const HIDDEN: usize = 768;
+const HEADS: usize = 12;
+const LAYERS: usize = 12;
+const VOCAB: usize = 50_257;
+const MEM_SCALE: u64 = 2;
+
+fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64 * TRAIN_FLOPS_FACTOR
+}
+
+fn layer(b: &mut GraphBuilder, profile: Profile, l: usize, input: NodeId) -> NodeId {
+    let tok = BATCH * SEQ;
+    let hid = shape![BATCH, SEQ, HIDDEN];
+    let ln1 = b.layer(
+        OpKind::LayerNorm,
+        format!("l{l}/ln1"),
+        hid.clone(),
+        hid.num_elements() as f64 * 5.0 * TRAIN_FLOPS_FACTOR,
+        (2 * HIDDEN) as u64 * 4,
+        &[input],
+    );
+    let qkv = b.layer(
+        OpKind::MatMul,
+        format!("l{l}/attn/qkv"),
+        shape![BATCH, SEQ, 3 * HIDDEN],
+        matmul_flops(tok, HIDDEN, 3 * HIDDEN),
+        (HIDDEN * 3 * HIDDEN) as u64 * 4,
+        &[ln1],
+    );
+    // Causal attention: only the lower triangle is computed (×0.5).
+    let score_shape = shape![BATCH, HEADS, SEQ, SEQ];
+    let score = b.add(
+        NodeSpec {
+            kind: OpKind::AttentionScore,
+            name: format!("l{l}/attn/score"),
+            out: score_shape.clone(),
+            flops: 0.5 * matmul_flops(BATCH * HEADS * SEQ, HIDDEN / HEADS, SEQ),
+            param_bytes: 0,
+            // Half the square is live (causal mask), kept for backward.
+            activation_bytes: Some(score_shape.bytes() / 2 * MEM_SCALE),
+        },
+        &[qkv],
+    );
+    let sm = b.add(
+        NodeSpec {
+            kind: OpKind::Softmax,
+            name: format!("l{l}/attn/softmax"),
+            out: score_shape.clone(),
+            flops: score_shape.num_elements() as f64 * 1.5 * TRAIN_FLOPS_FACTOR,
+            param_bytes: 0,
+            activation_bytes: Some(score_shape.bytes() / 2 * MEM_SCALE),
+        },
+        &[score],
+    );
+    let ctx = b.compute(
+        OpKind::AttentionContext,
+        format!("l{l}/attn/context"),
+        hid.clone(),
+        0.5 * matmul_flops(BATCH * HEADS * SEQ, SEQ, HIDDEN / HEADS),
+        &[sm, qkv],
+    );
+    let proj = b.layer(
+        OpKind::MatMul,
+        format!("l{l}/attn/out"),
+        hid.clone(),
+        matmul_flops(tok, HIDDEN, HIDDEN),
+        (HIDDEN * HIDDEN) as u64 * 4,
+        &[ctx],
+    );
+    let add1 = b.compute(
+        OpKind::Add,
+        format!("l{l}/add1"),
+        hid.clone(),
+        hid.num_elements() as f64 * TRAIN_FLOPS_FACTOR,
+        &[proj, input],
+    );
+    let ln2 = b.layer(
+        OpKind::LayerNorm,
+        format!("l{l}/ln2"),
+        hid.clone(),
+        hid.num_elements() as f64 * 5.0 * TRAIN_FLOPS_FACTOR,
+        (2 * HIDDEN) as u64 * 4,
+        &[add1],
+    );
+    let ffn_shape = shape![BATCH, SEQ, 4 * HIDDEN];
+    let f1 = b.layer(
+        OpKind::MatMul,
+        format!("l{l}/ffn/fc1"),
+        ffn_shape.clone(),
+        matmul_flops(tok, HIDDEN, 4 * HIDDEN),
+        (HIDDEN * 4 * HIDDEN) as u64 * 4,
+        &[ln2],
+    );
+    let gelu = b.compute(
+        OpKind::Gelu,
+        format!("l{l}/ffn/gelu"),
+        ffn_shape.clone(),
+        ffn_shape.num_elements() as f64 * 8.0 * TRAIN_FLOPS_FACTOR,
+        &[f1],
+    );
+    let f2 = b.layer(
+        OpKind::MatMul,
+        format!("l{l}/ffn/fc2"),
+        hid.clone(),
+        matmul_flops(tok, 4 * HIDDEN, HIDDEN),
+        (4 * HIDDEN * HIDDEN) as u64 * 4,
+        &[gelu],
+    );
+    b.compute(
+        OpKind::Add,
+        format!("l{l}/add2"),
+        hid.clone(),
+        hid.num_elements() as f64 * TRAIN_FLOPS_FACTOR,
+        &[f2, add1],
+    )
+}
+
+/// Build the GPT-2 Small graph.
+pub fn build(profile: Profile) -> CompGraph {
+    let mut b = GraphBuilder::new("gpt2_small");
+    let pre = b.add(
+        NodeSpec {
+            kind: OpKind::Preprocess,
+            name: "input/tokenize".into(),
+            out: shape![BATCH, SEQ],
+            flops: 1e7,
+            param_bytes: 0,
+            activation_bytes: Some(8 << 20),
+        },
+        &[],
+    );
+    let input = b.plumb(OpKind::Input, "input/ids", shape![BATCH, SEQ], &[pre]);
+    let emb = b.layer(
+        OpKind::Embedding,
+        "embeddings/wte+wpe",
+        shape![BATCH, SEQ, HIDDEN],
+        (BATCH * SEQ * 2) as f64 * TRAIN_FLOPS_FACTOR,
+        ((VOCAB + SEQ) * HIDDEN) as u64 * 4,
+        &[input],
+    );
+
+    let mut cur = emb;
+    for l in 0..LAYERS {
+        cur = layer(&mut b, profile, l, cur);
+    }
+    let lnf = b.layer(
+        OpKind::LayerNorm,
+        "head/ln_f",
+        shape![BATCH, SEQ, HIDDEN],
+        (BATCH * SEQ * HIDDEN * 5) as f64 * TRAIN_FLOPS_FACTOR,
+        (2 * HIDDEN) as u64 * 4,
+        &[cur],
+    );
+    let logits_shape = shape![BATCH, SEQ, VOCAB];
+    let logits = b.add(
+        NodeSpec {
+            kind: OpKind::MatMul,
+            name: "head/logits".into(),
+            out: logits_shape.clone(),
+            flops: matmul_flops(BATCH * SEQ, HIDDEN, VOCAB),
+            param_bytes: 0, // tied to wte
+            activation_bytes: Some(logits_shape.bytes() * 2),
+        },
+        &[lnf],
+    );
+    let sm = b.compute(
+        OpKind::Softmax,
+        "head/softmax",
+        logits_shape.clone(),
+        logits_shape.num_elements() as f64 * 3.0,
+        &[logits],
+    );
+    let loss = b.compute(OpKind::Loss, "head/loss", shape![1], logits_shape.num_elements() as f64, &[sm]);
+    b.layer(
+        OpKind::ApplyGradient,
+        "train/apply_gradients",
+        shape![1],
+        1.24e8 * TRAIN_FLOPS_FACTOR,
+        0,
+        &[loss],
+    );
+    let _ = profile;
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_are_gpt2_scale() {
+        // ~6·N·T rule of thumb: 6 × 124M × 8×1024 tokens ≈ 6.1 TFLOP
+        // per step (we model fwd+bwd as 3× forward ≈ same magnitude).
+        let g = build(Profile::Reduced);
+        assert!((3e12..1e13).contains(&g.total_flops()), "{:.3e}", g.total_flops());
+    }
+
+    #[test]
+    fn params_are_gpt2_scale() {
+        // ~124M params ≈ 500 MB.
+        let g = build(Profile::Reduced);
+        let mb = g.total_param_bytes() as f64 / (1 << 20) as f64;
+        assert!((350.0..700.0).contains(&mb), "{mb} MB");
+    }
+
+    #[test]
+    fn needs_model_parallelism() {
+        // The long context makes attention activations large; the
+        // workload must not fit one 12 GB GPU.
+        let g = build(Profile::Reduced);
+        let gb = g.total_memory_bytes() as f64 / (1u64 << 30) as f64;
+        assert!(gb > 12.5, "GPT-2 memory {gb:.1} GB should exceed one P100");
+    }
+
+    #[test]
+    fn twelve_residual_layers() {
+        let g = build(Profile::Reduced);
+        assert_eq!(g.nodes().iter().filter(|n| n.name.ends_with("/add2")).count(), LAYERS);
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,290 @@
+//! Inception-V3 (Szegedy et al., 2016), batch size 1 — benchmark 1.
+//!
+//! "This model is relatively small and can easily fit into a single
+//! GPU" (§4.1); the RL agents must discover that placing (nearly)
+//! everything on one GPU is optimal. The generator follows the real
+//! architecture module-by-module: stem, 3×Inception-A, reduction-A,
+//! 4×Inception-B, reduction-B, 2×Inception-C, head.
+//!
+//! In the [`Profile::Reduced`] profile each conv op folds its batch
+//! norm + ReLU; [`Profile::Paper`] emits them as separate ops
+//! (tripling the op count, matching TF graph granularity).
+
+use crate::builder::GraphBuilder;
+use crate::generators::{Profile, TRAIN_FLOPS_FACTOR};
+use crate::graph::{CompGraph, NodeId, TensorShape};
+use crate::op::OpKind;
+use crate::shape;
+
+const BATCH: usize = 1;
+/// Activation-memory calibration (framework workspace etc.).
+const MEM_SCALE: u64 = 4;
+
+struct Ctx {
+    b: GraphBuilder,
+    profile: Profile,
+    conv_count: usize,
+}
+
+impl Ctx {
+    /// A conv + BN + ReLU block. Returns the output node.
+    fn conv(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        k: (usize, usize),
+        cin: usize,
+        cout: usize,
+        out_hw: (usize, usize),
+    ) -> NodeId {
+        self.conv_count += 1;
+        let out = shape![BATCH, out_hw.0, out_hw.1, cout];
+        let fwd_flops = 2.0 * k.0 as f64 * k.1 as f64 * cin as f64 * cout as f64
+            * out_hw.0 as f64
+            * out_hw.1 as f64
+            * BATCH as f64;
+        let params = (k.0 * k.1 * cin * cout + 2 * cout) as u64 * 4;
+        let act = out.bytes() * MEM_SCALE;
+        let conv = self.b.add(
+            crate::builder::NodeSpec {
+                kind: OpKind::Conv2d,
+                name: format!("{name}/conv"),
+                out: out.clone(),
+                flops: fwd_flops * TRAIN_FLOPS_FACTOR,
+                param_bytes: params,
+                activation_bytes: Some(act),
+            },
+            &[input],
+        );
+        match self.profile {
+            Profile::Reduced => conv,
+            Profile::Paper => {
+                let elem_flops = out.num_elements() as f64 * TRAIN_FLOPS_FACTOR;
+                let bn = self.b.add(
+                    crate::builder::NodeSpec {
+                        kind: OpKind::BatchNorm,
+                        name: format!("{name}/bn"),
+                        out: out.clone(),
+                        flops: 4.0 * elem_flops,
+                        param_bytes: (4 * out.0[3]) as u64 * 4,
+                        activation_bytes: Some(out.bytes()),
+                    },
+                    &[conv],
+                );
+                self.b.compute(OpKind::Relu, format!("{name}/relu"), out, elem_flops, &[bn])
+            }
+        }
+    }
+
+    fn pool(&mut self, kind: OpKind, name: &str, input: NodeId, out: TensorShape) -> NodeId {
+        let flops = out.num_elements() as f64 * 9.0 * TRAIN_FLOPS_FACTOR;
+        self.b.compute(kind, name, out, flops, &[input])
+    }
+
+    fn concat(&mut self, name: &str, inputs: &[NodeId], out: TensorShape) -> NodeId {
+        self.b.compute(OpKind::Concat, name, out, 0.0, inputs)
+    }
+}
+
+/// Inception-A module (35×35 grid): 1×1, 5×5, double-3×3 and pool
+/// branches.
+fn inception_a(c: &mut Ctx, name: &str, input: NodeId, cin: usize, pool_c: usize) -> NodeId {
+    let hw = (35, 35);
+    let b1 = c.conv(&format!("{name}/b1x1"), input, (1, 1), cin, 64, hw);
+    let b5a = c.conv(&format!("{name}/b5x5_1"), input, (1, 1), cin, 48, hw);
+    let b5b = c.conv(&format!("{name}/b5x5_2"), b5a, (5, 5), 48, 64, hw);
+    let b3a = c.conv(&format!("{name}/b3x3_1"), input, (1, 1), cin, 64, hw);
+    let b3b = c.conv(&format!("{name}/b3x3_2"), b3a, (3, 3), 64, 96, hw);
+    let b3c = c.conv(&format!("{name}/b3x3_3"), b3b, (3, 3), 96, 96, hw);
+    let bp = c.pool(OpKind::AvgPool, &format!("{name}/pool"), input, shape![BATCH, 35, 35, cin]);
+    let bpc = c.conv(&format!("{name}/pool_proj"), bp, (1, 1), cin, pool_c, hw);
+    let cout = 64 + 64 + 96 + pool_c;
+    c.concat(&format!("{name}/concat"), &[b1, b5b, b3c, bpc], shape![BATCH, 35, 35, cout])
+}
+
+/// Reduction-A module (35×35 → 17×17).
+fn reduction_a(c: &mut Ctx, name: &str, input: NodeId, cin: usize) -> NodeId {
+    let b3 = c.conv(&format!("{name}/b3x3"), input, (3, 3), cin, 384, (17, 17));
+    let d1 = c.conv(&format!("{name}/d3x3_1"), input, (1, 1), cin, 64, (35, 35));
+    let d2 = c.conv(&format!("{name}/d3x3_2"), d1, (3, 3), 64, 96, (35, 35));
+    let d3 = c.conv(&format!("{name}/d3x3_3"), d2, (3, 3), 96, 96, (17, 17));
+    let p = c.pool(OpKind::MaxPool, &format!("{name}/pool"), input, shape![BATCH, 17, 17, cin]);
+    let cout = 384 + 96 + cin;
+    c.concat(&format!("{name}/concat"), &[b3, d3, p], shape![BATCH, 17, 17, cout])
+}
+
+/// Inception-B module (17×17 grid) with 1×7/7×1 factorized convs.
+fn inception_b(c: &mut Ctx, name: &str, input: NodeId, cin: usize, mid: usize) -> NodeId {
+    let hw = (17, 17);
+    let b1 = c.conv(&format!("{name}/b1x1"), input, (1, 1), cin, 192, hw);
+    let s1 = c.conv(&format!("{name}/b7_1"), input, (1, 1), cin, mid, hw);
+    let s2 = c.conv(&format!("{name}/b7_2"), s1, (1, 7), mid, mid, hw);
+    let s3 = c.conv(&format!("{name}/b7_3"), s2, (7, 1), mid, 192, hw);
+    let d1 = c.conv(&format!("{name}/d7_1"), input, (1, 1), cin, mid, hw);
+    let d2 = c.conv(&format!("{name}/d7_2"), d1, (7, 1), mid, mid, hw);
+    let d3 = c.conv(&format!("{name}/d7_3"), d2, (1, 7), mid, mid, hw);
+    let d4 = c.conv(&format!("{name}/d7_4"), d3, (7, 1), mid, mid, hw);
+    let d5 = c.conv(&format!("{name}/d7_5"), d4, (1, 7), mid, 192, hw);
+    let p = c.pool(OpKind::AvgPool, &format!("{name}/pool"), input, shape![BATCH, 17, 17, cin]);
+    let pc = c.conv(&format!("{name}/pool_proj"), p, (1, 1), cin, 192, hw);
+    c.concat(&format!("{name}/concat"), &[b1, s3, d5, pc], shape![BATCH, 17, 17, 768])
+}
+
+/// Reduction-B module (17×17 → 8×8).
+fn reduction_b(c: &mut Ctx, name: &str, input: NodeId, cin: usize) -> NodeId {
+    let a1 = c.conv(&format!("{name}/a_1"), input, (1, 1), cin, 192, (17, 17));
+    let a2 = c.conv(&format!("{name}/a_2"), a1, (3, 3), 192, 320, (8, 8));
+    let b1 = c.conv(&format!("{name}/b_1"), input, (1, 1), cin, 192, (17, 17));
+    let b2 = c.conv(&format!("{name}/b_2"), b1, (1, 7), 192, 192, (17, 17));
+    let b3 = c.conv(&format!("{name}/b_3"), b2, (7, 1), 192, 192, (17, 17));
+    let b4 = c.conv(&format!("{name}/b_4"), b3, (3, 3), 192, 192, (8, 8));
+    let p = c.pool(OpKind::MaxPool, &format!("{name}/pool"), input, shape![BATCH, 8, 8, cin]);
+    let cout = 320 + 192 + cin;
+    c.concat(&format!("{name}/concat"), &[a2, b4, p], shape![BATCH, 8, 8, cout])
+}
+
+/// Inception-C module (8×8 grid) with split 1×3/3×1 branches.
+fn inception_c(c: &mut Ctx, name: &str, input: NodeId, cin: usize) -> NodeId {
+    let hw = (8, 8);
+    let b1 = c.conv(&format!("{name}/b1x1"), input, (1, 1), cin, 320, hw);
+    let m = c.conv(&format!("{name}/m_1"), input, (1, 1), cin, 384, hw);
+    let m_a = c.conv(&format!("{name}/m_1x3"), m, (1, 3), 384, 384, hw);
+    let m_b = c.conv(&format!("{name}/m_3x1"), m, (3, 1), 384, 384, hw);
+    let d1 = c.conv(&format!("{name}/d_1"), input, (1, 1), cin, 448, hw);
+    let d2 = c.conv(&format!("{name}/d_3x3"), d1, (3, 3), 448, 384, hw);
+    let d_a = c.conv(&format!("{name}/d_1x3"), d2, (1, 3), 384, 384, hw);
+    let d_b = c.conv(&format!("{name}/d_3x1"), d2, (3, 1), 384, 384, hw);
+    let p = c.pool(OpKind::AvgPool, &format!("{name}/pool"), input, shape![BATCH, 8, 8, cin]);
+    let pc = c.conv(&format!("{name}/pool_proj"), p, (1, 1), cin, 192, hw);
+    c.concat(
+        &format!("{name}/concat"),
+        &[b1, m_a, m_b, d_a, d_b, pc],
+        shape![BATCH, 8, 8, 2048],
+    )
+}
+
+/// Build the Inception-V3 graph.
+pub fn build(profile: Profile) -> CompGraph {
+    let mut c = Ctx { b: GraphBuilder::new("inception_v3"), profile, conv_count: 0 };
+
+    // Host-side input pipeline (CPU-only, as in TF-Slim).
+    let pipeline = c.b.add(
+        crate::builder::NodeSpec {
+            kind: OpKind::DataPipeline,
+            name: "input/pipeline".into(),
+            out: shape![BATCH, 299, 299, 3],
+            flops: 5e6,
+            param_bytes: 0,
+            activation_bytes: Some(4 << 20),
+        },
+        &[],
+    );
+    let input = c.b.plumb(OpKind::Input, "input", shape![BATCH, 299, 299, 3], &[pipeline]);
+
+    // Stem.
+    let s1 = c.conv("stem/conv1", input, (3, 3), 3, 32, (149, 149));
+    let s2 = c.conv("stem/conv2", s1, (3, 3), 32, 32, (147, 147));
+    let s3 = c.conv("stem/conv3", s2, (3, 3), 32, 64, (147, 147));
+    let p1 = c.pool(OpKind::MaxPool, "stem/pool1", s3, shape![BATCH, 73, 73, 64]);
+    let s4 = c.conv("stem/conv4", p1, (1, 1), 64, 80, (73, 73));
+    let s5 = c.conv("stem/conv5", s4, (3, 3), 80, 192, (71, 71));
+    let p2 = c.pool(OpKind::MaxPool, "stem/pool2", s5, shape![BATCH, 35, 35, 192]);
+
+    // Inception blocks.
+    let a1 = inception_a(&mut c, "mixed_5b", p2, 192, 32);
+    let a2 = inception_a(&mut c, "mixed_5c", a1, 256, 64);
+    let a3 = inception_a(&mut c, "mixed_5d", a2, 288, 64);
+    let ra = reduction_a(&mut c, "mixed_6a", a3, 288);
+    let b1 = inception_b(&mut c, "mixed_6b", ra, 768, 128);
+    let b2 = inception_b(&mut c, "mixed_6c", b1, 768, 160);
+    let b3 = inception_b(&mut c, "mixed_6d", b2, 768, 160);
+    let b4 = inception_b(&mut c, "mixed_6e", b3, 768, 192);
+    let rb = reduction_b(&mut c, "mixed_7a", b4, 768);
+    let c1 = inception_c(&mut c, "mixed_7b", rb, 1280);
+    let c2 = inception_c(&mut c, "mixed_7c", c1, 2048);
+
+    // Head.
+    let gap = c.pool(OpKind::AvgPool, "head/gap", c2, shape![BATCH, 1, 1, 2048]);
+    let fc = c.b.layer(
+        OpKind::MatMul,
+        "head/fc",
+        shape![BATCH, 1000],
+        2.0 * 2048.0 * 1000.0 * BATCH as f64 * TRAIN_FLOPS_FACTOR,
+        (2048 * 1000 + 1000) as u64 * 4,
+        &[gap],
+    );
+    let sm = c.b.compute(
+        OpKind::Softmax,
+        "head/softmax",
+        shape![BATCH, 1000],
+        (3 * 1000 * BATCH) as f64,
+        &[fc],
+    );
+    let loss = c.b.compute(OpKind::Loss, "head/loss", shape![1], 1000.0, &[sm]);
+    c.b.layer(
+        OpKind::ApplyGradient,
+        "train/apply_gradients",
+        shape![1],
+        2.4e7 * TRAIN_FLOPS_FACTOR, // touch every parameter
+        0,
+        &[loss],
+    );
+
+    c.b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_flops_matches_known_model() {
+        // Inception-V3 forward at batch 1 is ~5.7 GMACs = ~11.4 GFLOP
+        // (2 FLOPs per multiply-accumulate); training (×3) should land
+        // in [25e9, 45e9].
+        let g = build(Profile::Reduced);
+        let total = g.total_flops();
+        assert!(
+            (25e9..45e9).contains(&total),
+            "inception training flops {total:.3e} out of expected range"
+        );
+    }
+
+    #[test]
+    fn parameter_bytes_match_known_model() {
+        // ~23.8M parameters → ~95 MB.
+        let g = build(Profile::Reduced);
+        let p = g.total_param_bytes() as f64 / (1 << 20) as f64;
+        assert!((70.0..130.0).contains(&p), "inception params {p} MB");
+    }
+
+    #[test]
+    fn fits_on_a_single_gpu() {
+        // The whole point of this benchmark: total memory ≪ 12 GB.
+        let g = build(Profile::Reduced);
+        assert!(g.total_memory_bytes() < 6 << 30, "{}", g.total_memory_bytes());
+    }
+
+    #[test]
+    fn has_cpu_only_pipeline_op() {
+        let g = build(Profile::Reduced);
+        assert!(g.nodes().iter().any(|n| !n.gpu_compatible));
+    }
+
+    #[test]
+    fn paper_profile_triples_conv_ops() {
+        let r = build(Profile::Reduced);
+        let p = build(Profile::Paper);
+        assert!(p.num_nodes() > 2 * r.num_nodes());
+        assert!(p.nodes().iter().any(|n| n.kind == OpKind::BatchNorm));
+        assert!(r.nodes().iter().all(|n| n.kind != OpKind::BatchNorm));
+    }
+
+    #[test]
+    fn node_count_in_expected_range() {
+        let r = build(Profile::Reduced);
+        assert!((100..220).contains(&r.num_nodes()), "reduced nodes {}", r.num_nodes());
+        let p = build(Profile::Paper);
+        assert!((280..600).contains(&p.num_nodes()), "paper nodes {}", p.num_nodes());
+    }
+}

@@ -1,0 +1,214 @@
+//! ResNet-50 (He et al., 2016) — an additional vision workload beyond
+//! the paper's benchmark set, for library users and broader
+//! generalization studies. Batch 64.
+
+use crate::builder::NodeSpec;
+use crate::generators::{Profile, TRAIN_FLOPS_FACTOR};
+use crate::graph::{CompGraph, NodeId};
+use crate::op::OpKind;
+use crate::shape;
+use crate::GraphBuilder;
+
+const BATCH: usize = 64;
+const MEM_SCALE: u64 = 2;
+
+struct Ctx {
+    b: GraphBuilder,
+    profile: Profile,
+}
+
+impl Ctx {
+    fn conv(
+        &mut self,
+        name: String,
+        input: NodeId,
+        k: usize,
+        cin: usize,
+        cout: usize,
+        hw: usize,
+    ) -> NodeId {
+        let out = shape![BATCH, hw, hw, cout];
+        let fwd = 2.0 * (k * k * cin * cout) as f64 * (hw * hw) as f64 * BATCH as f64;
+        let conv = self.b.add(
+            NodeSpec {
+                kind: OpKind::Conv2d,
+                name: name.clone(),
+                out: out.clone(),
+                flops: fwd * TRAIN_FLOPS_FACTOR,
+                param_bytes: (k * k * cin * cout + 2 * cout) as u64 * 4,
+                activation_bytes: Some(out.bytes() * MEM_SCALE),
+            },
+            &[input],
+        );
+        if self.profile == Profile::Paper {
+            let elem = out.num_elements() as f64 * TRAIN_FLOPS_FACTOR;
+            let bn = self.b.add(
+                NodeSpec {
+                    kind: OpKind::BatchNorm,
+                    name: format!("{name}/bn"),
+                    out: out.clone(),
+                    flops: 4.0 * elem,
+                    param_bytes: (4 * cout) as u64 * 4,
+                    activation_bytes: Some(out.bytes() / 8),
+                },
+                &[conv],
+            );
+            self.b.add(
+                NodeSpec {
+                    kind: OpKind::Relu,
+                    name: format!("{name}/relu"),
+                    out,
+                    flops: elem,
+                    param_bytes: 0,
+                    activation_bytes: Some(0),
+                },
+                &[bn],
+            )
+        } else {
+            conv
+        }
+    }
+
+    /// Bottleneck block: 1×1 reduce → 3×3 → 1×1 expand (+ projection
+    /// shortcut when the channel count changes).
+    fn bottleneck(
+        &mut self,
+        name: String,
+        input: NodeId,
+        cin: usize,
+        mid: usize,
+        cout: usize,
+        hw: usize,
+        project: bool,
+    ) -> NodeId {
+        let a = self.conv(format!("{name}/conv1"), input, 1, cin, mid, hw);
+        let b = self.conv(format!("{name}/conv2"), a, 3, mid, mid, hw);
+        let c = self.conv(format!("{name}/conv3"), b, 1, mid, cout, hw);
+        let shortcut = if project {
+            self.conv(format!("{name}/proj"), input, 1, cin, cout, hw)
+        } else {
+            input
+        };
+        let out = shape![BATCH, hw, hw, cout];
+        self.b.compute(
+            OpKind::Add,
+            format!("{name}/add"),
+            out.clone(),
+            out.num_elements() as f64 * TRAIN_FLOPS_FACTOR,
+            &[c, shortcut],
+        )
+    }
+}
+
+/// Build the ResNet-50 graph.
+pub fn build(profile: Profile) -> CompGraph {
+    let mut c = Ctx { b: GraphBuilder::new("resnet50"), profile };
+    let pipeline = c.b.add(
+        NodeSpec {
+            kind: OpKind::DataPipeline,
+            name: "input/pipeline".into(),
+            out: shape![BATCH, 224, 224, 3],
+            flops: 1e8,
+            param_bytes: 0,
+            activation_bytes: Some(128 << 20),
+        },
+        &[],
+    );
+    let input = c.b.plumb(OpKind::Input, "input", shape![BATCH, 224, 224, 3], &[pipeline]);
+    let stem = c.conv("stem/conv".into(), input, 7, 3, 64, 112);
+    let pooled = c.b.compute(
+        OpKind::MaxPool,
+        "stem/pool",
+        shape![BATCH, 56, 56, 64],
+        (BATCH * 56 * 56 * 64 * 9) as f64 * TRAIN_FLOPS_FACTOR,
+        &[stem],
+    );
+
+    // (stage, blocks, mid, cout, hw)
+    let stages = [(2usize, 3usize, 64usize, 256usize, 56usize), (3, 4, 128, 512, 28), (4, 6, 256, 1024, 14), (5, 3, 512, 2048, 7)];
+    let mut cur = pooled;
+    let mut cin = 64usize;
+    for (stage, blocks, mid, cout, hw) in stages {
+        for blk in 0..blocks {
+            cur = c.bottleneck(
+                format!("stage{stage}/block{blk}"),
+                cur,
+                cin,
+                mid,
+                cout,
+                hw,
+                blk == 0,
+            );
+            cin = cout;
+        }
+    }
+
+    let gap = c.b.compute(
+        OpKind::AvgPool,
+        "head/gap",
+        shape![BATCH, 1, 1, 2048],
+        (BATCH * 7 * 7 * 2048) as f64 * TRAIN_FLOPS_FACTOR,
+        &[cur],
+    );
+    let fc = c.b.layer(
+        OpKind::MatMul,
+        "head/fc",
+        shape![BATCH, 1000],
+        2.0 * (2048 * 1000 * BATCH) as f64 * TRAIN_FLOPS_FACTOR,
+        (2048 * 1000 + 1000) as u64 * 4,
+        &[gap],
+    );
+    let sm = c.b.compute(OpKind::Softmax, "head/softmax", shape![BATCH, 1000], (3 * BATCH * 1000) as f64, &[fc]);
+    let loss = c.b.compute(OpKind::Loss, "head/loss", shape![1], (BATCH * 1000) as f64, &[sm]);
+    c.b.layer(
+        OpKind::ApplyGradient,
+        "train/apply_gradients",
+        shape![1],
+        2.56e7 * TRAIN_FLOPS_FACTOR,
+        0,
+        &[loss],
+    );
+    c.b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_are_resnet50_scale() {
+        // ~4.1 GMACs = 8.2 GFLOP/image fwd × 64 × 3 ≈ 1.6 TFLOP.
+        let g = build(Profile::Reduced);
+        assert!((1e12..2.5e12).contains(&g.total_flops()), "{:.3e}", g.total_flops());
+    }
+
+    #[test]
+    fn params_are_resnet50_scale() {
+        // ~25.6M params ≈ 102 MB.
+        let g = build(Profile::Reduced);
+        let mb = g.total_param_bytes() as f64 / (1 << 20) as f64;
+        assert!((80.0..140.0).contains(&mb), "{mb} MB");
+    }
+
+    #[test]
+    fn residual_structure() {
+        let g = build(Profile::Reduced);
+        // Every block's add has exactly two inputs.
+        for (i, n) in g.nodes().iter().enumerate() {
+            if n.name.ends_with("/add") {
+                assert_eq!(g.in_degrees()[i], 2, "{}", n.name);
+            }
+        }
+        // 16 bottleneck blocks.
+        assert_eq!(g.nodes().iter().filter(|n| n.name.ends_with("/add")).count(), 16);
+    }
+
+    #[test]
+    fn valid_dag_in_both_profiles() {
+        for p in [Profile::Reduced, Profile::Paper] {
+            let g = build(p);
+            assert!(g.validate().is_ok());
+        }
+        assert!(build(Profile::Paper).num_nodes() > build(Profile::Reduced).num_nodes());
+    }
+}

@@ -1,0 +1,182 @@
+//! Plain sequence-to-sequence model (Sutskever et al., 2014) —
+//! Table-3 training workload, "similar type" to GNMT.
+//!
+//! 2-layer LSTM encoder + 2-layer LSTM decoder, no attention,
+//! batch 128, hidden 512, full-vocab softmax over 10k tokens.
+
+use crate::builder::NodeSpec;
+use crate::generators::{Profile, TRAIN_FLOPS_FACTOR};
+use crate::graph::{CompGraph, NodeId};
+use crate::op::OpKind;
+use crate::shape;
+use crate::GraphBuilder;
+
+const BATCH: usize = 128;
+const SEQ: usize = 32;
+const HIDDEN: usize = 512;
+const VOCAB: usize = 10_000;
+const LAYERS: usize = 2;
+const MEM_SCALE: u64 = 8;
+
+fn chunks(profile: Profile) -> usize {
+    match profile {
+        Profile::Paper => 32,
+        Profile::Reduced => 8,
+    }
+}
+
+/// Build the seq2seq graph.
+pub fn build(profile: Profile) -> CompGraph {
+    let c = chunks(profile);
+    let steps = SEQ / c;
+    let mut b = GraphBuilder::new("seq2seq");
+
+    let pre = b.add(
+        NodeSpec {
+            kind: OpKind::Preprocess,
+            name: "input/tokenize".into(),
+            out: shape![BATCH, SEQ],
+            flops: 5e6,
+            param_bytes: 0,
+            activation_bytes: Some(4 << 20),
+        },
+        &[],
+    );
+    let src = b.plumb(OpKind::Input, "input/src", shape![BATCH, SEQ], &[pre]);
+    let tgt = b.plumb(OpKind::Input, "input/tgt", shape![BATCH, SEQ], &[pre]);
+
+    let emb_params = (VOCAB * HIDDEN) as u64 * 4;
+    let src_emb = b.layer(
+        OpKind::Embedding,
+        "encoder/embedding",
+        shape![BATCH, SEQ, HIDDEN],
+        (BATCH * SEQ) as f64 * TRAIN_FLOPS_FACTOR,
+        emb_params,
+        &[src],
+    );
+    let tgt_emb = b.layer(
+        OpKind::Embedding,
+        "decoder/embedding",
+        shape![BATCH, SEQ, HIDDEN],
+        (BATCH * SEQ) as f64 * TRAIN_FLOPS_FACTOR,
+        emb_params,
+        &[tgt],
+    );
+
+    let chunk_out = shape![BATCH, steps, HIDDEN];
+    let chunk_act = chunk_out.bytes() * MEM_SCALE;
+    let chunk_flops = 2.0 * 4.0 * HIDDEN as f64 * (2 * HIDDEN) as f64
+        * BATCH as f64
+        * steps as f64
+        * TRAIN_FLOPS_FACTOR;
+    let lstm_params = (4 * HIDDEN * 2 * HIDDEN + 4 * HIDDEN) as u64 * 4;
+
+    let run_stack = |b: &mut GraphBuilder, prefix: &str, inp: NodeId, bridge: Option<&[NodeId]>| {
+        let mut last_layer: Vec<NodeId> = Vec::new();
+        for l in 0..LAYERS {
+            let mut row: Vec<NodeId> = Vec::with_capacity(c);
+            for t in 0..c {
+                let mut deps: Vec<NodeId> = Vec::new();
+                if l == 0 {
+                    deps.push(inp);
+                    if t == 0 {
+                        if let Some(states) = bridge {
+                            deps.extend_from_slice(states);
+                        }
+                    }
+                } else {
+                    deps.push(last_layer[t]);
+                }
+                if t > 0 {
+                    deps.push(row[t - 1]);
+                }
+                row.push(b.add(
+                    NodeSpec {
+                        kind: OpKind::LstmCell,
+                        name: format!("{prefix}/l{l}/t{t}"),
+                        out: chunk_out.clone(),
+                        flops: chunk_flops,
+                        param_bytes: if t == 0 { lstm_params } else { 0 },
+                        activation_bytes: Some(chunk_act),
+                    },
+                    &deps,
+                ));
+            }
+            last_layer = row;
+        }
+        last_layer
+    };
+
+    let enc_top = run_stack(&mut b, "encoder", src_emb, None);
+    let final_enc = [*enc_top.last().expect("non-empty encoder")];
+    let dec_top = run_stack(&mut b, "decoder", tgt_emb, Some(&final_enc));
+
+    let mut losses = Vec::with_capacity(c);
+    for (t, &top) in dec_top.iter().enumerate() {
+        let logits = shape![BATCH, steps, VOCAB];
+        let proj = b.add(
+            NodeSpec {
+                kind: OpKind::MatMul,
+                name: format!("softmax/proj/t{t}"),
+                out: logits.clone(),
+                flops: 2.0 * BATCH as f64 * steps as f64 * HIDDEN as f64 * VOCAB as f64
+                    * TRAIN_FLOPS_FACTOR,
+                param_bytes: if t == 0 { (VOCAB * HIDDEN) as u64 * 4 } else { 0 },
+                activation_bytes: Some(logits.bytes() * 3),
+            },
+            &[top],
+        );
+        let sm = b.compute(
+            OpKind::Softmax,
+            format!("softmax/sm/t{t}"),
+            logits.clone(),
+            logits.num_elements() as f64 * 3.0,
+            &[proj],
+        );
+        losses.push(b.compute(
+            OpKind::Loss,
+            format!("loss/t{t}"),
+            shape![1],
+            logits.num_elements() as f64,
+            &[sm],
+        ));
+    }
+    let total = b.compute(OpKind::Add, "loss/total", shape![1], 0.0, &losses);
+    b.layer(
+        OpKind::ApplyGradient,
+        "train/apply_gradients",
+        shape![1],
+        3e7 * TRAIN_FLOPS_FACTOR,
+        0,
+        &[total],
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_two_gpus_not_one_irrelevant_but_valid() {
+        let g = build(Profile::Reduced);
+        let gb = g.total_memory_bytes() as f64 / (1u64 << 30) as f64;
+        assert!(gb < 12.0, "seq2seq memory {gb:.1} GB should fit one GPU");
+    }
+
+    #[test]
+    fn encoder_bridges_to_decoder() {
+        let g = build(Profile::Reduced);
+        let enc_last = g.nodes().iter().position(|n| n.name == "encoder/l1/t7").expect("node");
+        let dec_first = g.nodes().iter().position(|n| n.name == "decoder/l0/t0").expect("node");
+        assert!(
+            g.edges().iter().any(|e| e.src == enc_last && e.dst == dec_first),
+            "no bridge edge"
+        );
+    }
+
+    #[test]
+    fn structure_scales_with_profile() {
+        assert!(build(Profile::Paper).num_nodes() > 2 * build(Profile::Reduced).num_nodes());
+    }
+}

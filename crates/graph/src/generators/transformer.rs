@@ -1,0 +1,204 @@
+//! Small Transformer (Vaswani et al., 2017) — Table-3 training
+//! workload, "similar type" to BERT.
+//!
+//! 6 encoder layers, hidden 512, 8 heads, FFN 2048, seq 128, batch 64.
+
+use crate::builder::NodeSpec;
+use crate::generators::{Profile, TRAIN_FLOPS_FACTOR};
+use crate::graph::{CompGraph, NodeId};
+use crate::op::OpKind;
+use crate::shape;
+use crate::GraphBuilder;
+
+const BATCH: usize = 64;
+const SEQ: usize = 128;
+const HIDDEN: usize = 512;
+const HEADS: usize = 8;
+const FFN: usize = 2048;
+const LAYERS: usize = 6;
+const VOCAB: usize = 16_000;
+const MEM_SCALE: u64 = 2;
+
+fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64 * TRAIN_FLOPS_FACTOR
+}
+
+fn layer(b: &mut GraphBuilder, profile: Profile, l: usize, input: NodeId) -> NodeId {
+    let tok = BATCH * SEQ;
+    let hid = shape![BATCH, SEQ, HIDDEN];
+    let paper = profile == Profile::Paper;
+
+    let qkv = b.layer(
+        OpKind::MatMul,
+        format!("l{l}/attn/qkv"),
+        shape![BATCH, SEQ, 3 * HIDDEN],
+        matmul_flops(tok, HIDDEN, 3 * HIDDEN),
+        (HIDDEN * 3 * HIDDEN) as u64 * 4,
+        &[input],
+    );
+    let score_shape = shape![BATCH, HEADS, SEQ, SEQ];
+    let score = b.compute(
+        OpKind::AttentionScore,
+        format!("l{l}/attn/score"),
+        score_shape.clone(),
+        matmul_flops(BATCH * HEADS * SEQ, HIDDEN / HEADS, SEQ),
+        &[qkv],
+    );
+    let sm = b.compute(
+        OpKind::Softmax,
+        format!("l{l}/attn/softmax"),
+        score_shape.clone(),
+        score_shape.num_elements() as f64 * 3.0 * TRAIN_FLOPS_FACTOR,
+        &[score],
+    );
+    let ctx = b.compute(
+        OpKind::AttentionContext,
+        format!("l{l}/attn/context"),
+        hid.clone(),
+        matmul_flops(BATCH * HEADS * SEQ, SEQ, HIDDEN / HEADS),
+        &[sm, qkv],
+    );
+    let proj = b.layer(
+        OpKind::MatMul,
+        format!("l{l}/attn/out"),
+        hid.clone(),
+        matmul_flops(tok, HIDDEN, HIDDEN),
+        (HIDDEN * HIDDEN) as u64 * 4,
+        &[ctx],
+    );
+    let drop = if paper {
+        b.plumb(OpKind::Dropout, format!("l{l}/attn/dropout"), hid.clone(), &[proj])
+    } else {
+        proj
+    };
+    let ln1 = b.layer(
+        OpKind::LayerNorm,
+        format!("l{l}/ln1"),
+        hid.clone(),
+        hid.num_elements() as f64 * 5.0 * TRAIN_FLOPS_FACTOR,
+        (2 * HIDDEN) as u64 * 4,
+        &[drop, input],
+    );
+    let ffn_shape = shape![BATCH, SEQ, FFN];
+    let f1 = b.layer(
+        OpKind::MatMul,
+        format!("l{l}/ffn/fc1"),
+        ffn_shape.clone(),
+        matmul_flops(tok, HIDDEN, FFN),
+        (HIDDEN * FFN) as u64 * 4,
+        &[ln1],
+    );
+    let act = if paper {
+        let r = b.compute(
+            OpKind::Relu,
+            format!("l{l}/ffn/relu"),
+            ffn_shape.clone(),
+            ffn_shape.num_elements() as f64 * TRAIN_FLOPS_FACTOR,
+            &[f1],
+        );
+        r
+    } else {
+        f1
+    };
+    let f2 = b.layer(
+        OpKind::MatMul,
+        format!("l{l}/ffn/fc2"),
+        hid.clone(),
+        matmul_flops(tok, FFN, HIDDEN),
+        (FFN * HIDDEN) as u64 * 4,
+        &[act],
+    );
+    b.layer(
+        OpKind::LayerNorm,
+        format!("l{l}/ln2"),
+        hid.clone(),
+        hid.num_elements() as f64 * 5.0 * TRAIN_FLOPS_FACTOR,
+        (2 * HIDDEN) as u64 * 4,
+        &[f2, ln1],
+    )
+}
+
+/// Build the small-Transformer graph.
+pub fn build(profile: Profile) -> CompGraph {
+    let mut b = GraphBuilder::new("transformer");
+    let pre = b.add(
+        NodeSpec {
+            kind: OpKind::Preprocess,
+            name: "input/tokenize".into(),
+            out: shape![BATCH, SEQ],
+            flops: 5e6,
+            param_bytes: 0,
+            activation_bytes: Some(4 << 20),
+        },
+        &[],
+    );
+    let input = b.plumb(OpKind::Input, "input/ids", shape![BATCH, SEQ], &[pre]);
+    let emb = b.layer(
+        OpKind::Embedding,
+        "embeddings/lookup",
+        shape![BATCH, SEQ, HIDDEN],
+        (BATCH * SEQ) as f64 * TRAIN_FLOPS_FACTOR,
+        (VOCAB * HIDDEN) as u64 * 4,
+        &[input],
+    );
+
+    let mut cur = emb;
+    for l in 0..LAYERS {
+        cur = layer(&mut b, profile, l, cur);
+    }
+
+    let logits = shape![BATCH, SEQ, VOCAB];
+    let proj = b.add(
+        NodeSpec {
+            kind: OpKind::MatMul,
+            name: "head/proj".into(),
+            out: logits.clone(),
+            flops: matmul_flops(BATCH * SEQ, HIDDEN, VOCAB),
+            param_bytes: 0, // tied embedding
+            activation_bytes: Some(logits.bytes() * 3),
+        },
+        &[cur],
+    );
+    let sm = b.compute(
+        OpKind::Softmax,
+        "head/softmax",
+        logits.clone(),
+        logits.num_elements() as f64 * 3.0,
+        &[proj],
+    );
+    let loss = b.compute(OpKind::Loss, "head/loss", shape![1], logits.num_elements() as f64, &[sm]);
+    b.layer(
+        OpKind::ApplyGradient,
+        "train/apply_gradients",
+        shape![1],
+        4.4e7 * TRAIN_FLOPS_FACTOR,
+        0,
+        &[loss],
+    );
+    let _ = MEM_SCALE;
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasonable_size() {
+        let g = build(Profile::Reduced);
+        assert!(g.total_memory_bytes() < 12 << 30, "should fit a GPU");
+        assert!((1e11..2e12).contains(&g.total_flops()), "{:.3e}", g.total_flops());
+    }
+
+    #[test]
+    fn layers_form_chain_with_residuals() {
+        let g = build(Profile::Reduced);
+        let ln1 = g.nodes().iter().position(|n| n.name == "l2/ln1").expect("node");
+        assert_eq!(g.in_degrees()[ln1], 2);
+    }
+
+    #[test]
+    fn paper_profile_adds_unfused_ops() {
+        assert!(build(Profile::Paper).num_nodes() > build(Profile::Reduced).num_nodes());
+    }
+}

@@ -1,0 +1,155 @@
+//! VGG16 (Simonyan & Zisserman, 2015) — Table-3 training workload.
+//!
+//! A plain 13-conv / 3-fc CNN at batch 32. Structurally "similar type"
+//! to Inception-V3 (vision CNN) for the generalization experiments.
+
+use crate::generators::{Profile, TRAIN_FLOPS_FACTOR};
+use crate::graph::{CompGraph, NodeId};
+use crate::op::OpKind;
+use crate::shape;
+use crate::GraphBuilder;
+
+const BATCH: usize = 32;
+const MEM_SCALE: u64 = 2;
+
+/// VGG16 convolution plan: (name, out_channels, out_hw, convs_in_block).
+const BLOCKS: [(&str, usize, usize, usize); 5] = [
+    ("block1", 64, 224, 2),
+    ("block2", 128, 112, 2),
+    ("block3", 256, 56, 3),
+    ("block4", 512, 28, 3),
+    ("block5", 512, 14, 3),
+];
+
+/// Build the VGG16 graph.
+pub fn build(profile: Profile) -> CompGraph {
+    let mut b = GraphBuilder::new("vgg16");
+    let pipeline = b.add(
+        crate::builder::NodeSpec {
+            kind: OpKind::DataPipeline,
+            name: "input/pipeline".into(),
+            out: shape![BATCH, 224, 224, 3],
+            flops: 5e7,
+            param_bytes: 0,
+            activation_bytes: Some(64 << 20),
+        },
+        &[],
+    );
+    let mut cur: NodeId = b.plumb(OpKind::Input, "input", shape![BATCH, 224, 224, 3], &[pipeline]);
+    let mut cin = 3usize;
+
+    for (bname, cout, hw, n_convs) in BLOCKS {
+        for i in 0..n_convs {
+            let out = shape![BATCH, hw, hw, cout];
+            let fwd =
+                2.0 * 9.0 * cin as f64 * cout as f64 * (hw * hw) as f64 * BATCH as f64;
+            let conv = b.add(
+                crate::builder::NodeSpec {
+                    kind: OpKind::Conv2d,
+                    name: format!("{bname}/conv{}", i + 1),
+                    out: out.clone(),
+                    flops: fwd * TRAIN_FLOPS_FACTOR,
+                    param_bytes: (9 * cin * cout + cout) as u64 * 4,
+                    activation_bytes: Some(out.bytes() * MEM_SCALE),
+                },
+                &[cur],
+            );
+            cur = if profile == Profile::Paper {
+                // In-place ReLU: negligible extra live memory.
+                b.add(
+                    crate::builder::NodeSpec {
+                        kind: OpKind::Relu,
+                        name: format!("{bname}/relu{}", i + 1),
+                        out: out.clone(),
+                        flops: out.num_elements() as f64 * TRAIN_FLOPS_FACTOR,
+                        param_bytes: 0,
+                        activation_bytes: Some(out.bytes() / 8),
+                    },
+                    &[conv],
+                )
+            } else {
+                conv
+            };
+            cin = cout;
+        }
+        let pooled = shape![BATCH, hw / 2, hw / 2, cin];
+        cur = b.compute(
+            OpKind::MaxPool,
+            format!("{bname}/pool"),
+            pooled.clone(),
+            pooled.num_elements() as f64 * 4.0 * TRAIN_FLOPS_FACTOR,
+            &[cur],
+        );
+    }
+
+    let flat = b.plumb(OpKind::Reshape, "flatten", shape![BATCH, 7 * 7 * 512], &[cur]);
+    let mut fc_in = 7 * 7 * 512;
+    let mut fc_cur = flat;
+    for (i, width) in [4096usize, 4096, 1000].into_iter().enumerate() {
+        let out = shape![BATCH, width];
+        fc_cur = b.add(
+            crate::builder::NodeSpec {
+                kind: OpKind::MatMul,
+                name: format!("fc{}", i + 1),
+                out: out.clone(),
+                flops: 2.0 * fc_in as f64 * width as f64 * BATCH as f64 * TRAIN_FLOPS_FACTOR,
+                param_bytes: (fc_in * width + width) as u64 * 4,
+                activation_bytes: Some(out.bytes() * MEM_SCALE),
+            },
+            &[fc_cur],
+        );
+        fc_in = width;
+    }
+    let sm = b.compute(
+        OpKind::Softmax,
+        "softmax",
+        shape![BATCH, 1000],
+        (3 * BATCH * 1000) as f64,
+        &[fc_cur],
+    );
+    let loss = b.compute(OpKind::Loss, "loss", shape![1], (BATCH * 1000) as f64, &[sm]);
+    b.layer(
+        OpKind::ApplyGradient,
+        "train/apply_gradients",
+        shape![1],
+        1.38e8 * TRAIN_FLOPS_FACTOR,
+        0,
+        &[loss],
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_are_vgg_scale() {
+        // VGG16 has ~138M parameters → ~552 MB.
+        let g = build(Profile::Reduced);
+        let mb = g.total_param_bytes() as f64 / (1 << 20) as f64;
+        assert!((450.0..650.0).contains(&mb), "VGG params {mb} MB");
+    }
+
+    #[test]
+    fn flops_are_vgg_scale() {
+        // 15.5 GMACs = 31 GFLOP/image forward × 32 × 3 ≈ 3 TFLOP.
+        let g = build(Profile::Reduced);
+        let t = g.total_flops();
+        assert!((2e12..4e12).contains(&t), "VGG flops {t:.3e}");
+    }
+
+    #[test]
+    fn fits_one_gpu() {
+        let g = build(Profile::Reduced);
+        assert!(g.total_memory_bytes() < 11 << 30);
+    }
+
+    #[test]
+    fn is_a_simple_chain() {
+        // Every node except endpoints has in-degree ≤ 1 out-degree ≤ 1.
+        let g = build(Profile::Reduced);
+        assert!(g.in_degrees().iter().all(|&d| d <= 1));
+        assert!(g.out_degrees().iter().all(|&d| d <= 1));
+    }
+}

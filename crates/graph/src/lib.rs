@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Computational-graph model and workload generators.
+//!
+//! The device-placement agent never sees TensorFlow — it sees a
+//! [`CompGraph`]: a DAG of operation nodes annotated with everything
+//! the RL environment and the encoder need:
+//!
+//! * per-op compute cost (FLOPs, forward+backward folded together),
+//! * persistent parameter bytes and live activation bytes (for the
+//!   memory/OOM model),
+//! * tensor bytes on every edge (for the communication model),
+//! * op kind and output shape (for node features).
+//!
+//! [`generators`] builds faithful op-level graphs for the paper's
+//! benchmarks (Inception-V3, GNMT-4, BERT-Base) and for the Table-3
+//! generalization workloads (VGG16, seq2seq, small Transformer). Each
+//! generator exposes a paper-scale and a reduced profile; the reduced
+//! profile merges fine-grained steps into chunk ops while preserving
+//! total cost, so simulated runtimes stay at paper scale.
+
+pub mod analysis;
+pub mod builder;
+pub mod features;
+pub mod generators;
+pub mod graph;
+pub mod op;
+
+pub use builder::GraphBuilder;
+pub use graph::{CompGraph, Edge, NodeId, OpNode, TensorShape};
+pub use op::OpKind;

@@ -1,0 +1,189 @@
+//! Parameter checkpointing.
+//!
+//! A minimal, versioned binary format (`MARS` magic + format version)
+//! storing every parameter's name, shape and f32 data. Used to persist
+//! the DGI-pre-trained encoder (§4.2 "save the parameters corresponding
+//! to the lowest loss") and trained agents for the generalization
+//! workflow.
+//!
+//! Format, little-endian:
+//! ```text
+//! b"MARS" u32(version=1) u32(num_params)
+//! repeat: u32(name_len) name u32(rows) u32(cols) f32 × rows·cols
+//! ```
+
+use crate::param::ParamStore;
+use mars_tensor::Matrix;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MARS";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Serialize every parameter of `store` to `w`.
+pub fn save(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u32(w, store.len() as u32)?;
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        write_u32(w, name.len() as u32)?;
+        w.write_all(name)?;
+        let m = store.value(id);
+        write_u32(w, m.rows() as u32)?;
+        write_u32(w, m.cols() as u32)?;
+        for &x in m.as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Save to a file path.
+pub fn save_file(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    save(store, &mut f)
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Load parameter values into an existing store.
+///
+/// Parameters are matched **by name**; shapes must agree. Returns the
+/// number of parameters restored. Parameters in the checkpoint that are
+/// absent from the store are ignored (this allows loading an
+/// encoder-only checkpoint into a full agent); store parameters missing
+/// from the checkpoint keep their current values.
+pub fn load(store: &mut ParamStore, r: &mut impl Read) -> io::Result<usize> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a MARS checkpoint"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported checkpoint version {version}")));
+    }
+    let count = read_u32(r)? as usize;
+    let by_name: std::collections::HashMap<String, crate::param::ParamId> =
+        store.ids().map(|id| (store.name(id).to_string(), id)).collect();
+
+    let mut restored = 0;
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        let mut name_buf = vec![0u8; name_len];
+        r.read_exact(&mut name_buf)?;
+        let name =
+            String::from_utf8(name_buf).map_err(|_| bad("invalid UTF-8 parameter name"))?;
+        let rows = read_u32(r)? as usize;
+        let cols = read_u32(r)? as usize;
+        let mut data = vec![0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for x in &mut data {
+            r.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        if let Some(&id) = by_name.get(&name) {
+            let m = Matrix::from_vec(rows, cols, data);
+            if store.value(id).shape() != m.shape() {
+                return Err(bad(format!(
+                    "shape mismatch for '{name}': checkpoint {:?}, store {:?}",
+                    m.shape(),
+                    store.value(id).shape()
+                )));
+            }
+            *store.value_mut(id) = m;
+            restored += 1;
+        }
+    }
+    Ok(restored)
+}
+
+/// Load from a file path.
+pub fn load_file(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<usize> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load(store, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store_with(names: &[&str], seed: u64) -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = ParamStore::new();
+        for n in names {
+            s.add(*n, init::uniform(3, 4, 1.0, &mut rng));
+        }
+        s
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let src = store_with(&["a.w", "a.b", "z"], 1);
+        let mut buf = Vec::new();
+        save(&src, &mut buf).expect("save");
+        let mut dst = store_with(&["a.w", "a.b", "z"], 2);
+        let restored = load(&mut dst, &mut buf.as_slice()).expect("load");
+        assert_eq!(restored, 3);
+        for (i, j) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(i), dst.value(j));
+        }
+    }
+
+    #[test]
+    fn partial_load_by_name() {
+        let src = store_with(&["enc.w"], 3);
+        let mut buf = Vec::new();
+        save(&src, &mut buf).expect("save");
+        // Destination has extra parameters — only enc.w is restored.
+        let mut dst = store_with(&["enc.w", "placer.w"], 4);
+        let before_placer = dst.value(dst.ids().nth(1).expect("id")).clone();
+        let restored = load(&mut dst, &mut buf.as_slice()).expect("load");
+        assert_eq!(restored, 1);
+        assert_eq!(dst.value(dst.ids().next().expect("id")), src.value(src.ids().next().expect("id")));
+        assert_eq!(dst.value(dst.ids().nth(1).expect("id")), &before_placer);
+    }
+
+    #[test]
+    fn rejects_garbage_and_shape_mismatch() {
+        let mut s = store_with(&["w"], 5);
+        assert!(load(&mut s, &mut &b"nope"[..]).is_err());
+
+        // Same name, different shape.
+        let src = store_with(&["w"], 6);
+        let mut buf = Vec::new();
+        save(&src, &mut buf).expect("save");
+        let mut dst = ParamStore::new();
+        dst.add("w", Matrix::zeros(2, 2));
+        assert!(load(&mut dst, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mars-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("ckpt.mars");
+        let src = store_with(&["x", "y"], 7);
+        save_file(&src, &path).expect("save_file");
+        let mut dst = store_with(&["x", "y"], 8);
+        assert_eq!(load_file(&mut dst, &path).expect("load_file"), 2);
+        assert_eq!(src.value(src.ids().next().expect("id")), dst.value(dst.ids().next().expect("id")));
+        let _ = std::fs::remove_file(path);
+    }
+}

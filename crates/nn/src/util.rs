@@ -1,0 +1,41 @@
+//! Small tape-level conveniences shared by the layers.
+
+use mars_autograd::{Tape, Var};
+
+/// Column slice `[start, end)` implemented as
+/// `transpose → slice_rows → transpose`.
+///
+/// The LSTM cell uses this to split the fused `x·W_ih + h·W_hh + b`
+/// pre-activation into its four gates; the extra copies are negligible
+/// next to the matmuls.
+pub fn slice_cols(t: &mut Tape, x: Var, start: usize, end: usize) -> Var {
+    let xt = t.transpose(x);
+    let sl = t.slice_rows(xt, start, end);
+    t.transpose(sl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_autograd::check::check_gradients_default;
+    use mars_tensor::Matrix;
+
+    #[test]
+    fn slice_cols_values() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(2, 4, vec![1., 2., 3., 4., 5., 6., 7., 8.]));
+        let s = slice_cols(&mut t, x, 1, 3);
+        assert_eq!(t.value(s).shape(), (2, 2));
+        assert_eq!(t.value(s).as_slice(), &[2., 3., 6., 7.]);
+    }
+
+    #[test]
+    fn slice_cols_gradient() {
+        let x = Matrix::from_vec(2, 4, vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7, -0.8]);
+        check_gradients_default(&[x], |t, v| {
+            let s = slice_cols(t, v[0], 1, 3);
+            let y = t.tanh(s);
+            t.mean_all(y)
+        });
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-op execution-time model.
+//!
+//! `t(op, dev) = overhead + flops / (peak × util)` with
+//! `util = flops / (flops + knee)` — small ops are launch-bound, large
+//! ops approach the device's effective peak. The knee captures why a
+//! batch-1 Inception step (many ~100 MFLOP kernels) achieves a far
+//! lower fraction of peak than BERT's ~17 GFLOP matmuls, which is
+//! exactly the regime split visible in the paper's absolute numbers.
+
+use crate::device::DeviceSpec;
+use mars_graph::OpNode;
+
+/// Execution time of one op on one device, in seconds.
+pub fn op_time(node: &OpNode, dev: &DeviceSpec) -> f64 {
+    if node.flops <= 0.0 {
+        return dev.op_overhead_s;
+    }
+    let util = node.flops / (node.flops + dev.util_knee_flops);
+    dev.op_overhead_s + node.flops / (dev.peak_gflops * 1e9 * util)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use mars_graph::{OpKind, TensorShape};
+
+    fn node(flops: f64) -> OpNode {
+        OpNode {
+            name: "n".into(),
+            kind: OpKind::MatMul,
+            output_shape: TensorShape(vec![1]),
+            flops,
+            param_bytes: 0,
+            activation_bytes: 0,
+            gpu_compatible: true,
+        }
+    }
+
+    #[test]
+    fn zero_flops_costs_only_overhead() {
+        let d = DeviceSpec::p100(0);
+        assert_eq!(op_time(&node(0.0), &d), d.op_overhead_s);
+    }
+
+    #[test]
+    fn monotone_in_flops() {
+        let d = DeviceSpec::p100(0);
+        let mut last = 0.0;
+        for f in [1e6, 1e7, 1e8, 1e9, 1e10] {
+            let t = op_time(&node(f), &d);
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn large_ops_approach_peak() {
+        let d = DeviceSpec::p100(0);
+        let f = 1e12;
+        let t = op_time(&node(f), &d);
+        let ideal = f / (d.peak_gflops * 1e9);
+        assert!(t < ideal * 1.05, "t={t}, ideal={ideal}");
+    }
+
+    #[test]
+    fn small_ops_are_launch_bound() {
+        let d = DeviceSpec::p100(0);
+        let t = op_time(&node(1e5), &d);
+        // Effective rate is far below peak for tiny kernels.
+        let rate = 1e5 / (t - d.op_overhead_s);
+        assert!(rate < 0.01 * d.peak_gflops * 1e9);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_heavy_ops() {
+        let g = DeviceSpec::p100(0);
+        let c = DeviceSpec::xeon();
+        assert!(op_time(&node(1e10), &g) < op_time(&node(1e10), &c) / 5.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Device and interconnect models.
+//!
+//! The default [`Cluster`] mirrors the paper's testbed: one CPU domain
+//! (2× Intel E5-2650 v4, 125 GB RAM) and four NVIDIA P100 GPUs (12 GB
+//! each) connected over PCIe. Throughput constants are *effective
+//! training* rates calibrated so that the benchmark workloads land at
+//! the paper's absolute per-step times (see DESIGN.md §2).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a device within a [`Cluster`].
+pub type DeviceId = usize;
+
+/// Device class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Host CPU domain.
+    Cpu,
+    /// A discrete GPU.
+    Gpu,
+}
+
+/// One computational device.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Display name (`"/gpu:0"`).
+    pub name: String,
+    /// Device class.
+    pub kind: DeviceKind,
+    /// Effective peak throughput in GFLOP/s for large ops.
+    pub peak_gflops: f64,
+    /// FLOP count at which an op reaches 50% of peak utilization
+    /// (models kernel-launch inefficiency for small ops).
+    pub util_knee_flops: f64,
+    /// Fixed per-op overhead in seconds (kernel launch / op dispatch).
+    pub op_overhead_s: f64,
+    /// Memory capacity in bytes.
+    pub memory_bytes: u64,
+}
+
+impl DeviceSpec {
+    /// The paper's P100 (12 GB), with effective-training throughput.
+    pub fn p100(index: usize) -> Self {
+        DeviceSpec {
+            name: format!("/gpu:{index}"),
+            kind: DeviceKind::Gpu,
+            peak_gflops: 600.0,
+            util_knee_flops: 2e8,
+            op_overhead_s: 20e-6,
+            memory_bytes: 12 << 30,
+        }
+    }
+
+    /// The paper's dual-Xeon CPU domain (125 GB).
+    pub fn xeon() -> Self {
+        DeviceSpec {
+            name: "/cpu:0".into(),
+            kind: DeviceKind::Cpu,
+            peak_gflops: 50.0,
+            util_knee_flops: 5e7,
+            op_overhead_s: 60e-6,
+            memory_bytes: 125 << 30,
+        }
+    }
+}
+
+/// A directed interconnect between two devices.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+    /// Per-transfer latency in seconds.
+    pub latency_s: f64,
+}
+
+impl LinkSpec {
+    /// PCIe 3.0 x16 with realistic contention (~6 GB/s sustained).
+    pub fn pcie() -> Self {
+        LinkSpec { bandwidth_bps: 6e9, latency_s: 20e-6 }
+    }
+
+    /// Time to move `bytes` across this link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+}
+
+/// A set of devices plus the pairwise interconnect.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Cluster {
+    devices: Vec<DeviceSpec>,
+    /// Uniform link used between every distinct device pair (fallback
+    /// when no per-pair override exists).
+    link: LinkSpec,
+    /// Optional per-pair overrides, keyed `from * num_devices + to`.
+    #[serde(default)]
+    link_overrides: Vec<Option<LinkSpec>>,
+}
+
+impl Cluster {
+    /// Build from explicit parts.
+    pub fn new(devices: Vec<DeviceSpec>, link: LinkSpec) -> Self {
+        assert!(!devices.is_empty(), "cluster needs at least one device");
+        Cluster { devices, link, link_overrides: Vec::new() }
+    }
+
+    /// Override the link between a specific ordered device pair (both
+    /// directions must be set separately; use twice for symmetry).
+    pub fn set_link(&mut self, from: DeviceId, to: DeviceId, link: LinkSpec) {
+        let nd = self.devices.len();
+        assert!(from < nd && to < nd && from != to, "invalid link pair {from}->{to}");
+        if self.link_overrides.is_empty() {
+            self.link_overrides = vec![None; nd * nd];
+        }
+        self.link_overrides[from * nd + to] = Some(link);
+    }
+
+    /// The paper's testbed: 1 CPU domain + 4 P100 GPUs over PCIe.
+    /// Device 0 is the CPU.
+    pub fn p100_quad() -> Self {
+        let mut devices = vec![DeviceSpec::xeon()];
+        for i in 0..4 {
+            devices.push(DeviceSpec::p100(i));
+        }
+        Cluster::new(devices, LinkSpec::pcie())
+    }
+
+    /// A heterogeneous testbed (the paper's intro motivates placement
+    /// across "a heterogeneous mix of computational devices"): CPU +
+    /// 2 fast GPUs joined by an NVLink-class link + 2 older, slower
+    /// GPUs (half throughput, same 12 GB) on PCIe.
+    pub fn heterogeneous() -> Self {
+        let mut devices = vec![DeviceSpec::xeon()];
+        for i in 0..2 {
+            devices.push(DeviceSpec::p100(i));
+        }
+        for i in 2..4 {
+            let mut d = DeviceSpec::p100(i);
+            d.name = format!("/gpu:{i} (old)");
+            d.peak_gflops /= 2.0;
+            d.util_knee_flops *= 2.0;
+            devices.push(d);
+        }
+        let mut c = Cluster::new(devices, LinkSpec::pcie());
+        // NVLink between the two fast GPUs (devices 1 and 2).
+        let nvlink = LinkSpec { bandwidth_bps: 40e9, latency_s: 5e-6 };
+        c.set_link(1, 2, nvlink);
+        c.set_link(2, 1, nvlink);
+        c
+    }
+
+    /// Number of devices (the placer's action-space size).
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device accessor.
+    pub fn device(&self, id: DeviceId) -> &DeviceSpec {
+        &self.devices[id]
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// Ids of GPU devices.
+    pub fn gpu_ids(&self) -> Vec<DeviceId> {
+        (0..self.devices.len()).filter(|&i| self.devices[i].kind == DeviceKind::Gpu).collect()
+    }
+
+    /// Id of the (first) CPU device.
+    pub fn cpu_id(&self) -> DeviceId {
+        (0..self.devices.len())
+            .find(|&i| self.devices[i].kind == DeviceKind::Cpu)
+            .expect("cluster has a CPU")
+    }
+
+    /// The interconnect between two distinct devices.
+    pub fn link(&self, from: DeviceId, to: DeviceId) -> LinkSpec {
+        if !self.link_overrides.is_empty() {
+            if let Some(l) = self.link_overrides[from * self.devices.len() + to] {
+                return l;
+            }
+        }
+        self.link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_layout() {
+        let c = Cluster::p100_quad();
+        assert_eq!(c.num_devices(), 5);
+        assert_eq!(c.cpu_id(), 0);
+        assert_eq!(c.gpu_ids(), vec![1, 2, 3, 4]);
+        assert_eq!(c.device(1).memory_bytes, 12 << 30);
+        assert!(c.device(0).memory_bytes > c.device(1).memory_bytes);
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes() {
+        let l = LinkSpec::pcie();
+        assert!(l.transfer_time(1 << 20) < l.transfer_time(1 << 24));
+        assert!(l.transfer_time(0) == l.latency_s);
+    }
+
+    #[test]
+    fn gpu_much_faster_than_cpu() {
+        let c = Cluster::p100_quad();
+        assert!(c.device(1).peak_gflops > 5.0 * c.device(0).peak_gflops);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_structure() {
+        let c = Cluster::heterogeneous();
+        assert_eq!(c.num_devices(), 5);
+        // Fast pair vs old pair.
+        assert!(c.device(1).peak_gflops > 1.9 * c.device(3).peak_gflops);
+        // NVLink only between the fast pair.
+        let nv = c.link(1, 2);
+        let pcie = c.link(1, 3);
+        assert!(nv.bandwidth_bps > 5.0 * pcie.bandwidth_bps);
+        assert!(nv.latency_s < pcie.latency_s);
+        assert_eq!(c.link(3, 4).bandwidth_bps, pcie.bandwidth_bps);
+    }
+
+    #[test]
+    fn set_link_is_directional() {
+        let mut c = Cluster::p100_quad();
+        let fast = LinkSpec { bandwidth_bps: 50e9, latency_s: 1e-6 };
+        c.set_link(1, 2, fast);
+        assert_eq!(c.link(1, 2).bandwidth_bps, 50e9);
+        // Reverse direction unchanged.
+        assert_eq!(c.link(2, 1).bandwidth_bps, LinkSpec::pcie().bandwidth_bps);
+    }
+}

@@ -1,0 +1,249 @@
+//! The measurement protocol around the engine — the `Environment` the
+//! RL agent interacts with.
+//!
+//! §4.2: "we only run the benchmark workload for 15 steps in each
+//! placement ... we discard the first 5 steps and average the per-step
+//! time of the last 10 steps." §3.4: invalid (OOM) placements receive
+//! an extremely long reading (100 s); evaluations beyond a per-workload
+//! cutoff are aborted and marked *bad*.
+
+use crate::device::Cluster;
+use crate::engine::{simulate, StepReport};
+use crate::memory::{check_memory, OomError};
+use crate::placement::Placement;
+use mars_graph::CompGraph;
+use mars_tensor::init::randn_scalar;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outcome of evaluating one placement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalOutcome {
+    /// Ran to completion; the averaged per-step time in seconds.
+    Valid {
+        /// Measured per-step time (mean of the 10 kept steps).
+        per_step_s: f64,
+    },
+    /// Ran but exceeded the cutoff; evaluation was aborted.
+    Bad {
+        /// The cutoff that was hit, used as the reward reading.
+        cutoff_s: f64,
+    },
+    /// Out of memory — could not run at all.
+    Invalid {
+        /// Which device overflowed.
+        oom: OomError,
+    },
+}
+
+impl EvalOutcome {
+    /// The per-step reading fed to the reward (§3.4): the measurement
+    /// for valid placements, the cutoff for bad ones, and the 100 s
+    /// penalty for invalid ones.
+    pub fn reading_s(&self, invalid_penalty_s: f64) -> f64 {
+        match self {
+            EvalOutcome::Valid { per_step_s } => *per_step_s,
+            EvalOutcome::Bad { cutoff_s } => *cutoff_s,
+            EvalOutcome::Invalid { .. } => invalid_penalty_s,
+        }
+    }
+
+    /// True for [`EvalOutcome::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, EvalOutcome::Valid { .. })
+    }
+}
+
+/// An RL environment measuring placements.
+pub trait Environment {
+    /// Evaluate a placement and return the outcome.
+    fn evaluate(&mut self, placement: &Placement) -> EvalOutcome;
+    /// The workload graph.
+    fn graph(&self) -> &CompGraph;
+    /// The device cluster.
+    fn cluster(&self) -> &Cluster;
+    /// Seconds of (simulated) machine time spent on evaluations so far
+    /// — the dominant cost in Fig. 8's agent-training-time comparison.
+    fn machine_seconds(&self) -> f64;
+    /// Number of evaluations performed.
+    fn evaluations(&self) -> usize;
+}
+
+/// Simulator-backed environment with the paper's measurement protocol.
+///
+/// ```
+/// use mars_graph::generators::{Profile, Workload};
+/// use mars_sim::{Cluster, Environment, EvalOutcome, Placement, SimEnv};
+///
+/// let graph = Workload::InceptionV3.build(Profile::Reduced);
+/// let mut env = SimEnv::new(graph.clone(), Cluster::p100_quad(), 42);
+/// let placement = Placement::all_on(&graph, 1); // everything on GPU 0
+/// match env.evaluate(&placement) {
+///     EvalOutcome::Valid { per_step_s } => assert!(per_step_s > 0.0),
+///     other => panic!("inception fits one GPU: {other:?}"),
+/// }
+/// assert_eq!(env.evaluations(), 1);
+/// ```
+pub struct SimEnv {
+    graph: CompGraph,
+    cluster: Cluster,
+    rng: StdRng,
+    /// Per-step times beyond this are aborted and marked bad.
+    pub bad_cutoff_s: f64,
+    /// Reading assigned to invalid placements.
+    pub invalid_penalty_s: f64,
+    /// Relative measurement-noise standard deviation.
+    pub noise_sigma: f64,
+    /// Steps run per evaluation (warm-up included).
+    pub steps_per_eval: usize,
+    /// Warm-up steps discarded.
+    pub warmup_steps: usize,
+    machine_seconds: f64,
+    evaluations: usize,
+}
+
+impl SimEnv {
+    /// Environment with the paper's defaults (15 steps, 5 warm-up,
+    /// 100 s invalid penalty, 20 s bad cutoff).
+    pub fn new(graph: CompGraph, cluster: Cluster, seed: u64) -> Self {
+        SimEnv {
+            graph,
+            cluster,
+            rng: StdRng::seed_from_u64(seed),
+            bad_cutoff_s: 20.0,
+            invalid_penalty_s: 100.0,
+            noise_sigma: 0.03,
+            steps_per_eval: 15,
+            warmup_steps: 5,
+            machine_seconds: 0.0,
+            evaluations: 0,
+        }
+    }
+
+    /// Noise-free single-step simulation (for analysis and tests).
+    pub fn true_step_time(&self, placement: &Placement) -> Result<StepReport, OomError> {
+        let mut p = placement.clone();
+        p.enforce_compatibility(&self.graph, &self.cluster);
+        check_memory(&self.graph, &p, &self.cluster)?;
+        Ok(simulate(&self.graph, &p, &self.cluster))
+    }
+}
+
+impl Environment for SimEnv {
+    fn evaluate(&mut self, placement: &Placement) -> EvalOutcome {
+        self.evaluations += 1;
+        let mut p = placement.clone();
+        p.enforce_compatibility(&self.graph, &self.cluster);
+        let report = match check_memory(&self.graph, &p, &self.cluster) {
+            Err(oom) => {
+                // Startup + failure still costs machine time.
+                self.machine_seconds += 5.0;
+                return EvalOutcome::Invalid { oom };
+            }
+            Ok(_) => simulate(&self.graph, &p, &self.cluster),
+        };
+        let base = report.makespan_s;
+
+        // Bad placements: abort as soon as one step exceeds the cutoff.
+        if base > self.bad_cutoff_s {
+            self.machine_seconds += base; // one aborted step
+            return EvalOutcome::Bad { cutoff_s: self.bad_cutoff_s };
+        }
+
+        // Warm-up steps take longer (graph rewrites, allocator growth).
+        let warm_factor = 2.0;
+        let mut kept = Vec::with_capacity(self.steps_per_eval - self.warmup_steps);
+        for step in 0..self.steps_per_eval {
+            let noise = 1.0 + self.noise_sigma * randn_scalar(&mut self.rng) as f64;
+            let t = base * noise.clamp(0.5, 1.5);
+            if step < self.warmup_steps {
+                self.machine_seconds += t * warm_factor;
+            } else {
+                self.machine_seconds += t;
+                kept.push(t);
+            }
+        }
+        let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+        EvalOutcome::Valid { per_step_s: mean }
+    }
+
+    fn graph(&self) -> &CompGraph {
+        &self.graph
+    }
+
+    fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn machine_seconds(&self) -> f64 {
+        self.machine_seconds
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_graph::generators::{Profile, Workload};
+
+    fn env(w: Workload, seed: u64) -> SimEnv {
+        SimEnv::new(w.build(Profile::Reduced), Cluster::p100_quad(), seed)
+    }
+
+    #[test]
+    fn valid_measurement_close_to_truth() {
+        let mut e = env(Workload::InceptionV3, 7);
+        let p = Placement::all_on(e.graph(), 1);
+        let truth = e.true_step_time(&p).expect("fits").makespan_s;
+        match e.evaluate(&p) {
+            EvalOutcome::Valid { per_step_s } => {
+                assert!((per_step_s - truth).abs() / truth < 0.05, "{per_step_s} vs {truth}");
+            }
+            other => panic!("expected valid, got {other:?}"),
+        }
+        assert_eq!(e.evaluations(), 1);
+        assert!(e.machine_seconds() > truth * 15.0);
+    }
+
+    #[test]
+    fn oom_yields_invalid_and_penalty_reading() {
+        let mut e = env(Workload::Gnmt4, 7);
+        let p = Placement::all_on(e.graph(), 1);
+        let out = e.evaluate(&p);
+        assert!(matches!(out, EvalOutcome::Invalid { .. }));
+        assert_eq!(out.reading_s(100.0), 100.0);
+    }
+
+    #[test]
+    fn cpu_only_bert_is_bad() {
+        // BERT entirely on the CPU is far beyond the 20 s cutoff.
+        let mut e = env(Workload::BertBase, 7);
+        let cpu = e.cluster().cpu_id();
+        let p = Placement::all_on(e.graph(), cpu);
+        let out = e.evaluate(&p);
+        assert!(matches!(out, EvalOutcome::Bad { .. }), "{out:?}");
+    }
+
+    #[test]
+    fn noise_is_seed_deterministic() {
+        let p = Placement::all_on(env(Workload::InceptionV3, 1).graph(), 1);
+        let a = env(Workload::InceptionV3, 42).evaluate(&p);
+        let b = env(Workload::InceptionV3, 42).evaluate(&p);
+        assert_eq!(a, b);
+        let c = env(Workload::InceptionV3, 43).evaluate(&p);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn machine_time_accumulates_per_eval() {
+        let mut e = env(Workload::InceptionV3, 5);
+        let p = Placement::all_on(e.graph(), 1);
+        e.evaluate(&p);
+        let after_one = e.machine_seconds();
+        e.evaluate(&p);
+        assert!(e.machine_seconds() > 1.9 * after_one);
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-device memory accounting and out-of-memory detection.
+//!
+//! Training keeps all forward activations alive for the backward pass,
+//! so a device's footprint is the sum of parameter bytes plus live
+//! activation bytes of every op placed on it. Exceeding the capacity is
+//! an *invalid placement* — §3.4: "The invalid placements usually
+//! exceed the memory constrain of devices (out-of-memory) and cannot be
+//! run."
+
+use crate::device::{Cluster, DeviceId};
+use crate::placement::Placement;
+use mars_graph::CompGraph;
+
+/// Out-of-memory error for one device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OomError {
+    /// The overflowing device.
+    pub device: DeviceId,
+    /// Bytes required by the placement.
+    pub required_bytes: u64,
+    /// The device's capacity.
+    pub capacity_bytes: u64,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device {} out of memory: needs {:.2} GB, has {:.2} GB",
+            self.device,
+            self.required_bytes as f64 / (1u64 << 30) as f64,
+            self.capacity_bytes as f64 / (1u64 << 30) as f64
+        )
+    }
+}
+
+/// Memory usage per device for a placement.
+#[derive(Clone, Debug)]
+pub struct MemoryReport {
+    /// Bytes used per device (indexed by [`DeviceId`]).
+    pub used_bytes: Vec<u64>,
+}
+
+impl MemoryReport {
+    /// Peak usage fraction across devices.
+    pub fn peak_utilization(&self, cluster: &Cluster) -> f64 {
+        self.used_bytes
+            .iter()
+            .enumerate()
+            .map(|(d, &u)| u as f64 / cluster.device(d).memory_bytes as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Compute per-device usage and check capacities.
+pub fn check_memory(
+    graph: &CompGraph,
+    placement: &Placement,
+    cluster: &Cluster,
+) -> Result<MemoryReport, OomError> {
+    assert_eq!(placement.len(), graph.num_nodes(), "placement length mismatch");
+    let mut used = vec![0u64; cluster.num_devices()];
+    for (i, node) in graph.nodes().iter().enumerate() {
+        used[placement.device(i)] += node.param_bytes + node.activation_bytes;
+    }
+    for (d, &u) in used.iter().enumerate() {
+        let cap = cluster.device(d).memory_bytes;
+        if u > cap {
+            return Err(OomError { device: d, required_bytes: u, capacity_bytes: cap });
+        }
+    }
+    Ok(MemoryReport { used_bytes: used })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_graph::generators::{Profile, Workload};
+
+    #[test]
+    fn inception_fits_one_gpu() {
+        let g = Workload::InceptionV3.build(Profile::Reduced);
+        let c = Cluster::p100_quad();
+        let mut p = Placement::all_on(&g, 1);
+        p.enforce_compatibility(&g, &c);
+        assert!(check_memory(&g, &p, &c).is_ok());
+    }
+
+    #[test]
+    fn gnmt_ooms_one_gpu_but_fits_two() {
+        let g = Workload::Gnmt4.build(Profile::Reduced);
+        let c = Cluster::p100_quad();
+        let mut one = Placement::all_on(&g, 1);
+        one.enforce_compatibility(&g, &c);
+        let err = check_memory(&g, &one, &c).expect_err("must OOM");
+        assert_eq!(err.device, 1);
+
+        let mut two = Placement::round_robin(&g, &[1, 2]);
+        two.enforce_compatibility(&g, &c);
+        assert!(check_memory(&g, &two, &c).is_ok(), "GNMT must fit two GPUs");
+    }
+
+    #[test]
+    fn bert_needs_at_least_three_gpus() {
+        let g = Workload::BertBase.build(Profile::Reduced);
+        let c = Cluster::p100_quad();
+        let mut two = Placement::round_robin(&g, &[1, 2]);
+        two.enforce_compatibility(&g, &c);
+        assert!(check_memory(&g, &two, &c).is_err(), "BERT (~24 GB) must not fit 2×12 GB");
+
+        let mut three = Placement::round_robin(&g, &[1, 2, 3]);
+        three.enforce_compatibility(&g, &c);
+        assert!(check_memory(&g, &three, &c).is_ok(), "BERT must fit three GPUs round-robin");
+    }
+
+    #[test]
+    fn everything_fits_cpu() {
+        for w in [Workload::InceptionV3, Workload::Gnmt4, Workload::BertBase] {
+            let g = w.build(Profile::Reduced);
+            let c = Cluster::p100_quad();
+            let p = Placement::all_on(&g, c.cpu_id());
+            assert!(check_memory(&g, &p, &c).is_ok(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn report_totals_match_graph() {
+        let g = Workload::InceptionV3.build(Profile::Reduced);
+        let c = Cluster::p100_quad();
+        let p = Placement::all_on(&g, 0);
+        let rep = check_memory(&g, &p, &c).expect("fits cpu");
+        assert_eq!(rep.used_bytes[0], g.total_memory_bytes());
+        assert!(rep.peak_utilization(&c) > 0.0);
+    }
+}

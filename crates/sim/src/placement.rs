@@ -1,0 +1,154 @@
+//! Placement: the action of the RL agent.
+
+use crate::device::{Cluster, DeviceId};
+use mars_graph::CompGraph;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An assignment of every op to a device.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Placement(pub Vec<DeviceId>);
+
+impl Placement {
+    /// All ops on one device.
+    pub fn all_on(graph: &CompGraph, device: DeviceId) -> Self {
+        Placement(vec![device; graph.num_nodes()])
+    }
+
+    /// Round-robin over the given devices in node order.
+    pub fn round_robin(graph: &CompGraph, devices: &[DeviceId]) -> Self {
+        assert!(!devices.is_empty());
+        Placement((0..graph.num_nodes()).map(|i| devices[i % devices.len()]).collect())
+    }
+
+    /// Contiguous blocks of roughly equal node count over the given
+    /// devices (a crude model-parallel split).
+    pub fn blocked(graph: &CompGraph, devices: &[DeviceId]) -> Self {
+        assert!(!devices.is_empty());
+        let n = graph.num_nodes();
+        let per = n.div_ceil(devices.len());
+        Placement((0..n).map(|i| devices[(i / per).min(devices.len() - 1)]).collect())
+    }
+
+    /// Uniformly random placement over all cluster devices.
+    pub fn random(graph: &CompGraph, cluster: &Cluster, rng: &mut impl Rng) -> Self {
+        Placement(
+            (0..graph.num_nodes()).map(|_| rng.gen_range(0..cluster.num_devices())).collect(),
+        )
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Device of op `i`.
+    pub fn device(&self, i: usize) -> DeviceId {
+        self.0[i]
+    }
+
+    /// Number of edges whose endpoints land on different devices.
+    pub fn cut_edges(&self, graph: &CompGraph) -> usize {
+        graph.edges().iter().filter(|e| self.0[e.src] != self.0[e.dst]).count()
+    }
+
+    /// Bytes crossing device boundaries.
+    pub fn cut_bytes(&self, graph: &CompGraph) -> u64 {
+        graph
+            .edges()
+            .iter()
+            .filter(|e| self.0[e.src] != self.0[e.dst])
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Distinct devices actually used.
+    pub fn devices_used(&self) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self.0.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Rewrite CPU-incompatible assignments: ops without a GPU kernel
+    /// are forced onto the CPU (TensorFlow's "soft placement"). Returns
+    /// the number of ops moved.
+    pub fn enforce_compatibility(&mut self, graph: &CompGraph, cluster: &Cluster) -> usize {
+        let cpu = cluster.cpu_id();
+        let mut moved = 0;
+        for (i, node) in graph.nodes().iter().enumerate() {
+            if !node.gpu_compatible && self.0[i] != cpu {
+                self.0[i] = cpu;
+                moved += 1;
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_graph::generators::{Profile, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> CompGraph {
+        Workload::InceptionV3.build(Profile::Reduced)
+    }
+
+    #[test]
+    fn all_on_single_device() {
+        let g = graph();
+        let p = Placement::all_on(&g, 1);
+        assert_eq!(p.len(), g.num_nodes());
+        assert_eq!(p.cut_edges(&g), 0);
+        assert_eq!(p.devices_used(), vec![1]);
+    }
+
+    #[test]
+    fn round_robin_cuts_most_edges() {
+        let g = graph();
+        let p = Placement::round_robin(&g, &[1, 2, 3, 4]);
+        assert!(p.cut_edges(&g) > g.num_edges() / 2);
+        assert_eq!(p.devices_used(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn blocked_cuts_few_edges() {
+        let g = graph();
+        let p = Placement::blocked(&g, &[1, 2]);
+        assert!(p.cut_edges(&g) < g.num_edges() / 4, "{}", p.cut_edges(&g));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let g = graph();
+        let c = Cluster::p100_quad();
+        let a = Placement::random(&g, &c, &mut StdRng::seed_from_u64(1));
+        let b = Placement::random(&g, &c, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compatibility_moves_cpu_only_ops() {
+        let g = graph();
+        let c = Cluster::p100_quad();
+        let mut p = Placement::all_on(&g, 1);
+        let moved = p.enforce_compatibility(&g, &c);
+        assert!(moved >= 1, "inception has a CPU-only pipeline op");
+        let idx = g.nodes().iter().position(|n| !n.gpu_compatible).expect("cpu-only");
+        assert_eq!(p.device(idx), c.cpu_id());
+    }
+
+    #[test]
+    fn cut_bytes_zero_on_colocated() {
+        let g = graph();
+        assert_eq!(Placement::all_on(&g, 2).cut_bytes(&g), 0);
+    }
+}

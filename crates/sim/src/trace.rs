@@ -1,0 +1,327 @@
+//! Execution traces: per-device timelines of one simulated step.
+//!
+//! [`simulate_traced`] runs the same list-scheduling engine as
+//! [`crate::simulate`] but records every op execution and tensor
+//! transfer, enabling Gantt-style inspection of a placement — which
+//! devices idle, where communication serializes, which op is on the
+//! critical path.
+
+use crate::cost::op_time;
+use crate::device::Cluster;
+use crate::engine::StepReport;
+use crate::placement::Placement;
+use mars_graph::{CompGraph, NodeId};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One op execution on a device.
+#[derive(Clone, Debug, Serialize)]
+pub struct OpSpan {
+    /// Executed op.
+    pub node: NodeId,
+    /// Device it ran on.
+    pub device: usize,
+    /// Start time (s).
+    pub start_s: f64,
+    /// End time (s).
+    pub end_s: f64,
+}
+
+/// One tensor transfer between devices.
+#[derive(Clone, Debug, Serialize)]
+pub struct TransferSpan {
+    /// Edge index in the graph.
+    pub edge: usize,
+    /// Source device.
+    pub from: usize,
+    /// Destination device.
+    pub to: usize,
+    /// Start time (s).
+    pub start_s: f64,
+    /// End time (s).
+    pub end_s: f64,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+/// A full step trace.
+#[derive(Clone, Debug, Serialize)]
+pub struct StepTrace {
+    /// Makespan and utilization summary.
+    pub makespan_s: f64,
+    /// All op executions, in start order.
+    pub ops: Vec<OpSpan>,
+    /// All transfers, in start order.
+    pub transfers: Vec<TransferSpan>,
+}
+
+impl StepTrace {
+    /// Idle fraction of a device within the makespan.
+    pub fn idle_fraction(&self, device: usize) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .ops
+            .iter()
+            .filter(|o| o.device == device)
+            .map(|o| o.end_s - o.start_s)
+            .sum();
+        1.0 - busy / self.makespan_s
+    }
+
+    /// Ops on the tail of the critical path: the chain of spans ending
+    /// at the makespan, linked by exact finish-to-start adjacency on
+    /// the same device or through a transfer.
+    pub fn last_finisher(&self) -> Option<&OpSpan> {
+        self.ops.iter().max_by(|a, b| a.end_s.total_cmp(&b.end_s))
+    }
+
+    /// Render a coarse ASCII Gantt chart (`width` columns).
+    pub fn ascii_gantt(&self, num_devices: usize, width: usize) -> String {
+        let mut out = String::new();
+        let scale = width as f64 / self.makespan_s.max(1e-12);
+        for d in 0..num_devices {
+            let mut row = vec![' '; width];
+            for op in self.ops.iter().filter(|o| o.device == d) {
+                let s = (op.start_s * scale) as usize;
+                let e = ((op.end_s * scale) as usize).min(width.saturating_sub(1));
+                for cell in row.iter_mut().take(e + 1).skip(s.min(width - 1)) {
+                    *cell = '#';
+                }
+            }
+            out.push_str(&format!("dev{d} |{}|\n", row.iter().collect::<String>()));
+        }
+        out
+    }
+}
+
+/// Like [`crate::simulate`], but records spans. The returned
+/// [`StepReport`] is identical to the untraced engine's.
+pub fn simulate_traced(
+    graph: &CompGraph,
+    placement: &Placement,
+    cluster: &Cluster,
+) -> (StepReport, StepTrace) {
+    let n = graph.num_nodes();
+    assert_eq!(placement.len(), n, "placement length mismatch");
+    let order = graph.topo_order().expect("graph must be a DAG");
+    let mut rank = vec![0usize; n];
+    for (r, &node) in order.iter().enumerate() {
+        rank[node] = r;
+    }
+
+    let out_edges = graph.out_edges();
+    let mut pending = graph.in_degrees();
+    let nd = cluster.num_devices();
+    let mut ready: Vec<BinaryHeap<Reverse<(usize, NodeId)>>> =
+        (0..nd).map(|_| BinaryHeap::new()).collect();
+    let mut device_busy = vec![false; nd];
+    let mut device_busy_s = vec![0.0f64; nd];
+    let mut link_free_at = vec![0.0f64; nd * nd];
+
+    #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+    enum Ev {
+        OpDone(NodeId),
+        TransferDone(usize),
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    struct Time(f64);
+    impl Eq for Time {}
+    impl PartialOrd for Time {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Time {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).expect("finite")
+        }
+    }
+
+    let mut events: BinaryHeap<Reverse<(Time, usize, Ev)>> = BinaryHeap::new();
+    let mut seq = 0usize;
+    let mut comm_s = 0.0;
+    let mut num_transfers = 0usize;
+    let mut makespan = 0.0f64;
+    let mut ops_trace: Vec<OpSpan> = Vec::with_capacity(n);
+    let mut transfers_trace: Vec<TransferSpan> = Vec::new();
+
+    for i in 0..n {
+        if pending[i] == 0 {
+            ready[placement.device(i)].push(Reverse((rank[i], i)));
+        }
+    }
+
+    macro_rules! try_start {
+        ($dev:expr, $now:expr) => {{
+            let dev = $dev;
+            if !device_busy[dev] {
+                if let Some(Reverse((_, node))) = ready[dev].pop() {
+                    let dur = op_time(graph.node(node), cluster.device(dev));
+                    device_busy[dev] = true;
+                    device_busy_s[dev] += dur;
+                    ops_trace.push(OpSpan {
+                        node,
+                        device: dev,
+                        start_s: $now,
+                        end_s: $now + dur,
+                    });
+                    seq += 1;
+                    events.push(Reverse((Time($now + dur), seq, Ev::OpDone(node))));
+                }
+            }
+        }};
+    }
+
+    for d in 0..nd {
+        try_start!(d, 0.0);
+    }
+
+    while let Some(Reverse((Time(now), _, ev))) = events.pop() {
+        makespan = makespan.max(now);
+        match ev {
+            Ev::OpDone(node) => {
+                let dev = placement.device(node);
+                device_busy[dev] = false;
+                for &ei in &out_edges[node] {
+                    let e = graph.edges()[ei];
+                    let dst_dev = placement.device(e.dst);
+                    if dst_dev == dev {
+                        pending[e.dst] -= 1;
+                        if pending[e.dst] == 0 {
+                            ready[dst_dev].push(Reverse((rank[e.dst], e.dst)));
+                            try_start!(dst_dev, now);
+                        }
+                    } else {
+                        let link = cluster.link(dev, dst_dev);
+                        let key = dev * nd + dst_dev;
+                        let start = link_free_at[key].max(now);
+                        let dur = link.transfer_time(e.bytes);
+                        link_free_at[key] = start + dur;
+                        comm_s += dur;
+                        num_transfers += 1;
+                        transfers_trace.push(TransferSpan {
+                            edge: ei,
+                            from: dev,
+                            to: dst_dev,
+                            start_s: start,
+                            end_s: start + dur,
+                            bytes: e.bytes,
+                        });
+                        seq += 1;
+                        events.push(Reverse((Time(start + dur), seq, Ev::TransferDone(ei))));
+                    }
+                }
+                try_start!(dev, now);
+            }
+            Ev::TransferDone(ei) => {
+                let e = graph.edges()[ei];
+                let dst_dev = placement.device(e.dst);
+                pending[e.dst] -= 1;
+                if pending[e.dst] == 0 {
+                    ready[dst_dev].push(Reverse((rank[e.dst], e.dst)));
+                    try_start!(dst_dev, now);
+                }
+            }
+        }
+    }
+
+    ops_trace.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    transfers_trace.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    let report = StepReport { makespan_s: makespan, device_busy_s, comm_s, num_transfers };
+    let trace = StepTrace { makespan_s: makespan, ops: ops_trace, transfers: transfers_trace };
+    (report, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use mars_graph::generators::{Profile, Workload};
+
+    fn setup() -> (CompGraph, Placement, Cluster) {
+        let g = Workload::InceptionV3.build(Profile::Reduced);
+        let c = Cluster::p100_quad();
+        let mut p = Placement::round_robin(&g, &[1, 2]);
+        p.enforce_compatibility(&g, &c);
+        (g, p, c)
+    }
+
+    #[test]
+    fn traced_report_matches_untraced() {
+        let (g, p, c) = setup();
+        let plain = simulate(&g, &p, &c);
+        let (traced, _) = simulate_traced(&g, &p, &c);
+        assert!((plain.makespan_s - traced.makespan_s).abs() < 1e-12);
+        assert_eq!(plain.num_transfers, traced.num_transfers);
+        assert!((plain.comm_s - traced.comm_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_covers_every_op_exactly_once() {
+        let (g, p, c) = setup();
+        let (_, trace) = simulate_traced(&g, &p, &c);
+        assert_eq!(trace.ops.len(), g.num_nodes());
+        let mut seen = vec![false; g.num_nodes()];
+        for span in &trace.ops {
+            assert!(!seen[span.node], "op {} executed twice", span.node);
+            seen[span.node] = true;
+            assert!(span.end_s >= span.start_s);
+            assert!(span.end_s <= trace.makespan_s + 1e-12);
+        }
+    }
+
+    #[test]
+    fn spans_respect_dependencies() {
+        let (g, p, c) = setup();
+        let (_, trace) = simulate_traced(&g, &p, &c);
+        let mut end = vec![0.0f64; g.num_nodes()];
+        let mut start = vec![0.0f64; g.num_nodes()];
+        for s in &trace.ops {
+            end[s.node] = s.end_s;
+            start[s.node] = s.start_s;
+        }
+        for e in g.edges() {
+            assert!(
+                start[e.dst] >= end[e.src] - 1e-9,
+                "op {} started before its input {} finished",
+                e.dst,
+                e.src
+            );
+        }
+    }
+
+    #[test]
+    fn no_device_overlap() {
+        let (g, p, c) = setup();
+        let (_, trace) = simulate_traced(&g, &p, &c);
+        for d in 0..c.num_devices() {
+            let mut spans: Vec<&OpSpan> = trace.ops.iter().filter(|s| s.device == d).collect();
+            spans.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+            for w in spans.windows(2) {
+                assert!(
+                    w[1].start_s >= w[0].end_s - 1e-9,
+                    "device {d} overlap: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idle_fraction_and_gantt() {
+        let (g, p, c) = setup();
+        let (_, trace) = simulate_traced(&g, &p, &c);
+        for d in 0..c.num_devices() {
+            let f = trace.idle_fraction(d);
+            assert!((0.0..=1.0).contains(&f), "idle fraction {f}");
+        }
+        let gantt = trace.ascii_gantt(c.num_devices(), 60);
+        assert_eq!(gantt.lines().count(), c.num_devices());
+        assert!(gantt.contains('#'));
+        assert!(trace.last_finisher().is_some());
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Dense f32 tensor kernels for the Mars device-placement reproduction.
+//!
+//! This crate provides the numerical substrate that everything else
+//! (autograd, neural-network layers, the RL agent) is built on. It is a
+//! deliberately small, fully self-contained BLAS-like layer:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with shape checking.
+//! * [`ops`] — matrix multiplication in all transpose variants, with a
+//!   blocked kernel that switches to [rayon]-parallel execution above a
+//!   size threshold.
+//! * [`stats`] — numerically-stable softmax / log-softmax / logsumexp
+//!   and reduction helpers used by the policy networks.
+//! * [`init`] — deterministic, seedable weight initializers
+//!   (Xavier/Glorot, uniform, Gaussian via Box–Muller).
+//!
+//! All randomness is injected through [`rand::Rng`] so callers control
+//! determinism; nothing in this crate reads ambient entropy.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod stats;
+
+pub use matrix::Matrix;

@@ -1,0 +1,369 @@
+//! Matrix-multiplication kernels.
+//!
+//! The hot loops of Mars are `X·W` products in the GCN/LSTM layers and
+//! their gradient counterparts `Aᵀ·B` / `A·Bᵀ`. We provide all three
+//! transpose variants as dedicated kernels so the autograd backward
+//! pass never has to materialize a transposed copy.
+//!
+//! Each kernel uses a cache-friendly i-k-j loop order and switches to a
+//! [rayon]-parallel row partition once the output is large enough for
+//! the fork/join overhead to pay off.
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Minimum number of multiply-accumulate operations before a kernel
+/// parallelizes across rows. Below this the sequential loop wins.
+const PAR_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+#[inline]
+fn inner_nn(out_row: &mut [f32], a_row: &[f32], b: &Matrix) {
+    // out_row += a_row · B, with k-outer loop so B is streamed row-wise.
+    for (k, &a) in a_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let b_row = b.row(k);
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += a * bv;
+        }
+    }
+}
+
+/// `C = A · B` where `A: m×k`, `B: k×n`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions differ: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
+        let cols = n.max(1);
+        out.as_mut_slice()
+            .par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(i, out_row)| inner_nn(out_row, a.row(i), b));
+    } else {
+        for i in 0..m {
+            let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            inner_nn(row, a.row(i), b);
+        }
+    }
+    out
+}
+
+/// `C = Aᵀ · B` where `A: k×m`, `B: k×n` (result `m×n`).
+///
+/// This is the gradient-w.r.t.-weights kernel: for `Y = X·W`,
+/// `dW = Xᵀ·dY`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn: leading dimensions differ: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let k = a.rows();
+    let m = a.cols();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    // Accumulate rank-1 updates; row-major friendly for both inputs.
+    for t in 0..k {
+        let a_row = a.row(t);
+        let b_row = b.row(t);
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    let _ = m;
+    out
+}
+
+/// `C = A · Bᵀ` where `A: m×k`, `B: n×k` (result `m×n`).
+///
+/// This is the gradient-w.r.t.-input kernel: for `Y = X·W`,
+/// `dX = dY·Wᵀ`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt: trailing dimensions differ: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    let compute_row = |i: usize, out_row: &mut [f32]| {
+        let a_row = a.row(i);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for t in 0..k {
+                acc += a_row[t] * b_row[t];
+            }
+            *o = acc;
+        }
+    };
+    if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
+        out.as_mut_slice()
+            .par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(i, out_row)| compute_row(i, out_row));
+    } else {
+        for i in 0..m {
+            let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            compute_row(i, row);
+        }
+    }
+    out
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Outer product `a · bᵀ` of two vectors (`m×1` result from slices).
+pub fn outer(a: &[f32], b: &[f32]) -> Matrix {
+    let mut out = Matrix::zeros(a.len(), b.len());
+    for (i, &av) in a.iter().enumerate() {
+        for (j, &bv) in b.iter().enumerate() {
+            out.set(i, j, av * bv);
+        }
+    }
+    out
+}
+
+/// Sparse matrix in compressed-sparse-row form.
+///
+/// Used for the (constant) normalized adjacency matrix of computational
+/// graphs: `spmm` implements `Â · X` without densifying `Â`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array, length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, length nnz.
+    indices: Vec<usize>,
+    /// Non-zero values, length nnz.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build from (row, col, value) triplets. Duplicate entries are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f32)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+            per_row[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_by_key(|&(c, _)| c);
+            let mut last: Option<usize> = None;
+            for &(c, v) in row.iter() {
+                if last == Some(c) {
+                    *values.last_mut().expect("non-empty") += v;
+                } else {
+                    indices.push(c);
+                    values.push(v);
+                    last = Some(c);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix { rows, cols, indptr, indices, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate over `(col, value)` pairs of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Sparse × dense product `self · x`.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.cols, x.rows(), "spmm: {}x{} · {:?}", self.rows, self.cols, x.shape());
+        let n = x.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        let rows_big = self.nnz() * n >= PAR_FLOP_THRESHOLD;
+        let compute = |r: usize, out_row: &mut [f32]| {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            for t in lo..hi {
+                let c = self.indices[t];
+                let v = self.values[t];
+                let x_row = x.row(c);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        };
+        if rows_big && self.rows > 1 {
+            out.as_mut_slice()
+                .par_chunks_mut(n.max(1))
+                .enumerate()
+                .for_each(|(r, out_row)| compute(r, out_row));
+        } else {
+            for r in 0..self.rows {
+                let row = &mut out.as_mut_slice()[r * n..(r + 1) * n];
+                compute(r, row);
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse × dense product `selfᵀ · x` (for backprop).
+    pub fn spmm_t(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.rows, x.rows(), "spmm_t: ({}x{})ᵀ · {:?}", self.rows, self.cols, x.shape());
+        let n = x.cols();
+        let mut out = Matrix::zeros(self.cols, n);
+        for r in 0..self.rows {
+            let x_row = x.row(r);
+            for (c, v) in self.row_iter(r) {
+                let out_row = &mut out.as_mut_slice()[c * n..(c + 1) * n];
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Densify (for tests and small problems).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c, out.get(r, c) + v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for t in 0..a.cols() {
+                    acc += a.get(i, t) * b.get(t, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let i = Matrix::eye(4);
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    fn transpose_variants_agree() {
+        let a = Matrix::from_fn(5, 7, |r, c| ((r * 7 + c) as f32).sin());
+        let b = Matrix::from_fn(7, 3, |r, c| ((r * 3 + c) as f32).cos());
+        let c = matmul(&a, &b);
+        let c_tn = matmul_tn(&a.transpose(), &b);
+        let c_nt = matmul_nt(&a, &b.transpose());
+        assert!(c.max_abs_diff(&c_tn) < 1e-5);
+        assert!(c.max_abs_diff(&c_nt) < 1e-5);
+    }
+
+    #[test]
+    fn large_parallel_path_matches_sequential() {
+        let a = Matrix::from_fn(70, 70, |r, c| ((r + 2 * c) as f32 * 0.01).sin());
+        let b = Matrix::from_fn(70, 70, |r, c| ((3 * r + c) as f32 * 0.02).cos());
+        let fast = matmul(&a, &b);
+        let slow = seq_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn dot_and_outer() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+        let o = outer(&[1., 2.], &[3., 4., 5.]);
+        assert_eq!(o.shape(), (2, 3));
+        assert_eq!(o.row(1), &[6., 8., 10.]);
+    }
+
+    #[test]
+    fn csr_roundtrip_and_spmm() {
+        let triplets = [(0usize, 1usize, 2.0f32), (1, 0, 3.0), (1, 2, 4.0), (2, 2, 5.0)];
+        let a = CsrMatrix::from_triplets(3, 3, &triplets);
+        assert_eq!(a.nnz(), 4);
+        let x = Matrix::from_vec(3, 2, vec![1., 10., 2., 20., 3., 30.]);
+        let y = a.spmm(&x);
+        let y_dense = matmul(&a.to_dense(), &x);
+        assert!(y.max_abs_diff(&y_dense) < 1e-6);
+        let yt = a.spmm_t(&x);
+        let yt_dense = matmul(&a.to_dense().transpose(), &x);
+        assert!(yt.max_abs_diff(&yt_dense) < 1e-6);
+    }
+
+    #[test]
+    fn csr_duplicate_triplets_sum() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.to_dense().get(0, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+}

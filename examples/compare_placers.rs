@@ -1,0 +1,61 @@
+//! Compare the four placer architectures of §3.3 on one workload with
+//! a frozen pre-trained encoder — a miniature of Table 1.
+//!
+//! ```text
+//! cargo run --release --example compare_placers [inception|gnmt|bert]
+//! ```
+
+use mars::core::agent::{Agent, AgentKind, TrainingLog};
+use mars::core::config::MarsConfig;
+use mars::core::placers::PlacerChoice;
+use mars::core::workload_input::WorkloadInput;
+use mars::graph::features::FEATURE_DIM;
+use mars::graph::generators::{Profile, Workload};
+use mars::sim::{Cluster, SimEnv};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "inception".into());
+    let workload = match which.as_str() {
+        "gnmt" => Workload::Gnmt4,
+        "bert" => Workload::BertBase,
+        _ => Workload::InceptionV3,
+    };
+    let graph = workload.build(Profile::Reduced);
+    let input = WorkloadInput::from_graph(&graph);
+    let cluster = Cluster::p100_quad();
+    let budget = 300;
+    println!("Placer comparison on {} ({} ops), {budget} samples each\n", graph.name, graph.num_nodes());
+
+    for choice in [
+        PlacerChoice::Seq2Seq,
+        PlacerChoice::TrfXl,
+        PlacerChoice::Segment,
+        PlacerChoice::Mlp,
+    ] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut agent = Agent::new(
+            AgentKind::FixedEncoder(choice),
+            MarsConfig::small(),
+            FEATURE_DIM,
+            cluster.num_devices(),
+            &mut rng,
+        );
+        agent.pretrain(&input, &mut rng);
+        agent.freeze_encoder(&input);
+        let mut env = SimEnv::new(graph.clone(), cluster.clone(), 5);
+        let mut log = TrainingLog::default();
+        let t0 = std::time::Instant::now();
+        agent.train(&mut env, &input, budget, &mut rng, &mut log);
+        println!(
+            "  {:<20} best {}  ({} params, {:.1}s agent wall)",
+            choice.label(),
+            log.best_reading_s
+                .map(|b| format!("{b:.3} s/step"))
+                .unwrap_or_else(|| "no valid placement".into()),
+            agent.store.num_scalars(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

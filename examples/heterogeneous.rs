@@ -1,0 +1,86 @@
+//! Placement on a *heterogeneous* cluster — the setting the paper's
+//! introduction motivates ("partition a large model across a
+//! heterogeeous mix of computational devices").
+//!
+//! The cluster has 2 fast GPUs joined by NVLink plus 2 half-speed older
+//! GPUs on PCIe. A device-oblivious round-robin wastes time on the slow
+//! GPUs; Mars learns to prefer the fast pair.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous
+//! ```
+
+use mars::core::agent::{Agent, AgentKind, TrainingLog};
+use mars::core::config::MarsConfig;
+use mars::core::workload_input::WorkloadInput;
+use mars::graph::features::FEATURE_DIM;
+use mars::graph::generators::{Profile, Workload};
+use mars::sim::{Cluster, Placement, SimEnv};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let graph = Workload::Gnmt4.build(Profile::Reduced);
+    let cluster = Cluster::heterogeneous();
+    println!("Cluster:");
+    for (i, d) in cluster.devices().iter().enumerate() {
+        println!(
+            "  [{i}] {:<14} {:>6.0} GFLOP/s effective, {:>3} GB",
+            d.name,
+            d.peak_gflops,
+            d.memory_bytes >> 30
+        );
+    }
+    println!(
+        "  link 1↔2 (NVLink): {:.0} GB/s; others (PCIe): {:.0} GB/s\n",
+        cluster.link(1, 2).bandwidth_bps / 1e9,
+        cluster.link(1, 3).bandwidth_bps / 1e9
+    );
+
+    let env = SimEnv::new(graph.clone(), cluster.clone(), 21);
+    for (name, devices) in [
+        ("round-robin all GPUs", vec![1usize, 2, 3, 4]),
+        ("round-robin fast pair", vec![1, 2]),
+        ("round-robin slow pair", vec![3, 4]),
+    ] {
+        let mut p = Placement::round_robin(&graph, &devices);
+        p.enforce_compatibility(&graph, &cluster);
+        match env.true_step_time(&p) {
+            Ok(rep) => println!("  {name:<24} {:.3} s/step", rep.makespan_s),
+            Err(e) => println!("  {name:<24} {e}"),
+        }
+    }
+
+    // Train Mars on the heterogeneous cluster.
+    let input = WorkloadInput::from_graph(&graph);
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut agent = Agent::new(
+        AgentKind::Mars,
+        MarsConfig::small(),
+        FEATURE_DIM,
+        cluster.num_devices(),
+        &mut rng,
+    );
+    agent.pretrain(&input, &mut rng);
+    let mut env = SimEnv::new(graph.clone(), cluster.clone(), 21);
+    let mut log = TrainingLog::default();
+    agent.train(&mut env, &input, 400, &mut rng, &mut log);
+
+    let best = log.best_reading_s.expect("valid placement found");
+    let placement = log.best_placement.expect("placement recorded");
+    // How much compute landed on the fast pair vs the slow pair?
+    let mut fast_flops = 0.0;
+    let mut slow_flops = 0.0;
+    for (i, node) in graph.nodes().iter().enumerate() {
+        match placement.device(i) {
+            1 | 2 => fast_flops += node.flops,
+            3 | 4 => slow_flops += node.flops,
+            _ => {}
+        }
+    }
+    println!(
+        "\nMars best: {best:.3} s/step; compute on fast pair {:.0}%, slow pair {:.0}%",
+        100.0 * fast_flops / (fast_flops + slow_flops),
+        100.0 * slow_flops / (fast_flops + slow_flops)
+    );
+}

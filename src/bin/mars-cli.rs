@@ -1,0 +1,250 @@
+//! `mars-cli` — command-line interface to the Mars reproduction.
+//!
+//! ```text
+//! mars-cli inspect  <workload>                      graph stats + memory + baselines
+//! mars-cli train    <workload> [options]            train an agent, print summary
+//! mars-cli trace    <workload> --placement <name>   ASCII Gantt of one placement
+//! mars-cli dot      <workload> [--max-nodes N]      Graphviz export to stdout
+//! mars-cli evaluate <workload> --placement <name>   measure one placement
+//!
+//! workloads:  inception | gnmt | bert | vgg | seq2seq | transformer
+//! placements: human | gpu-only | rr2 | rr4 | blocked2 | blocked3 | blocked4 | mincut
+//! train options: --agent mars|mars-nopre|grouper|encoder   --budget N
+//!                --seed N   --profile small|full   --save <ckpt-path>
+//! ```
+
+use mars::core::agent::{Agent, AgentKind, TrainingLog};
+use mars::core::baselines::{gpu_only, human_expert};
+use mars::core::config::MarsConfig;
+use mars::core::partitioner::best_min_cut;
+use mars::core::workload_input::WorkloadInput;
+use mars::graph::analysis::{stats, to_dot};
+use mars::graph::generators::{Profile, Workload};
+use mars::graph::CompGraph;
+use mars::nn::checkpoint;
+use mars::sim::{
+    check_memory, simulate_traced, Cluster, Environment, EvalOutcome, Placement, SimEnv,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_workload(s: &str) -> Option<Workload> {
+    Some(match s {
+        "inception" | "inception_v3" => Workload::InceptionV3,
+        "gnmt" | "gnmt4" => Workload::Gnmt4,
+        "bert" | "bert_base" => Workload::BertBase,
+        "vgg" | "vgg16" => Workload::Vgg16,
+        "seq2seq" => Workload::Seq2Seq,
+        "transformer" => Workload::Transformer,
+        "resnet" | "resnet50" => Workload::Resnet50,
+        "gpt2" | "gpt2_small" => Workload::Gpt2Small,
+        _ => return None,
+    })
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(key.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn named_placement(
+    name: &str,
+    workload: Workload,
+    graph: &CompGraph,
+    cluster: &Cluster,
+) -> Option<Placement> {
+    let mut p = match name {
+        "human" => human_expert(workload, graph, cluster),
+        "gpu-only" | "gpu" => gpu_only(graph, cluster),
+        "rr2" => Placement::round_robin(graph, &cluster.gpu_ids()[..2]),
+        "rr4" => Placement::round_robin(graph, &cluster.gpu_ids()),
+        "blocked2" => Placement::blocked(graph, &cluster.gpu_ids()[..2]),
+        "blocked3" => Placement::blocked(graph, &cluster.gpu_ids()[..3]),
+        "blocked4" => Placement::blocked(graph, &cluster.gpu_ids()),
+        "mincut" => return best_min_cut(graph, cluster),
+        _ => return None,
+    };
+    p.enforce_compatibility(graph, cluster);
+    Some(p)
+}
+
+fn cmd_inspect(workload: Workload, profile: Profile) {
+    let graph = workload.build(profile);
+    let cluster = Cluster::p100_quad();
+    let s = stats(&graph);
+    println!("workload {}", graph.name);
+    println!("  nodes {}  edges {}  depth {}  max width {}", s.nodes, s.edges, s.depth, s.max_width);
+    println!(
+        "  training FLOPs {:.3e}  memory {:.2} GB  mean edge {:.2} MB",
+        s.total_flops,
+        s.total_memory_bytes as f64 / (1u64 << 30) as f64,
+        s.mean_edge_bytes / (1 << 20) as f64
+    );
+    println!("  op kinds:");
+    for (kind, count) in s.kind_histogram.iter().take(8) {
+        println!("    {kind:?}: {count}");
+    }
+    println!("  baselines on 4×P100 + CPU:");
+    let env = SimEnv::new(graph.clone(), cluster.clone(), 0);
+    for name in ["human", "gpu-only", "rr4", "blocked3", "mincut"] {
+        let Some(p) = named_placement(name, workload, &graph, &cluster) else {
+            println!("    {name:<9} (unavailable)");
+            continue;
+        };
+        match env.true_step_time(&p) {
+            Ok(rep) => println!(
+                "    {name:<9} {:8.3} s/step  (comm {:.3} s, {} transfers)",
+                rep.makespan_s, rep.comm_s, rep.num_transfers
+            ),
+            Err(e) => println!("    {name:<9} {e}"),
+        }
+    }
+}
+
+fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, String>) {
+    let kind = match flags.get("agent").map(String::as_str) {
+        None | Some("mars") => AgentKind::Mars,
+        Some("mars-nopre") => AgentKind::MarsNoPretrain,
+        Some("grouper") => AgentKind::GrouperPlacer,
+        Some("encoder") => AgentKind::EncoderPlacer,
+        Some(other) => {
+            eprintln!("unknown agent '{other}'");
+            return;
+        }
+    };
+    let budget: usize = flags.get("budget").and_then(|s| s.parse().ok()).unwrap_or(400);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let cfg = match flags.get("profile").map(String::as_str) {
+        Some("full") | Some("paper") => MarsConfig::paper(),
+        _ => MarsConfig::small(),
+    };
+
+    let graph = workload.build(profile);
+    let input = WorkloadInput::from_graph(&graph);
+    let cluster = Cluster::p100_quad();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agent = Agent::new(
+        kind,
+        cfg,
+        mars::graph::features::FEATURE_DIM,
+        cluster.num_devices(),
+        &mut rng,
+    );
+    if kind == AgentKind::Mars {
+        println!("DGI pre-training…");
+        if let Some(report) = agent.pretrain(&input, &mut rng) {
+            println!("  loss {:.4} → {:.4}", report.losses[0], report.best_loss);
+        }
+    }
+    let mut env = SimEnv::new(graph, cluster, seed);
+    let mut log = TrainingLog::default();
+    println!("training {} on {} for {budget} placement evaluations…", kind.label(), workload.name());
+    agent.train(&mut env, &input, budget, &mut rng, &mut log);
+    match log.best_reading_s {
+        Some(best) => {
+            let p = log.best_placement.as_ref().expect("placement recorded");
+            println!(
+                "best {best:.3} s/step on devices {:?} after {} samples \
+                 ({:.1} simulated machine-hours)",
+                p.devices_used(),
+                log.total_samples,
+                log.machine_s / 3600.0
+            );
+        }
+        None => println!("no valid placement found in {} samples", log.total_samples),
+    }
+    if let Some(path) = flags.get("save") {
+        match checkpoint::save_file(&agent.store, path) {
+            Ok(()) => println!("checkpoint written to {path}"),
+            Err(e) => eprintln!("checkpoint save failed: {e}"),
+        }
+    }
+}
+
+fn cmd_trace(workload: Workload, profile: Profile, flags: &HashMap<String, String>) {
+    let graph = workload.build(profile);
+    let cluster = Cluster::p100_quad();
+    let name = flags.get("placement").map(String::as_str).unwrap_or("blocked3");
+    let Some(p) = named_placement(name, workload, &graph, &cluster) else {
+        eprintln!("unknown or infeasible placement '{name}'");
+        return;
+    };
+    if let Err(e) = check_memory(&graph, &p, &cluster) {
+        eprintln!("placement invalid: {e}");
+        return;
+    }
+    let (report, trace) = simulate_traced(&graph, &p, &cluster);
+    println!(
+        "{} under '{name}': {:.3} s/step, comm {:.3} s, {} transfers",
+        graph.name, report.makespan_s, report.comm_s, report.num_transfers
+    );
+    print!("{}", trace.ascii_gantt(cluster.num_devices(), 100));
+    for d in 0..cluster.num_devices() {
+        println!("dev{d} idle {:.0}%", trace.idle_fraction(d) * 100.0);
+    }
+}
+
+fn cmd_evaluate(workload: Workload, profile: Profile, flags: &HashMap<String, String>) {
+    let graph = workload.build(profile);
+    let cluster = Cluster::p100_quad();
+    let name = flags.get("placement").map(String::as_str).unwrap_or("gpu-only");
+    let Some(p) = named_placement(name, workload, &graph, &cluster) else {
+        eprintln!("unknown placement '{name}'");
+        return;
+    };
+    let seed = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let mut env = SimEnv::new(graph, cluster, seed);
+    match env.evaluate(&p) {
+        EvalOutcome::Valid { per_step_s } => {
+            println!("{per_step_s:.4} s/step (15-step protocol, 5 warm-up discarded)")
+        }
+        EvalOutcome::Bad { cutoff_s } => println!("aborted: exceeded {cutoff_s:.0} s cutoff"),
+        EvalOutcome::Invalid { oom } => println!("invalid: {oom}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: mars-cli <inspect|train|trace|dot|evaluate> <workload> [--flags]\n(see --help in the module docs)";
+    let (Some(cmd), Some(wname)) = (args.first(), args.get(1)) else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let Some(workload) = parse_workload(wname) else {
+        eprintln!("unknown workload '{wname}'");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[2..]);
+    let profile = match flags.get("profile").map(String::as_str) {
+        Some("full") | Some("paper") => Profile::Paper,
+        _ => Profile::Reduced,
+    };
+    match cmd.as_str() {
+        "inspect" => cmd_inspect(workload, profile),
+        "train" => cmd_train(workload, profile, &flags),
+        "trace" => cmd_trace(workload, profile, &flags),
+        "evaluate" => cmd_evaluate(workload, profile, &flags),
+        "dot" => {
+            let max_nodes =
+                flags.get("max-nodes").and_then(|s| s.parse().ok()).unwrap_or(usize::MAX);
+            print!("{}", to_dot(&workload.build(profile), max_nodes));
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n{usage}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

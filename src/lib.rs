@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+//! Facade crate re-exporting the whole Mars reproduction stack.
+pub use mars_autograd as autograd;
+pub use mars_core as core;
+pub use mars_graph as graph;
+pub use mars_nn as nn;
+pub use mars_sim as sim;
+pub use mars_tensor as tensor;
+
+pub mod plot;

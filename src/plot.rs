@@ -1,0 +1,282 @@
+//! Minimal SVG line-chart writer for experiment curves (Fig. 7).
+//!
+//! Hand-rolled — no plotting dependency — producing self-contained SVG
+//! with axes, tick labels, legend and one polyline per series. See the
+//! `plot_fig7` example for converting `fig7_curves.json` into the
+//! paper-figure layout.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (gaps are allowed by splitting into several series).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug)]
+pub struct ChartConfig {
+    /// Title rendered above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Logarithmic y-axis.
+    pub log_y: bool,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            title: String::new(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            width: 640,
+            height: 400,
+            log_y: false,
+        }
+    }
+}
+
+const COLORS: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if !(hi > lo) || n == 0 {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = mag * if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    };
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+/// Render series as an SVG string.
+///
+/// # Panics
+/// If no series contains any point.
+pub fn render(config: &ChartConfig, series: &[Series]) -> String {
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "render() needs at least one data point");
+
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if config.log_y {
+        y_lo = y_lo.max(1e-12).log10();
+        y_hi = y_hi.max(1e-12).log10();
+    }
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_hi = y_lo + 1.0;
+    }
+    if (x_hi - x_lo).abs() < 1e-12 {
+        x_hi = x_lo + 1.0;
+    }
+
+    let w = config.width as f64;
+    let h = config.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let sx = move |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w;
+    let sy = move |y: f64| {
+        let yv = if config.log_y { y.max(1e-12).log10() } else { y };
+        MARGIN_T + plot_h - (yv - y_lo) / (y_hi - y_lo) * plot_h
+    };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" font-family="sans-serif" font-size="11">"#,
+        config.width, config.height
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+        w / 2.0,
+        config.title
+    );
+
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h,
+        w - MARGIN_R,
+        MARGIN_T + plot_h
+    );
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h
+    );
+
+    // Ticks.
+    for t in nice_ticks(x_lo, x_hi, 6) {
+        let x = sx(t);
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="black"/><text x="{x}" y="{}" text-anchor="middle">{t:.0}</text>"#,
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h + 4.0,
+            MARGIN_T + plot_h + 18.0
+        );
+    }
+    let y_ticks = if config.log_y {
+        nice_ticks(y_lo, y_hi, 5).into_iter().map(|t| 10f64.powf(t)).collect::<Vec<_>>()
+    } else {
+        nice_ticks(y_lo, y_hi, 5)
+    };
+    for t in y_ticks {
+        let y = sy(t);
+        let label = if t.abs() >= 100.0 || t == t.floor() {
+            format!("{t:.0}")
+        } else {
+            format!("{t:.2}")
+        };
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{}" y1="{y}" x2="{MARGIN_L}" y2="{y}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{label}</text>"#,
+            MARGIN_L - 4.0,
+            MARGIN_L - 8.0,
+            y + 4.0
+        );
+    }
+
+    // Axis labels.
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 10.0,
+        config.x_label
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        config.y_label
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> =
+            s.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+        if path.len() > 1 {
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                path.join(" ")
+            );
+        }
+        for &(x, y) in &s.points {
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2" fill="{color}"/>"#,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 * i as f64 + 6.0;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}">{}</text>"#,
+            w - MARGIN_R - 150.0,
+            w - MARGIN_R - 130.0,
+            w - MARGIN_R - 125.0,
+            ly + 4.0,
+            s.label
+        );
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "a".into(),
+                points: (0..10).map(|i| (i as f64, (i as f64).sin() + 2.0)).collect(),
+            },
+            Series { label: "b".into(), points: vec![(0.0, 1.0), (9.0, 3.0)] },
+        ]
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = render(&ChartConfig::default(), &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("circle"));
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn log_scale_renders() {
+        let cfg = ChartConfig { log_y: true, ..ChartConfig::default() };
+        let series = vec![Series {
+            label: "exp".into(),
+            points: (1..6).map(|i| (i as f64, 10f64.powi(i))).collect(),
+        }];
+        let svg = render(&cfg, &series);
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round() {
+        let t = nice_ticks(0.0, 100.0, 5);
+        assert!(t.contains(&0.0) || t.contains(&20.0));
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - (t[1] - t[0])).abs() < 1e-9, "uneven ticks {t:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data point")]
+    fn empty_input_panics() {
+        let _ = render(&ChartConfig::default(), &[]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-validation of the simulator and search against exhaustive
+//! enumeration on small graphs.
+
+use mars::graph::{shape, GraphBuilder, OpKind};
+use mars::sim::{simulate, Cluster, DeviceSpec, LinkSpec, Placement};
+
+/// A 6-op diamond graph with one heavy branch.
+fn diamond() -> mars::graph::CompGraph {
+    let mut b = GraphBuilder::new("diamond");
+    let src = b.compute(OpKind::Input, "src", shape![1024, 64], 1e8, &[]);
+    let heavy1 = b.compute(OpKind::MatMul, "heavy1", shape![1024, 64], 8e9, &[src]);
+    let heavy2 = b.compute(OpKind::MatMul, "heavy2", shape![1024, 64], 8e9, &[heavy1]);
+    let light1 = b.compute(OpKind::Relu, "light1", shape![1024, 64], 4e9, &[src]);
+    let light2 = b.compute(OpKind::Relu, "light2", shape![1024, 64], 4e9, &[light1]);
+    b.compute(OpKind::Add, "sink", shape![1024, 64], 1e7, &[heavy2, light2]);
+    b.build()
+}
+
+fn two_gpu_cluster() -> Cluster {
+    Cluster::new(vec![DeviceSpec::p100(0), DeviceSpec::p100(1)], LinkSpec::pcie())
+}
+
+fn brute_force_best(graph: &mars::graph::CompGraph, cluster: &Cluster) -> (Placement, f64) {
+    let n = graph.num_nodes();
+    let d = cluster.num_devices();
+    let mut best = (Placement(vec![0; n]), f64::INFINITY);
+    let total = d.pow(n as u32);
+    for code in 0..total {
+        let mut c = code;
+        let mut assign = Vec::with_capacity(n);
+        for _ in 0..n {
+            assign.push(c % d);
+            c /= d;
+        }
+        let p = Placement(assign);
+        let t = simulate(graph, &p, cluster).makespan_s;
+        if t < best.1 {
+            best = (p, t);
+        }
+    }
+    best
+}
+
+#[test]
+fn brute_force_optimum_splits_the_branches() {
+    let g = diamond();
+    let c = two_gpu_cluster();
+    let (best, t_best) = brute_force_best(&g, &c);
+
+    // The optimum must be at least as good as both trivial placements.
+    let t_single = simulate(&g, &Placement::all_on(&g, 0), &c).makespan_s;
+    assert!(t_best <= t_single + 1e-12);
+
+    // With two independent branches of heavy compute and cheap
+    // communication, the optimum parallelizes: it uses both devices.
+    assert_eq!(best.devices_used().len(), 2, "optimum should split branches: {best:?}");
+    assert!(
+        t_best < 0.75 * t_single,
+        "parallel optimum {t_best} vs single-device {t_single}"
+    );
+}
+
+#[test]
+fn brute_force_optimum_colocates_when_comm_dominates() {
+    // Same structure, but make tensors enormous and compute tiny: the
+    // optimum must collapse onto a single device.
+    let mut b = GraphBuilder::new("comm-bound");
+    let src = b.compute(OpKind::Input, "src", shape![16384, 1024], 1e6, &[]);
+    let a1 = b.compute(OpKind::Relu, "a1", shape![16384, 1024], 1e6, &[src]);
+    let a2 = b.compute(OpKind::Relu, "a2", shape![16384, 1024], 1e6, &[src]);
+    b.compute(OpKind::Add, "sink", shape![16384, 1024], 1e6, &[a1, a2]);
+    let g = b.build();
+    let c = two_gpu_cluster();
+    let (best, _) = brute_force_best(&g, &c);
+    assert_eq!(best.devices_used().len(), 1, "comm-bound optimum must colocate: {best:?}");
+}
+
+#[test]
+fn exhaustive_search_confirms_simulator_bounds() {
+    let g = diamond();
+    let c = two_gpu_cluster();
+    let serial: f64 =
+        g.nodes().iter().map(|n| mars::sim::cost::op_time(n, c.device(0))).sum();
+    let n = g.num_nodes();
+    for code in 0..(2u32.pow(n as u32)) {
+        let assign: Vec<usize> = (0..n).map(|i| ((code >> i) & 1) as usize).collect();
+        let rep = simulate(&g, &Placement(assign), &c);
+        // Makespan can never beat the critical path nor exceed the
+        // fully-serial time plus all communication.
+        let cp = g.critical_path_flops();
+        let lb = cp / (c.device(0).peak_gflops * 1e9);
+        assert!(rep.makespan_s >= lb);
+        assert!(rep.makespan_s <= serial + rep.comm_s + 1e-9);
+    }
+}

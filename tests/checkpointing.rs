@@ -1,0 +1,87 @@
+//! Checkpoint workflows across the full agent stack.
+
+use mars::core::agent::{Agent, AgentKind, TrainingLog};
+use mars::core::config::MarsConfig;
+use mars::core::workload_input::WorkloadInput;
+use mars::graph::features::FEATURE_DIM;
+use mars::graph::generators::{Profile, Workload};
+use mars::nn::checkpoint;
+use mars::sim::{Cluster, SimEnv};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_cfg() -> MarsConfig {
+    let mut c = MarsConfig::small();
+    c.encoder_hidden = 16;
+    c.placer_hidden = 16;
+    c.attn_dim = 8;
+    c.segment_size = 16;
+    c.dgi_iters = 20;
+    c
+}
+
+#[test]
+fn trained_policy_survives_checkpoint_roundtrip() {
+    let graph = Workload::InceptionV3.build(Profile::Reduced);
+    let input = WorkloadInput::from_graph(&graph);
+    let cluster = Cluster::p100_quad();
+    let mut rng = StdRng::seed_from_u64(17);
+
+    // Train an agent a little.
+    let mut agent =
+        Agent::new(AgentKind::Mars, tiny_cfg(), FEATURE_DIM, cluster.num_devices(), &mut rng);
+    agent.pretrain(&input, &mut rng);
+    let mut env = SimEnv::new(graph.clone(), cluster.clone(), 17);
+    let mut log = TrainingLog::default();
+    agent.train(&mut env, &input, 60, &mut rng, &mut log);
+    let trained_probs = agent.policy_probs(&input);
+
+    // Serialize, then restore into a FRESH agent with the same layout.
+    let mut buf = Vec::new();
+    checkpoint::save(&agent.store, &mut buf).expect("save");
+    let mut rng2 = StdRng::seed_from_u64(999); // different init
+    let mut fresh =
+        Agent::new(AgentKind::Mars, tiny_cfg(), FEATURE_DIM, cluster.num_devices(), &mut rng2);
+    let fresh_probs_before = fresh.policy_probs(&input);
+    assert!(
+        trained_probs.max_abs_diff(&fresh_probs_before) > 1e-4,
+        "fresh agent should differ before restore"
+    );
+    let restored = checkpoint::load(&mut fresh.store, &mut buf.as_slice()).expect("load");
+    assert_eq!(restored, agent.store.len(), "every parameter restored");
+    let fresh_probs_after = fresh.policy_probs(&input);
+    assert!(
+        trained_probs.max_abs_diff(&fresh_probs_after) < 1e-6,
+        "restored agent must reproduce the trained policy exactly"
+    );
+}
+
+#[test]
+fn pretrained_encoder_transfers_between_agent_kinds() {
+    // Save a Mars agent's (pretrained) store, load into a fresh Mars
+    // agent used as a FixedEncoder source: the by-name partial loading
+    // must restore the shared GCN/DGI parameters.
+    let graph = Workload::Vgg16.build(Profile::Reduced);
+    let input = WorkloadInput::from_graph(&graph);
+    let cluster = Cluster::p100_quad();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut donor =
+        Agent::new(AgentKind::Mars, tiny_cfg(), FEATURE_DIM, cluster.num_devices(), &mut rng);
+    donor.pretrain(&input, &mut rng);
+    let mut buf = Vec::new();
+    checkpoint::save(&donor.store, &mut buf).expect("save");
+
+    let mut recipient = Agent::new(
+        AgentKind::MarsNoPretrain,
+        tiny_cfg(),
+        FEATURE_DIM,
+        cluster.num_devices(),
+        &mut rng,
+    );
+    let restored = checkpoint::load(&mut recipient.store, &mut buf.as_slice()).expect("load");
+    // Same architecture → every named parameter matches.
+    assert_eq!(restored, donor.store.len());
+    let donor_probs = donor.policy_probs(&input);
+    let recipient_probs = recipient.policy_probs(&input);
+    assert!(donor_probs.max_abs_diff(&recipient_probs) < 1e-6);
+}

@@ -1,0 +1,95 @@
+//! Smoke tests of the `mars-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mars-cli"))
+}
+
+#[test]
+fn inspect_prints_graph_stats() {
+    let out = cli().args(["inspect", "inception"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("workload inception_v3"), "{text}");
+    assert!(text.contains("baselines"), "{text}");
+    assert!(text.contains("gpu-only"), "{text}");
+}
+
+#[test]
+fn inspect_reports_gnmt_oom() {
+    let out = cli().args(["inspect", "gnmt"]).output().expect("run");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("out of memory"), "GNMT gpu-only must OOM: {text}");
+}
+
+#[test]
+fn trace_renders_gantt() {
+    let out = cli().args(["trace", "bert", "--placement", "blocked3"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dev1 |"), "{text}");
+    assert!(text.contains("idle"), "{text}");
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let out = cli().args(["dot", "vgg", "--max-nodes", "10"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("more ops"));
+}
+
+#[test]
+fn evaluate_measures_placement() {
+    let out = cli().args(["evaluate", "inception", "--placement", "gpu-only"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("s/step"), "{text}");
+}
+
+#[test]
+fn unknown_workload_fails_cleanly() {
+    let out = cli().args(["inspect", "alexnet"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown workload"), "{err}");
+}
+
+#[test]
+fn missing_args_print_usage() {
+    let out = cli().output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn train_and_save_checkpoint() {
+    let dir = std::env::temp_dir().join("mars-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let ckpt = dir.join("agent.mars");
+    let out = cli()
+        .args([
+            "train",
+            "inception",
+            "--agent",
+            "mars-nopre",
+            "--budget",
+            "40",
+            "--seed",
+            "7",
+            "--save",
+            ckpt.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best "), "{text}");
+    assert!(ckpt.exists(), "checkpoint file written");
+    // Checkpoint header is the MARS magic.
+    let bytes = std::fs::read(&ckpt).expect("read ckpt");
+    assert_eq!(&bytes[..4], b"MARS");
+    let _ = std::fs::remove_file(ckpt);
+}

@@ -1,0 +1,103 @@
+//! End-to-end integration: full Mars pipeline (graph → features → DGI
+//! pre-training → PPO against the simulator) on every benchmark.
+
+use mars::core::agent::{Agent, AgentKind, TrainingLog};
+use mars::core::config::MarsConfig;
+use mars::core::workload_input::WorkloadInput;
+use mars::graph::features::FEATURE_DIM;
+use mars::graph::generators::{Profile, Workload};
+use mars::sim::{Cluster, Environment, Placement, SimEnv};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_cfg() -> MarsConfig {
+    let mut c = MarsConfig::small();
+    c.encoder_hidden = 16;
+    c.placer_hidden = 16;
+    c.attn_dim = 8;
+    c.segment_size = 24;
+    c.dgi_iters = 40;
+    c
+}
+
+fn train_mars(w: Workload, samples: usize, seed: u64) -> (TrainingLog, SimEnv) {
+    let graph = w.build(Profile::Reduced);
+    let input = WorkloadInput::from_graph(&graph);
+    let cluster = Cluster::p100_quad();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agent =
+        Agent::new(AgentKind::Mars, tiny_cfg(), FEATURE_DIM, cluster.num_devices(), &mut rng);
+    agent.pretrain(&input, &mut rng);
+    let mut env = SimEnv::new(graph, cluster, seed);
+    let mut log = TrainingLog::default();
+    agent.train(&mut env, &input, samples, &mut rng, &mut log);
+    (log, env)
+}
+
+#[test]
+fn mars_beats_mean_random_on_inception() {
+    let (log, mut env) = train_mars(Workload::InceptionV3, 160, 99);
+    let best = log.best_reading_s.expect("valid placement found");
+
+    // Mean of 20 random placements for comparison.
+    let mut rng = StdRng::seed_from_u64(123);
+    let graph = Workload::InceptionV3.build(Profile::Reduced);
+    let cluster = Cluster::p100_quad();
+    let mut total = 0.0;
+    let mut count = 0;
+    for _ in 0..20 {
+        let p = Placement::random(&graph, &cluster, &mut rng);
+        if let mars::sim::EvalOutcome::Valid { per_step_s } = env.evaluate(&p) {
+            total += per_step_s;
+            count += 1;
+        }
+    }
+    assert!(count > 0, "random placements should mostly be valid for inception");
+    let random_mean = total / count as f64;
+    assert!(
+        best < random_mean * 0.7,
+        "Mars best {best} should clearly beat random mean {random_mean}"
+    );
+}
+
+#[test]
+fn mars_finds_valid_placement_for_every_benchmark() {
+    for (w, seed) in [(Workload::InceptionV3, 1u64), (Workload::Gnmt4, 2), (Workload::BertBase, 3)]
+    {
+        let (log, _) = train_mars(w, 120, seed);
+        let best = log.best_reading_s.unwrap_or_else(|| panic!("{}: no valid placement", w.name()));
+        assert!(best.is_finite() && best > 0.0);
+        let placement = log.best_placement.expect("placement recorded");
+        // The recorded placement must verify as valid in a fresh env.
+        let graph = w.build(Profile::Reduced);
+        let env = SimEnv::new(graph, Cluster::p100_quad(), 77);
+        let truth = env.true_step_time(&placement);
+        assert!(truth.is_ok(), "{}: recorded best placement is invalid", w.name());
+    }
+}
+
+#[test]
+fn training_is_deterministic_for_fixed_seed() {
+    let (a, _) = train_mars(Workload::InceptionV3, 80, 5);
+    let (b, _) = train_mars(Workload::InceptionV3, 80, 5);
+    assert_eq!(a.best_reading_s, b.best_reading_s);
+    assert_eq!(a.best_placement, b.best_placement);
+    assert_eq!(a.total_samples, b.total_samples);
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let (a, _) = train_mars(Workload::InceptionV3, 80, 5);
+    let (b, _) = train_mars(Workload::InceptionV3, 80, 6);
+    // Placements should differ even if readings are close.
+    assert_ne!(a.best_placement, b.best_placement);
+}
+
+#[test]
+fn gnmt_best_placement_uses_multiple_devices() {
+    // GNMT cannot fit one GPU, so any valid placement must span
+    // several devices — the agent must have learned to split.
+    let (log, _) = train_mars(Workload::Gnmt4, 120, 8);
+    let placement = log.best_placement.expect("valid placement");
+    assert!(placement.devices_used().len() >= 2);
+}

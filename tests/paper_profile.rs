@@ -1,0 +1,78 @@
+//! The Paper (fine-grained) profile must preserve every calibrated
+//! property of the Reduced profile — OOM patterns, baseline orderings,
+//! absolute scale — since the two differ only in op granularity.
+
+use mars::core::baselines::{gpu_only, human_expert};
+use mars::graph::generators::{Profile, Workload};
+use mars::sim::{check_memory, Cluster, Placement, SimEnv};
+
+#[test]
+fn table2_oom_pattern_holds_at_paper_granularity() {
+    let c = Cluster::p100_quad();
+    // GPU-Only: valid for Inception, OOM for GNMT and BERT.
+    let inception = Workload::InceptionV3.build(Profile::Paper);
+    assert!(check_memory(&inception, &gpu_only(&inception, &c), &c).is_ok());
+    for w in [Workload::Gnmt4, Workload::BertBase] {
+        let g = w.build(Profile::Paper);
+        assert!(check_memory(&g, &gpu_only(&g, &c), &c).is_err(), "{}", w.name());
+    }
+    // Human expert: valid for GNMT (round-robin layers), OOM for BERT.
+    let gnmt = Workload::Gnmt4.build(Profile::Paper);
+    assert!(check_memory(&gnmt, &human_expert(Workload::Gnmt4, &gnmt, &c), &c).is_ok());
+    let bert = Workload::BertBase.build(Profile::Paper);
+    assert!(check_memory(&bert, &human_expert(Workload::BertBase, &bert, &c), &c).is_err());
+}
+
+#[test]
+fn absolute_scale_matches_between_profiles() {
+    // The same placement family must produce similar step times in
+    // both profiles (total cost is profile-invariant).
+    let c = Cluster::p100_quad();
+    for (w, devices) in [
+        (Workload::InceptionV3, vec![1usize]),
+        (Workload::Gnmt4, vec![1usize, 2, 3, 4]),
+        (Workload::BertBase, vec![1usize, 2, 3]),
+    ] {
+        let time = |p: Profile| {
+            let g = w.build(p);
+            let env = SimEnv::new(g.clone(), c.clone(), 0);
+            let mut placement = if devices.len() == 1 {
+                Placement::all_on(&g, devices[0])
+            } else if w == Workload::BertBase {
+                Placement::blocked(&g, &devices)
+            } else {
+                Placement::round_robin(&g, &devices)
+            };
+            placement.enforce_compatibility(&g, &c);
+            env.true_step_time(&placement).expect("valid placement").makespan_s
+        };
+        let reduced = time(Profile::Reduced);
+        let paper = time(Profile::Paper);
+        let ratio = paper / reduced;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{}: paper {paper:.3}s vs reduced {reduced:.3}s (ratio {ratio:.2})",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn human_expert_gnmt_ordering_holds_at_paper_granularity() {
+    // RL-discoverable pipelined placement must beat the human expert at
+    // paper granularity too (the Table 2 headline).
+    let c = Cluster::p100_quad();
+    let g = Workload::Gnmt4.build(Profile::Paper);
+    let env = SimEnv::new(g.clone(), c.clone(), 0);
+    let human = env
+        .true_step_time(&human_expert(Workload::Gnmt4, &g, &c))
+        .expect("valid")
+        .makespan_s;
+    let mut rr = Placement::round_robin(&g, &[1, 2, 3, 4]);
+    rr.enforce_compatibility(&g, &c);
+    let pipelined = env.true_step_time(&rr).expect("valid").makespan_s;
+    assert!(
+        pipelined < human,
+        "pipelined {pipelined:.3}s must beat human {human:.3}s at paper scale"
+    );
+}

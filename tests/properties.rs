@@ -1,0 +1,146 @@
+//! Property-based tests over the simulator and graph substrates.
+
+use mars::graph::{CompGraph, OpKind, OpNode, TensorShape};
+use mars::sim::{check_memory, simulate, Cluster, DeviceSpec, LinkSpec, Placement};
+use proptest::prelude::*;
+
+/// Build a random DAG: `n` nodes, edges only forward in index order.
+fn arb_dag() -> impl Strategy<Value = CompGraph> {
+    (3usize..18).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0usize..n, 0usize..n, 1u64..(1 << 22)), 1..40);
+        let flops = proptest::collection::vec(0.0f64..5e9, n);
+        (Just(n), edges, flops).prop_map(|(n, edges, flops)| {
+            let mut g = CompGraph::new("prop");
+            for (i, f) in flops.iter().enumerate() {
+                g.add_node(OpNode {
+                    name: format!("op{i}"),
+                    kind: OpKind::MatMul,
+                    output_shape: TensorShape(vec![64, 64]),
+                    flops: *f,
+                    param_bytes: 1024,
+                    activation_bytes: 4096,
+                    gpu_compatible: true,
+                });
+            }
+            for (a, b, bytes) in edges {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi {
+                    g.add_edge(lo, hi, bytes);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn arb_placement(n: usize, devices: usize) -> impl Strategy<Value = Placement> {
+    proptest::collection::vec(0usize..devices, n).prop_map(Placement)
+}
+
+fn cluster_with_bandwidth(bw: f64) -> Cluster {
+    Cluster::new(
+        vec![DeviceSpec::xeon(), DeviceSpec::p100(0), DeviceSpec::p100(1)],
+        LinkSpec { bandwidth_bps: bw, latency_s: 20e-6 },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_dags_are_valid(g in arb_dag()) {
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.topo_order().is_some());
+    }
+
+    #[test]
+    fn makespan_is_finite_and_bounded((g, seed) in arb_dag().prop_flat_map(|g| {
+        let n = g.num_nodes();
+        (Just(g), arb_placement(n, 3))
+    })) {
+        let (g, p) = (g, seed);
+        let c = cluster_with_bandwidth(6e9);
+        let rep = simulate(&g, &p, &c);
+        prop_assert!(rep.makespan_s.is_finite());
+        prop_assert!(rep.makespan_s >= 0.0);
+        // Upper bound: everything serial on the slowest device plus all
+        // communication time.
+        let serial: f64 = g.nodes().iter()
+            .map(|n| mars::sim::cost::op_time(n, c.device(0)))
+            .sum();
+        prop_assert!(rep.makespan_s <= serial + rep.comm_s + 1e-9);
+        // Lower bound: busiest device's compute.
+        let busiest = rep.device_busy_s.iter().copied().fold(0.0, f64::max);
+        prop_assert!(rep.makespan_s + 1e-12 >= busiest);
+    }
+
+    #[test]
+    fn colocated_placement_never_communicates(g in arb_dag()) {
+        let c = cluster_with_bandwidth(6e9);
+        for d in 0..c.num_devices() {
+            let rep = simulate(&g, &Placement::all_on(&g, d), &c);
+            prop_assert_eq!(rep.num_transfers, 0);
+            prop_assert_eq!(rep.comm_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn more_bandwidth_helps_within_anomaly_bound((g, p) in arb_dag().prop_flat_map(|g| {
+        let n = g.num_nodes();
+        (Just(g), arb_placement(n, 3))
+    })) {
+        // Strict makespan monotonicity in bandwidth does NOT hold for
+        // greedy list scheduling (Graham's scheduling anomalies: faster
+        // transfers can reorder ready queues into worse schedules — the
+        // proptest shrinker found a concrete instance). What is
+        // guaranteed: total link occupancy strictly shrinks, and the
+        // anomaly is bounded (classically ≤ 2×; we assert a tight 1.5×).
+        let slow_rep = simulate(&g, &p, &cluster_with_bandwidth(1e9));
+        let fast_rep = simulate(&g, &p, &cluster_with_bandwidth(64e9));
+        prop_assert!(fast_rep.comm_s <= slow_rep.comm_s + 1e-9,
+            "comm time must shrink with bandwidth: {} > {}", fast_rep.comm_s, slow_rep.comm_s);
+        prop_assert!(fast_rep.makespan_s <= 1.5 * slow_rep.makespan_s + 1e-9,
+            "anomaly beyond bound: fast {} vs slow {}", fast_rep.makespan_s, slow_rep.makespan_s);
+    }
+
+    #[test]
+    fn memory_check_matches_manual_sum((g, p) in arb_dag().prop_flat_map(|g| {
+        let n = g.num_nodes();
+        (Just(g), arb_placement(n, 3))
+    })) {
+        let c = cluster_with_bandwidth(6e9);
+        let rep = check_memory(&g, &p, &c).expect("tiny graphs always fit");
+        let manual: u64 = g.nodes().iter().map(|n| n.param_bytes + n.activation_bytes).sum();
+        prop_assert_eq!(rep.used_bytes.iter().sum::<u64>(), manual);
+    }
+
+    #[test]
+    fn cut_bytes_consistent_with_cut_edges((g, p) in arb_dag().prop_flat_map(|g| {
+        let n = g.num_nodes();
+        (Just(g), arb_placement(n, 3))
+    })) {
+        if p.cut_edges(&g) == 0 {
+            prop_assert_eq!(p.cut_bytes(&g), 0);
+        }
+        if p.cut_bytes(&g) > 0 {
+            prop_assert!(p.cut_edges(&g) > 0);
+        }
+        prop_assert!(p.cut_edges(&g) <= g.num_edges());
+    }
+
+    #[test]
+    fn faster_devices_never_hurt(g in arb_dag()) {
+        let slow_dev = Cluster::new(
+            vec![DeviceSpec { peak_gflops: 100.0, ..DeviceSpec::p100(0) }],
+            LinkSpec::pcie(),
+        );
+        let fast_dev = Cluster::new(
+            vec![DeviceSpec { peak_gflops: 1000.0, ..DeviceSpec::p100(0) }],
+            LinkSpec::pcie(),
+        );
+        let p = Placement::all_on(&g, 0);
+        let t_slow = simulate(&g, &p, &slow_dev).makespan_s;
+        let t_fast = simulate(&g, &p, &fast_dev).makespan_s;
+        prop_assert!(t_fast <= t_slow + 1e-12);
+    }
+}

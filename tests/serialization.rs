@@ -1,0 +1,69 @@
+//! Serialization round-trips across the public formats: graph JSON,
+//! placement JSON, parameter checkpoints.
+
+use mars::graph::generators::{Profile, Workload};
+use mars::graph::CompGraph;
+use mars::sim::{Cluster, Placement, SimEnv};
+
+#[test]
+fn every_workload_graph_roundtrips_through_json() {
+    for w in Workload::ALL {
+        let g = w.build(Profile::Reduced);
+        let json = g.to_json();
+        let g2 = CompGraph::from_json(&json).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        assert_eq!(g.num_nodes(), g2.num_nodes(), "{}", w.name());
+        assert_eq!(g.num_edges(), g2.num_edges(), "{}", w.name());
+        assert_eq!(g.total_flops(), g2.total_flops(), "{}", w.name());
+        assert_eq!(g.total_memory_bytes(), g2.total_memory_bytes(), "{}", w.name());
+        // Structure must be preserved exactly (same topo validity, same
+        // names in order).
+        for (a, b) in g.nodes().iter().zip(g2.nodes()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+}
+
+#[test]
+fn deserialized_graph_simulates_identically() {
+    let g = Workload::InceptionV3.build(Profile::Reduced);
+    let g2 = CompGraph::from_json(&g.to_json()).expect("roundtrip");
+    let c = Cluster::p100_quad();
+    let mut p = Placement::round_robin(&g, &[1, 2]);
+    p.enforce_compatibility(&g, &c);
+    let t1 = mars::sim::simulate(&g, &p, &c).makespan_s;
+    let t2 = mars::sim::simulate(&g2, &p, &c).makespan_s;
+    assert_eq!(t1, t2, "simulation must be bit-identical after JSON roundtrip");
+}
+
+#[test]
+fn placement_roundtrips_through_json() {
+    let g = Workload::Gnmt4.build(Profile::Reduced);
+    let c = Cluster::p100_quad();
+    let mut p = Placement::round_robin(&g, &[1, 2, 3]);
+    p.enforce_compatibility(&g, &c);
+    let json = serde_json::to_string(&p).expect("serialize");
+    let p2: Placement = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(p, p2);
+
+    // And it still evaluates the same.
+    let mut env1 = SimEnv::new(g.clone(), c.clone(), 9);
+    let mut env2 = SimEnv::new(g, c, 9);
+    use mars::sim::Environment;
+    assert_eq!(env1.evaluate(&p), env2.evaluate(&p2));
+}
+
+#[test]
+fn cluster_roundtrips_through_json() {
+    let c = Cluster::heterogeneous();
+    let json = serde_json::to_string(&c).expect("serialize");
+    let c2: Cluster = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(c.num_devices(), c2.num_devices());
+    for d in 0..c.num_devices() {
+        assert_eq!(c.device(d).peak_gflops, c2.device(d).peak_gflops);
+        assert_eq!(c.device(d).memory_bytes, c2.device(d).memory_bytes);
+    }
+    // Per-pair link overrides survive.
+    assert_eq!(c.link(1, 2).bandwidth_bps, c2.link(1, 2).bandwidth_bps);
+    assert_eq!(c.link(1, 3).bandwidth_bps, c2.link(1, 3).bandwidth_bps);
+}
