@@ -4,8 +4,8 @@ use mars_autograd::check::check_gradients_default;
 use mars_tensor::init;
 use mars_tensor::ops::CsrMatrix;
 use mars_tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 use std::sync::Arc;
 
 fn rng(seed: u64) -> StdRng {
@@ -290,7 +290,9 @@ fn grad_composite_lstm_gate() {
 #[test]
 fn grad_ppo_surrogate_shape() {
     // min(r·A, clamp(r, 0.8, 1.2)·A) with r = exp(lp − lp_old).
-    let logits = rand_m(4, 3, 35);
+    // Seed chosen so no ratio lands on the clip boundary, where the
+    // surrogate is nondifferentiable and finite differences disagree.
+    let logits = rand_m(4, 3, 36);
     check_gradients_default(&[logits], |t, v| {
         let lp = t.log_softmax_rows(v[0]);
         let chosen = t.select_per_row(lp, vec![0, 1, 2, 0]);

@@ -5,8 +5,8 @@
 use mars_autograd::check::check_gradients_default;
 use mars_autograd::{Tape, Var};
 use mars_tensor::{init, Matrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 
 /// Composed reference: one step of the same LSTM from primitive ops.
 fn composed_step(

@@ -1,21 +1,22 @@
 //! Property-based tests of the tape: random differentiable programs
-//! must satisfy structural gradient identities.
+//! must satisfy structural gradient identities. Runs on the in-repo
+//! seeded harness (`mars_rng::props!`).
 
 use mars_autograd::Tape;
+use mars_rng::rngs::StdRng;
+use mars_rng::{props, Rng};
 use mars_tensor::Matrix;
-use proptest::prelude::*;
 
-fn arb_matrix(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-2.0f32..2.0, r * c)
-        .prop_map(move |data| Matrix::from_vec(r, c, data))
+fn arb_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+    let data = (0..r * c).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    Matrix::from_vec(r, c, data)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn linearity_of_gradients(x in arb_matrix(3, 3), s in 0.1f32..3.0) {
+props! {
+    fn linearity_of_gradients(rng, 96) {
         // d/dx mean(s·x) == s · d/dx mean(x)
+        let x = arb_matrix(rng, 3, 3);
+        let s = rng.gen_range(0.1f32..3.0);
         let g1 = {
             let mut t = Tape::new();
             let v = t.leaf(x.clone(), true);
@@ -31,12 +32,12 @@ proptest! {
             t.backward(loss);
             t.grad(v).expect("grad").clone()
         };
-        prop_assert!(g1.max_abs_diff(&g0.scale(s)) < 1e-5);
+        assert!(g1.max_abs_diff(&g0.scale(s)) < 1e-5);
     }
 
-    #[test]
-    fn sum_rule(x in arb_matrix(2, 4)) {
+    fn sum_rule(rng, 96) {
         // d/dx sum(f(x) + g(x)) == d/dx sum f + d/dx sum g
+        let x = arb_matrix(rng, 2, 4);
         let combined = {
             let mut t = Tape::new();
             let v = t.leaf(x.clone(), true);
@@ -61,13 +62,13 @@ proptest! {
             t2.backward(loss2);
             gf.add(t2.grad(v2).expect("grad"))
         };
-        prop_assert!(combined.max_abs_diff(&parts) < 1e-5);
+        assert!(combined.max_abs_diff(&parts) < 1e-5);
     }
 
-    #[test]
-    fn chain_through_identity_ops(x in arb_matrix(3, 2)) {
+    fn chain_through_identity_ops(rng, 96) {
         // transpose∘transpose, slice of full range, gather(identity)
         // must all be gradient-transparent.
+        let x = arb_matrix(rng, 3, 2);
         let direct = {
             let mut t = Tape::new();
             let v = t.leaf(x.clone(), true);
@@ -88,13 +89,14 @@ proptest! {
             t.backward(loss);
             t.grad(v).expect("grad").clone()
         };
-        prop_assert!(direct.max_abs_diff(&wrapped) < 1e-6);
+        assert!(direct.max_abs_diff(&wrapped) < 1e-6);
     }
 
-    #[test]
-    fn softmax_gradient_rows_sum_to_zero(x in arb_matrix(3, 4), w in arb_matrix(4, 1)) {
+    fn softmax_gradient_rows_sum_to_zero(rng, 96) {
         // For y = f(softmax(x)), each row of dx sums to 0 (softmax is
         // invariant to per-row constant shifts).
+        let x = arb_matrix(rng, 3, 4);
+        let w = arb_matrix(rng, 4, 1);
         let mut t = Tape::new();
         let v = t.leaf(x, true);
         let wv = t.constant(w);
@@ -106,12 +108,12 @@ proptest! {
         let g = t.grad(v).expect("grad");
         for r in 0..g.rows() {
             let sum: f32 = g.row(r).iter().sum();
-            prop_assert!(sum.abs() < 1e-4, "row {} grad sum {}", r, sum);
+            assert!(sum.abs() < 1e-4, "row {} grad sum {}", r, sum);
         }
     }
 
-    #[test]
-    fn log_softmax_gradient_rows_sum_to_zero(x in arb_matrix(3, 5)) {
+    fn log_softmax_gradient_rows_sum_to_zero(rng, 96) {
+        let x = arb_matrix(rng, 3, 5);
         let mut t = Tape::new();
         let v = t.leaf(x, true);
         let lp = t.log_softmax_rows(v);
@@ -121,19 +123,19 @@ proptest! {
         let g = t.grad(v).expect("grad");
         for r in 0..g.rows() {
             let sum: f32 = g.row(r).iter().sum();
-            prop_assert!(sum.abs() < 1e-4);
+            assert!(sum.abs() < 1e-4);
         }
     }
 
-    #[test]
-    fn detached_subgraphs_get_no_gradient(x in arb_matrix(2, 2)) {
+    fn detached_subgraphs_get_no_gradient(rng, 96) {
+        let x = arb_matrix(rng, 2, 2);
         let mut t = Tape::new();
         let v = t.leaf(x.clone(), true);
         let detached = t.constant(x);
         let y = t.mul(v, detached);
         let loss = t.sum_all(y);
         t.backward(loss);
-        prop_assert!(t.grad(v).is_some());
-        prop_assert!(t.grad(detached).is_none());
+        assert!(t.grad(v).is_some());
+        assert!(t.grad(detached).is_none());
     }
 }

@@ -10,9 +10,8 @@ use mars_bench::{bench_label, cell, measure_placement, print_table, run_agent_mu
 use mars_core::agent::AgentKind;
 use mars_core::partitioner::best_min_cut;
 use mars_sim::Cluster;
-use serde::Serialize;
+use mars_json::Json;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     min_cut_s: String,
@@ -20,6 +19,17 @@ struct Row {
     cut_bytes_mb: f64,
 }
 
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(&self.workload)),
+            ("min_cut_s", Json::from(&self.min_cut_s)),
+            ("mars_s", Json::from(&self.mars_s)),
+            ("cut_bytes_mb", Json::from(self.cut_bytes_mb)),
+        ])
+    }
+}
 fn main() {
     let cfg = ExpConfig::from_env();
     println!(
@@ -62,5 +72,5 @@ fn main() {
         &["Workload", "Min-cut partitioner", "Mars"],
         &table,
     );
-    save_json("ablation_partitioner", &rows);
+    save_json("ablation_partitioner", &Json::arr(rows.iter().map(Row::to_json)));
 }

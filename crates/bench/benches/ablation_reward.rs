@@ -8,15 +8,24 @@ use mars_bench::{bench_label, print_table, run_agent_multi, save_json, ExpConfig
 use mars_core::agent::AgentKind;
 use mars_core::ppo::RewardShaping;
 use mars_graph::generators::Workload;
-use serde::Serialize;
+use mars_json::Json;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     shaping: String,
     mean_best_s: Option<f64>,
 }
 
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(&self.workload)),
+            ("shaping", Json::from(&self.shaping)),
+            ("mean_best_s", Json::from(self.mean_best_s)),
+        ])
+    }
+}
 fn main() {
     let cfg = ExpConfig::from_env();
     println!(
@@ -60,5 +69,5 @@ fn main() {
         &["Workload", "Shaping", "Mean best (s)"],
         &table,
     );
-    save_json("ablation_reward", &rows);
+    save_json("ablation_reward", &Json::arr(rows.iter().map(Row::to_json)));
 }

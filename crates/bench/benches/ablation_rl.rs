@@ -10,9 +10,8 @@ use mars_bench::{bench_label, print_table, run_agent_multi, save_json, ExpConfig
 use mars_core::agent::AgentKind;
 use mars_core::config::MarsConfig;
 use mars_graph::generators::Workload;
-use serde::Serialize;
+use mars_json::Json;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     algo: String,
@@ -20,6 +19,17 @@ struct Row {
     mean_samples_to_converge: Option<f64>,
 }
 
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(&self.workload)),
+            ("algo", Json::from(&self.algo)),
+            ("mean_best_s", Json::from(self.mean_best_s)),
+            ("mean_samples_to_converge", Json::from(self.mean_samples_to_converge)),
+        ])
+    }
+}
 fn reinforce_cfg(base: &MarsConfig) -> MarsConfig {
     let mut c = base.clone();
     c.ppo_epochs = 1;
@@ -86,5 +96,5 @@ fn main() {
         &["Workload", "Algorithm", "Mean best (s)", "Samples to converge"],
         &table,
     );
-    save_json("ablation_rl", &rows);
+    save_json("ablation_rl", &Json::arr(rows.iter().map(Row::to_json)));
 }

@@ -7,15 +7,24 @@
 use mars_bench::{bench_label, print_table, run_agent_multi, save_json, ExpConfig};
 use mars_core::agent::AgentKind;
 use mars_graph::generators::Workload;
-use serde::Serialize;
+use mars_json::Json;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     segment_size: usize,
     mean_best_s: Option<f64>,
 }
 
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(&self.workload)),
+            ("segment_size", Json::from(self.segment_size)),
+            ("mean_best_s", Json::from(self.mean_best_s)),
+        ])
+    }
+}
 fn main() {
     let cfg = ExpConfig::from_env();
     println!(
@@ -58,5 +67,5 @@ fn main() {
         &["Workload", "Segment size", "Mean best (s)"],
         &table,
     );
-    save_json("ablation_segment", &rows);
+    save_json("ablation_segment", &Json::arr(rows.iter().map(Row::to_json)));
 }

@@ -11,9 +11,8 @@
 use mars_bench::{bench_label, run_agent_multi, save_json, ExpConfig};
 use mars_core::agent::AgentKind;
 use mars_graph::generators::Workload;
-use serde::Serialize;
+use mars_json::Json;
 
-#[derive(Serialize)]
 struct Series {
     agent: String,
     samples: Vec<usize>,
@@ -29,12 +28,34 @@ struct Series {
     final_best_s: Option<f64>,
 }
 
-#[derive(Serialize)]
 struct Figure {
     workload: String,
     series: Vec<Series>,
 }
 
+
+impl Series {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("agent", Json::from(&self.agent)),
+            ("samples", Json::from(self.samples.clone())),
+            ("mean_valid_s", Json::from(self.mean_valid_s.clone())),
+            ("best_so_far_s", Json::from(self.best_so_far_s.clone())),
+            ("policy_entropy", Json::from(self.policy_entropy.clone())),
+            ("samples_to_converge_10pct", Json::from(self.samples_to_converge_10pct)),
+            ("final_best_s", Json::from(self.final_best_s)),
+        ])
+    }
+}
+
+impl Figure {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(&self.workload)),
+            ("series", Json::arr(self.series.iter().map(Series::to_json))),
+        ])
+    }
+}
 fn mean_opt(values: Vec<Option<f64>>) -> Option<f64> {
     let found: Vec<f64> = values.into_iter().flatten().collect();
     (!found.is_empty()).then(|| found.iter().sum::<f64>() / found.len() as f64)
@@ -132,5 +153,5 @@ fn main() {
         ascii_plot(&series);
         figures.push(Figure { workload: bench_label(w).to_string(), series });
     }
-    save_json("fig7_curves", &figures);
+    save_json("fig7_curves", &Json::arr(figures.iter().map(Figure::to_json)));
 }

@@ -16,9 +16,8 @@
 
 use mars_bench::{bench_label, run_agent_multi, save_json, ExpConfig, BENCHMARKS};
 use mars_core::agent::{AgentKind, TrainingLog};
-use serde::Serialize;
+use mars_json::Json;
 
-#[derive(Serialize)]
 struct Entry {
     workload: String,
     agent: String,
@@ -36,6 +35,20 @@ struct Entry {
 
 /// Machine+agent time when `log` first had a best ≤ `target`;
 /// `None` if it never did.
+
+impl Entry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(&self.workload)),
+            ("agent", Json::from(&self.agent)),
+            ("mean_time_to_target_s", Json::from(self.mean_time_to_target_s)),
+            ("total_hours", Json::from(self.total_hours)),
+            ("samples_to_target", Json::from(self.samples_to_target)),
+            ("reached", Json::from(self.reached)),
+            ("seeds", Json::from(self.seeds)),
+        ])
+    }
+}
 fn time_to_target(log: &TrainingLog, target: f64) -> Option<(f64, f64, usize)> {
     for r in &log.records {
         if r.best_so_far_s.is_some_and(|b| b <= target) {
@@ -138,5 +151,5 @@ fn main() {
     }
     let avg = savings.iter().sum::<f64>() / savings.len() as f64;
     println!("\nAverage pre-training saving: {:.1}% (paper reports 13.2%)", avg * 100.0);
-    save_json("fig8_training_time", &entries);
+    save_json("fig8_training_time", &Json::arr(entries.iter().map(Entry::to_json)));
 }

@@ -1,8 +1,10 @@
-//! Criterion microbenchmarks of the substrate kernels: dense/sparse
-//! matmul, GCN encoder forward, segment placer forward, and the
-//! discrete-event simulator.
+//! Microbenchmarks of the substrate kernels: dense/sparse matmul, GCN
+//! encoder forward, segment placer forward, and the discrete-event
+//! simulator. Uses the in-repo timing harness
+//! ([`mars_bench::harness`]); pass `--smoke` for a one-iteration
+//! correctness pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_bench::harness::{bench, BenchOpts};
 use mars_core::config::MarsConfig;
 use mars_core::encoder::{Encoder, GcnEncoder};
 use mars_core::placers::segment::SegmentSeq2Seq;
@@ -11,52 +13,48 @@ use mars_core::workload_input::WorkloadInput;
 use mars_graph::features::FEATURE_DIM;
 use mars_graph::generators::{Profile, Workload};
 use mars_nn::{FwdCtx, ParamStore};
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 use mars_sim::{simulate, Cluster, Placement};
 use mars_tensor::ops::{matmul, CsrMatrix};
 use mars_tensor::{init, Matrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul(opts: &BenchOpts) {
     for n in [32usize, 128, 256] {
         let mut rng = StdRng::seed_from_u64(1);
         let a = init::uniform(n, n, 1.0, &mut rng);
         let b = init::uniform(n, n, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| matmul(black_box(&a), black_box(&b)))
+        bench(opts, &format!("matmul/{n}"), || {
+            black_box(matmul(black_box(&a), black_box(&b)));
         });
     }
-    group.finish();
 }
 
-fn bench_spmm(c: &mut Criterion) {
+fn bench_spmm(opts: &BenchOpts) {
     let g = Workload::BertBase.build(Profile::Reduced);
     let input = WorkloadInput::from_graph(&g);
     let mut rng = StdRng::seed_from_u64(2);
     let x = init::uniform(input.num_ops, 64, 1.0, &mut rng);
-    c.bench_function("spmm_bert_adjacency_64", |bench| {
-        bench.iter(|| CsrMatrix::spmm(black_box(&input.adj), black_box(&x)))
+    bench(opts, "spmm_bert_adjacency_64", || {
+        black_box(CsrMatrix::spmm(black_box(&input.adj), black_box(&x)));
     });
 }
 
-fn bench_gcn_forward(c: &mut Criterion) {
+fn bench_gcn_forward(opts: &BenchOpts) {
     let g = Workload::InceptionV3.build(Profile::Reduced);
     let input = WorkloadInput::from_graph(&g);
     let mut rng = StdRng::seed_from_u64(3);
     let mut store = ParamStore::new();
     let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 48, 3, &mut rng);
-    c.bench_function("gcn_encoder_forward_inception", |bench| {
-        bench.iter(|| {
-            let mut ctx = FwdCtx::new(&store);
-            let h = enc.encode(&mut ctx, black_box(&input));
-            black_box(ctx.tape.value(h).sum())
-        })
+    bench(opts, "gcn_encoder_forward_inception", || {
+        let mut ctx = FwdCtx::new(&store);
+        let h = enc.encode(&mut ctx, black_box(&input));
+        black_box(ctx.tape.value(h).sum());
     });
 }
 
-fn bench_segment_placer(c: &mut Criterion) {
+fn bench_segment_placer(opts: &BenchOpts) {
     let cfg = MarsConfig::small();
     let mut rng = StdRng::seed_from_u64(4);
     let mut store = ParamStore::new();
@@ -70,31 +68,27 @@ fn bench_segment_placer(c: &mut Criterion) {
         &mut rng,
     );
     let reps = init::uniform(128, cfg.encoder_hidden, 1.0, &mut rng);
-    c.bench_function("segment_placer_forward_128ops", |bench| {
-        bench.iter(|| {
-            let mut ctx = FwdCtx::new(&store);
-            let r = ctx.tape.constant(reps.clone());
-            let l = placer.logits(&mut ctx, r);
-            black_box(ctx.tape.value(l).sum())
-        })
+    bench(opts, "segment_placer_forward_128ops", || {
+        let mut ctx = FwdCtx::new(&store);
+        let r = ctx.tape.constant(reps.clone());
+        let l = placer.logits(&mut ctx, r);
+        black_box(ctx.tape.value(l).sum());
     });
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator(opts: &BenchOpts) {
     let cluster = Cluster::p100_quad();
-    let mut group = c.benchmark_group("simulate_step");
     for w in [Workload::InceptionV3, Workload::BertBase] {
         let g = w.build(Profile::Reduced);
         let mut p = Placement::round_robin(&g, &[1, 2, 3, 4]);
         p.enforce_compatibility(&g, &cluster);
-        group.bench_with_input(BenchmarkId::from_parameter(w.name()), &g, |bench, graph| {
-            bench.iter(|| simulate(black_box(graph), black_box(&p), black_box(&cluster)))
+        bench(opts, &format!("simulate_step/{}", w.name()), || {
+            black_box(simulate(black_box(&g), black_box(&p), black_box(&cluster)));
         });
     }
-    group.finish();
 }
 
-fn bench_backward(c: &mut Criterion) {
+fn bench_backward(opts: &BenchOpts) {
     // Full forward+backward of a GCN layer stack, the PPO inner loop's
     // dominant cost.
     let g = Workload::InceptionV3.build(Profile::Reduced);
@@ -103,19 +97,20 @@ fn bench_backward(c: &mut Criterion) {
     let mut store = ParamStore::new();
     let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 48, 3, &mut rng);
     let targets = std::sync::Arc::new(Matrix::full(input.num_ops, 48, 0.5));
-    c.bench_function("gcn_forward_backward_inception", |bench| {
-        bench.iter(|| {
-            let mut ctx = FwdCtx::new(&store);
-            let h = enc.encode(&mut ctx, &input);
-            let loss = ctx.tape.bce_with_logits(h, targets.clone());
-            black_box(ctx.into_grads(loss, 1.0).len())
-        })
+    bench(opts, "gcn_forward_backward_inception", || {
+        let mut ctx = FwdCtx::new(&store);
+        let h = enc.encode(&mut ctx, &input);
+        let loss = ctx.tape.bce_with_logits(h, targets.clone());
+        black_box(ctx.into_grads(loss, 1.0).len());
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul, bench_spmm, bench_gcn_forward, bench_segment_placer, bench_simulator, bench_backward
+fn main() {
+    let opts = BenchOpts::from_args();
+    bench_matmul(&opts);
+    bench_spmm(&opts);
+    bench_gcn_forward(&opts);
+    bench_segment_placer(&opts);
+    bench_simulator(&opts);
+    bench_backward(&opts);
 }
-criterion_main!(kernels);

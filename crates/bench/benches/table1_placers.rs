@@ -15,9 +15,8 @@
 use mars_bench::{bench_label, cell_opt, print_table, run_agent_multi, save_json, ExpConfig, BENCHMARKS};
 use mars_core::agent::AgentKind;
 use mars_core::placers::PlacerChoice;
-use serde::Serialize;
+use mars_json::Json;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     seq2seq: String,
@@ -26,6 +25,18 @@ struct Row {
     mlp: String,
 }
 
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("model", Json::from(&self.model)),
+            ("seq2seq", Json::from(&self.seq2seq)),
+            ("trf_xl", Json::from(&self.trf_xl)),
+            ("seq2seq_segment", Json::from(&self.seq2seq_segment)),
+            ("mlp", Json::from(&self.mlp)),
+        ])
+    }
+}
 fn main() {
     let cfg = ExpConfig::from_env();
     println!(
@@ -90,5 +101,5 @@ fn main() {
         &["Models", "Seq2seq", "Trf-XL", "Seq2seq (segment)", "MLP (§3.3)"],
         &table_rows,
     );
-    save_json("table1_placers", &rows);
+    save_json("table1_placers", &Json::arr(rows.iter().map(Row::to_json)));
 }

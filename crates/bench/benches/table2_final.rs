@@ -15,9 +15,8 @@ use mars_bench::{
 use mars_core::agent::AgentKind;
 use mars_core::baselines::{gpu_only, human_expert};
 use mars_sim::Cluster;
-use serde::Serialize;
+use mars_json::Json;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     human: String,
@@ -28,6 +27,20 @@ struct Row {
     mars_no_pretrain: String,
 }
 
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("model", Json::from(&self.model)),
+            ("human", Json::from(&self.human)),
+            ("gpu_only", Json::from(&self.gpu_only)),
+            ("grouper_placer", Json::from(&self.grouper_placer)),
+            ("encoder_placer", Json::from(&self.encoder_placer)),
+            ("mars", Json::from(&self.mars)),
+            ("mars_no_pretrain", Json::from(&self.mars_no_pretrain)),
+        ])
+    }
+}
 fn main() {
     let cfg = ExpConfig::from_env();
     println!(
@@ -101,5 +114,5 @@ fn main() {
         ],
         &table_rows,
     );
-    save_json("table2_final", &rows);
+    save_json("table2_final", &Json::arr(rows.iter().map(Row::to_json)));
 }

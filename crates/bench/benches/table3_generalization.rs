@@ -11,9 +11,8 @@
 
 use mars_bench::{bench_label, cell_opt, print_table, save_json, ExpConfig, BENCHMARKS};
 use mars_core::generalize::{different_source, direct, generalize, similar_source};
-use serde::Serialize;
+use mars_json::Json;
 
-#[derive(Serialize)]
 struct Row {
     unseen: String,
     direct: String,
@@ -23,6 +22,19 @@ struct Row {
     different_source: String,
 }
 
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("unseen", Json::from(&self.unseen)),
+            ("direct", Json::from(&self.direct)),
+            ("similar", Json::from(&self.similar)),
+            ("different", Json::from(&self.different)),
+            ("similar_source", Json::from(&self.similar_source)),
+            ("different_source", Json::from(&self.different_source)),
+        ])
+    }
+}
 fn main() {
     let cfg = ExpConfig::from_env();
     // Paper protocol: fine-tune for 100 steps; source training until
@@ -115,5 +127,5 @@ fn main() {
         &["Unseen workloads", "Direct training", "Generalized from similar type", "Generalized from different type"],
         &table_rows,
     );
-    save_json("table3_generalization", &rows);
+    save_json("table3_generalization", &Json::arr(rows.iter().map(Row::to_json)));
 }

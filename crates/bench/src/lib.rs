@@ -17,9 +17,11 @@ use mars_core::workload_input::WorkloadInput;
 use mars_graph::features::FEATURE_DIM;
 use mars_graph::generators::{Profile, Workload};
 use mars_sim::{Cluster, Environment, EvalOutcome, Placement, SimEnv};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
+pub mod harness;
+
+use mars_json::Json;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -179,14 +181,14 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Persist an experiment record as JSON under `target/experiments/`.
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+pub fn save_json(name: &str, value: &Json) {
     let dir = PathBuf::from("target/experiments");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = f.write_all(serde_json::to_string_pretty(value).unwrap_or_default().as_bytes());
+        let _ = f.write_all(value.pretty().as_bytes());
         println!("(wrote {})", path.display());
     }
 }

@@ -21,8 +21,8 @@ use crate::workload_input::WorkloadInput;
 use mars_nn::{apply_grads, Adam, FwdCtx, ParamStore};
 use mars_sim::{Environment, EvalOutcome, Placement};
 use mars_tensor::{stats, Matrix};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
+use mars_rng::rngs::StdRng;
+use mars_rng::seq::SliceRandom;
 use std::time::Instant;
 
 /// Which agent architecture to build.
@@ -120,8 +120,8 @@ impl TrainingLog {
 /// use mars_graph::features::FEATURE_DIM;
 /// use mars_graph::generators::{Profile, Workload};
 /// use mars_sim::{Cluster, SimEnv};
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
+/// use mars_rng::rngs::StdRng;
+/// use mars_rng::SeedableRng;
 ///
 /// let graph = Workload::InceptionV3.build(Profile::Reduced);
 /// let input = WorkloadInput::from_graph(&graph);
@@ -446,7 +446,7 @@ mod tests {
     use mars_graph::features::FEATURE_DIM;
     use mars_graph::generators::{Profile, Workload};
     use mars_sim::{Cluster, SimEnv};
-    use rand::SeedableRng;
+    use mars_rng::SeedableRng;
 
     fn tiny_cfg() -> MarsConfig {
         let mut c = MarsConfig::small();

@@ -16,8 +16,8 @@ use crate::workload_input::WorkloadInput;
 use mars_autograd::Var;
 use mars_nn::{apply_grads, Adam, FwdCtx, ParamId, ParamStore};
 use mars_tensor::{init, Matrix};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mars_rng::seq::SliceRandom;
+use mars_rng::Rng;
 use std::sync::Arc;
 
 /// The DGI discriminator (bilinear weight) plus the pre-training loop.
@@ -136,8 +136,8 @@ mod tests {
     use crate::encoder::GcnEncoder;
     use mars_graph::features::FEATURE_DIM;
     use mars_graph::generators::{Profile, Workload};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn loss_decreases_with_training() {

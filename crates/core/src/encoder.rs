@@ -10,7 +10,7 @@
 use crate::workload_input::WorkloadInput;
 use mars_autograd::Var;
 use mars_nn::{FwdCtx, GcnLayer, Linear, ParamStore};
-use rand::Rng;
+use mars_rng::Rng;
 
 /// A node-representation encoder.
 pub trait Encoder {
@@ -136,8 +136,8 @@ mod tests {
     use super::*;
     use mars_graph::features::FEATURE_DIM;
     use mars_graph::generators::{Profile, Workload};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     fn input() -> WorkloadInput {
         WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced))

@@ -11,8 +11,8 @@ use crate::workload_input::WorkloadInput;
 use mars_graph::features::FEATURE_DIM;
 use mars_graph::generators::{Profile, Workload};
 use mars_sim::{Cluster, SimEnv};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 
 /// Result of one generalization run.
 pub struct GeneralizeResult {

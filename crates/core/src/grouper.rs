@@ -16,7 +16,7 @@
 use crate::placers::PlacerNet;
 use mars_autograd::Var;
 use mars_nn::{Attention, BiLstm, FwdCtx, Linear, LstmCell, ParamStore};
-use rand::Rng;
+use mars_rng::Rng;
 
 /// Grouper + seq2seq-placer policy producing per-op device log-probs.
 pub struct GrouperPlacerNet {
@@ -127,8 +127,8 @@ mod tests {
     use super::*;
     use mars_tensor::init;
     use mars_tensor::stats::softmax_rows;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn logits_rows_are_normalized_distributions() {

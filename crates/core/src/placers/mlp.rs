@@ -8,7 +8,7 @@
 use crate::placers::PlacerNet;
 use mars_autograd::Var;
 use mars_nn::{FwdCtx, Linear, ParamStore};
-use rand::Rng;
+use mars_rng::Rng;
 
 /// Per-op two-layer MLP.
 pub struct MlpPlacer {
@@ -54,8 +54,8 @@ impl PlacerNet for MlpPlacer {
 mod tests {
     use super::*;
     use mars_tensor::init;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn logits_shape() {

@@ -12,7 +12,7 @@
 use crate::placers::PlacerNet;
 use mars_autograd::Var;
 use mars_nn::{Attention, BiLstm, FwdCtx, Linear, LstmCell, ParamStore};
-use rand::Rng;
+use mars_rng::Rng;
 
 /// Segment-level seq2seq placer with attention.
 pub struct SegmentSeq2Seq {
@@ -94,8 +94,8 @@ impl PlacerNet for SegmentSeq2Seq {
 mod tests {
     use super::*;
     use mars_tensor::init;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn logits_shape_with_ragged_last_segment() {

@@ -11,7 +11,7 @@
 use crate::placers::PlacerNet;
 use mars_autograd::Var;
 use mars_nn::{Attention, BiLstm, FwdCtx, Linear, LstmCell, ParamStore};
-use rand::Rng;
+use mars_rng::Rng;
 
 /// Classic seq2seq placer over the full sequence.
 pub struct FullSeq2Seq {
@@ -73,8 +73,8 @@ impl PlacerNet for FullSeq2Seq {
 mod tests {
     use super::*;
     use mars_tensor::init;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn logits_shape() {

@@ -11,7 +11,7 @@
 use crate::placers::PlacerNet;
 use mars_autograd::Var;
 use mars_nn::{FwdCtx, Linear, ParamStore};
-use rand::Rng;
+use mars_rng::Rng;
 
 struct Block {
     wq: Linear,
@@ -136,8 +136,8 @@ impl PlacerNet for TrfXlPlacer {
 mod tests {
     use super::*;
     use mars_tensor::init;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn logits_shape_multiple_segments() {

@@ -11,7 +11,7 @@ use mars_autograd::Var;
 use mars_nn::FwdCtx;
 use mars_tensor::stats;
 use mars_tensor::Matrix;
-use rand::Rng;
+use mars_rng::Rng;
 
 /// One sampled placement with everything PPO needs to reuse it.
 #[derive(Clone)]
@@ -171,8 +171,8 @@ pub fn ppo_loss(
 mod tests {
     use super::*;
     use mars_nn::ParamStore;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn reward_is_negative_sqrt() {

@@ -1,13 +1,13 @@
 //! The computational-graph DAG.
 
 use crate::op::OpKind;
-use serde::{Deserialize, Serialize};
+use mars_json::Json;
 
 /// Index of a node within a [`CompGraph`].
 pub type NodeId = usize;
 
 /// Shape of an operation's output tensor.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TensorShape(pub Vec<usize>);
 
 impl TensorShape {
@@ -41,7 +41,7 @@ macro_rules! shape {
 }
 
 /// One operation node.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct OpNode {
     /// Human-readable name (`"layer3/conv2d"`).
     pub name: String,
@@ -62,7 +62,7 @@ pub struct OpNode {
 }
 
 /// A data-flow edge carrying `bytes` from `src` to `dst`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Edge {
     /// Producing node.
     pub src: NodeId,
@@ -73,7 +73,7 @@ pub struct Edge {
 }
 
 /// A directed acyclic computational graph.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CompGraph {
     /// Workload name (`"inception_v3"`).
     pub name: String,
@@ -254,12 +254,117 @@ impl CompGraph {
 
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("CompGraph is serializable")
+        self.to_json_value().to_string()
+    }
+
+    /// Serialize to a [`Json`] value tree.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(&self.name)),
+            ("nodes", Json::arr(self.nodes.iter().map(OpNode::to_json_value))),
+            ("edges", Json::arr(self.edges.iter().map(Edge::to_json_value))),
+        ])
     }
 
     /// Deserialize from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let v = Json::parse(s).map_err(|e| e.to_string())?;
+        Self::from_json_value(&v)
+    }
+
+    /// Deserialize from a [`Json`] value tree.
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        let name = v["name"].as_str().ok_or("graph: missing 'name'")?.to_string();
+        let nodes = v["nodes"]
+            .as_array()
+            .ok_or("graph: missing 'nodes'")?
+            .iter()
+            .map(OpNode::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let edges = v["edges"]
+            .as_array()
+            .ok_or("graph: missing 'edges'")?
+            .iter()
+            .map(Edge::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        for e in &edges {
+            if e.src >= nodes.len() || e.dst >= nodes.len() {
+                return Err(format!("graph: edge ({}, {}) out of range", e.src, e.dst));
+            }
+        }
+        Ok(CompGraph { name, nodes, edges })
+    }
+}
+
+impl TensorShape {
+    /// JSON encoding: a bare array of dimensions.
+    pub fn to_json_value(&self) -> Json {
+        Json::arr(self.0.iter().map(|&d| Json::from(d)))
+    }
+
+    /// Decode from the bare-array encoding.
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        let dims = v
+            .as_array()
+            .ok_or("shape: expected array")?
+            .iter()
+            .map(|d| d.as_usize().ok_or_else(|| format!("shape: bad dim {d}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TensorShape(dims))
+    }
+}
+
+impl OpNode {
+    /// JSON encoding as an object of the node's fields.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(&self.name)),
+            ("kind", Json::from(self.kind.name())),
+            ("output_shape", self.output_shape.to_json_value()),
+            ("flops", Json::from(self.flops)),
+            ("param_bytes", Json::from(self.param_bytes)),
+            ("activation_bytes", Json::from(self.activation_bytes)),
+            ("gpu_compatible", Json::from(self.gpu_compatible)),
+        ])
+    }
+
+    /// Decode an [`OpNode`] object.
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        let kind_name = v["kind"].as_str().ok_or("node: missing 'kind'")?;
+        Ok(OpNode {
+            name: v["name"].as_str().ok_or("node: missing 'name'")?.to_string(),
+            kind: OpKind::from_name(kind_name)
+                .ok_or_else(|| format!("node: unknown kind '{kind_name}'"))?,
+            output_shape: TensorShape::from_json_value(&v["output_shape"])?,
+            flops: v["flops"].as_f64().ok_or("node: missing 'flops'")?,
+            param_bytes: v["param_bytes"].as_u64().ok_or("node: missing 'param_bytes'")?,
+            activation_bytes: v["activation_bytes"]
+                .as_u64()
+                .ok_or("node: missing 'activation_bytes'")?,
+            gpu_compatible: v["gpu_compatible"]
+                .as_bool()
+                .ok_or("node: missing 'gpu_compatible'")?,
+        })
+    }
+}
+
+impl Edge {
+    /// JSON encoding as a `{src, dst, bytes}` object.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("src", Json::from(self.src)),
+            ("dst", Json::from(self.dst)),
+            ("bytes", Json::from(self.bytes)),
+        ])
+    }
+
+    /// Decode an [`Edge`] object.
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        Ok(Edge {
+            src: v["src"].as_usize().ok_or("edge: missing 'src'")?,
+            dst: v["dst"].as_usize().ok_or("edge: missing 'dst'")?,
+            bytes: v["bytes"].as_u64().ok_or("edge: missing 'bytes'")?,
+        })
     }
 }
 

@@ -5,13 +5,11 @@
 //! CPU/GPU compatibility flag used by the GPU-Only baseline and the
 //! simulator.
 
-use serde::{Deserialize, Serialize};
-
 /// Kind of a computational-graph operation.
 ///
 /// The list covers everything the six workload generators emit. Order
 /// is stable — it defines the one-hot feature layout.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Input placeholder (data tensors entering the graph).
     Input,
@@ -135,6 +133,17 @@ impl OpKind {
         !matches!(self, OpKind::DataPipeline | OpKind::Preprocess)
     }
 
+    /// Stable string name used in the JSON serialization (the variant
+    /// identifier, e.g. `"Conv2d"`).
+    pub fn name(self) -> String {
+        format!("{self:?}")
+    }
+
+    /// Inverse of [`OpKind::name`].
+    pub fn from_name(name: &str) -> Option<OpKind> {
+        Self::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
     /// Compute-heavy kinds (useful for analyses and tests).
     pub fn is_compute_heavy(self) -> bool {
         matches!(
@@ -168,6 +177,14 @@ mod tests {
         assert!(!OpKind::Preprocess.gpu_compatible());
         assert!(OpKind::Conv2d.gpu_compatible());
         assert!(OpKind::ApplyGradient.gpu_compatible());
+    }
+
+    #[test]
+    fn names_roundtrip_for_every_kind() {
+        for k in OpKind::ALL {
+            assert_eq!(OpKind::from_name(&k.name()), Some(k), "{k:?}");
+        }
+        assert_eq!(OpKind::from_name("NotAnOp"), None);
     }
 
     #[test]

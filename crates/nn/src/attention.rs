@@ -17,7 +17,7 @@ use crate::ctx::FwdCtx;
 use crate::param::{ParamId, ParamStore};
 use mars_autograd::Var;
 use mars_tensor::init;
-use rand::Rng;
+use mars_rng::Rng;
 
 /// Bahdanau-style additive attention.
 pub struct Attention {
@@ -84,8 +84,8 @@ impl Attention {
 mod tests {
     use super::*;
     use mars_tensor::Matrix;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn context_is_convex_combination() {

@@ -121,8 +121,8 @@ pub fn load_file(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<u
 mod tests {
     use super::*;
     use mars_tensor::init;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     fn store_with(names: &[&str], seed: u64) -> ParamStore {
         let mut rng = StdRng::seed_from_u64(seed);

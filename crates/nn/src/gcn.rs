@@ -11,7 +11,7 @@ use crate::param::{ParamId, ParamStore};
 use mars_autograd::Var;
 use mars_tensor::ops::CsrMatrix;
 use mars_tensor::{init, Matrix};
-use rand::Rng;
+use mars_rng::Rng;
 use std::sync::Arc;
 
 /// One graph-convolution layer with PReLU activation.
@@ -75,8 +75,8 @@ impl GcnLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     fn tiny_adj() -> Arc<CsrMatrix> {
         // 3-node path graph with self-loops, row-normalized.

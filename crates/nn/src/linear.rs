@@ -4,7 +4,7 @@ use crate::ctx::FwdCtx;
 use crate::param::{ParamId, ParamStore};
 use mars_autograd::Var;
 use mars_tensor::{init, Matrix};
-use rand::Rng;
+use mars_rng::Rng;
 
 /// `y = x · W (+ b)` with Xavier-initialized `W` and zero bias.
 pub struct Linear {
@@ -67,8 +67,8 @@ impl Linear {
 mod tests {
     use super::*;
     use crate::adam::Adam;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn shapes() {

@@ -15,7 +15,7 @@ use crate::param::{ParamId, ParamStore};
 use crate::util::slice_cols;
 use mars_autograd::Var;
 use mars_tensor::{init, Matrix};
-use rand::Rng;
+use mars_rng::Rng;
 
 /// Carried `(h, c)` state of an LSTM, as tape variables (each `1 × H`).
 #[derive(Clone, Copy)]
@@ -220,8 +220,8 @@ mod tests {
     use super::*;
     use crate::adam::Adam;
     use crate::linear::Linear;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn step_shapes_and_state_carry() {

@@ -7,8 +7,8 @@ use mars_autograd::{Tape, Var};
 use mars_nn::util::slice_cols;
 use mars_tensor::ops::CsrMatrix;
 use mars_tensor::{init, Matrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 use std::sync::Arc;
 
 fn rng(seed: u64) -> StdRng {

@@ -6,13 +6,13 @@
 //! training* rates calibrated so that the benchmark workloads land at
 //! the paper's absolute per-step times (see DESIGN.md §2).
 
-use serde::{Deserialize, Serialize};
+use mars_json::Json;
 
 /// Index of a device within a [`Cluster`].
 pub type DeviceId = usize;
 
 /// Device class.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeviceKind {
     /// Host CPU domain.
     Cpu,
@@ -21,7 +21,7 @@ pub enum DeviceKind {
 }
 
 /// One computational device.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DeviceSpec {
     /// Display name (`"/gpu:0"`).
     pub name: String,
@@ -65,7 +65,7 @@ impl DeviceSpec {
 }
 
 /// A directed interconnect between two devices.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LinkSpec {
     /// Sustained bandwidth in bytes/second.
     pub bandwidth_bps: f64,
@@ -86,14 +86,14 @@ impl LinkSpec {
 }
 
 /// A set of devices plus the pairwise interconnect.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Cluster {
     devices: Vec<DeviceSpec>,
     /// Uniform link used between every distinct device pair (fallback
     /// when no per-pair override exists).
     link: LinkSpec,
     /// Optional per-pair overrides, keyed `from * num_devices + to`.
-    #[serde(default)]
+    /// Absent in older serialized clusters; decoding defaults to empty.
     link_overrides: Vec<Option<LinkSpec>>,
 }
 
@@ -184,6 +184,129 @@ impl Cluster {
             }
         }
         self.link
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Serialize to a [`Json`] value tree.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("devices", Json::arr(self.devices.iter().map(DeviceSpec::to_json_value))),
+            ("link", self.link.to_json_value()),
+            (
+                "link_overrides",
+                Json::arr(self.link_overrides.iter().map(|o| match o {
+                    Some(l) => l.to_json_value(),
+                    None => Json::Null,
+                })),
+            ),
+        ])
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let v = Json::parse(s).map_err(|e| e.to_string())?;
+        Self::from_json_value(&v)
+    }
+
+    /// Decode a [`Cluster`] object. A missing `link_overrides` field is
+    /// treated as empty (older snapshots predate per-pair links).
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        let devices = v["devices"]
+            .as_array()
+            .ok_or("cluster: missing 'devices'")?
+            .iter()
+            .map(DeviceSpec::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        if devices.is_empty() {
+            return Err("cluster: needs at least one device".into());
+        }
+        let link = LinkSpec::from_json_value(&v["link"])?;
+        let link_overrides = match &v["link_overrides"] {
+            Json::Null => Vec::new(),
+            overrides => overrides
+                .as_array()
+                .ok_or("cluster: 'link_overrides' must be an array")?
+                .iter()
+                .map(|o| {
+                    if o.is_null() {
+                        Ok(None)
+                    } else {
+                        LinkSpec::from_json_value(o).map(Some)
+                    }
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
+        if !link_overrides.is_empty() && link_overrides.len() != devices.len() * devices.len() {
+            return Err("cluster: 'link_overrides' has wrong length".into());
+        }
+        Ok(Cluster { devices, link, link_overrides })
+    }
+}
+
+impl DeviceKind {
+    fn to_json_value(self) -> Json {
+        Json::Str(match self {
+            DeviceKind::Cpu => "Cpu".into(),
+            DeviceKind::Gpu => "Gpu".into(),
+        })
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Cpu") => Ok(DeviceKind::Cpu),
+            Some("Gpu") => Ok(DeviceKind::Gpu),
+            other => Err(format!("device kind: expected 'Cpu'/'Gpu', got {other:?}")),
+        }
+    }
+}
+
+impl DeviceSpec {
+    /// JSON encoding as an object of the spec's fields.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(&self.name)),
+            ("kind", self.kind.to_json_value()),
+            ("peak_gflops", Json::from(self.peak_gflops)),
+            ("util_knee_flops", Json::from(self.util_knee_flops)),
+            ("op_overhead_s", Json::from(self.op_overhead_s)),
+            ("memory_bytes", Json::from(self.memory_bytes)),
+        ])
+    }
+
+    /// Decode a [`DeviceSpec`] object.
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        Ok(DeviceSpec {
+            name: v["name"].as_str().ok_or("device: missing 'name'")?.to_string(),
+            kind: DeviceKind::from_json_value(&v["kind"])?,
+            peak_gflops: v["peak_gflops"].as_f64().ok_or("device: missing 'peak_gflops'")?,
+            util_knee_flops: v["util_knee_flops"]
+                .as_f64()
+                .ok_or("device: missing 'util_knee_flops'")?,
+            op_overhead_s: v["op_overhead_s"].as_f64().ok_or("device: missing 'op_overhead_s'")?,
+            memory_bytes: v["memory_bytes"].as_u64().ok_or("device: missing 'memory_bytes'")?,
+        })
+    }
+}
+
+impl LinkSpec {
+    /// JSON encoding as a `{bandwidth_bps, latency_s}` object.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("bandwidth_bps", Json::from(self.bandwidth_bps)),
+            ("latency_s", Json::from(self.latency_s)),
+        ])
+    }
+
+    /// Decode a [`LinkSpec`] object.
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        Ok(LinkSpec {
+            bandwidth_bps: v["bandwidth_bps"].as_f64().ok_or("link: missing 'bandwidth_bps'")?,
+            latency_s: v["latency_s"].as_f64().ok_or("link: missing 'latency_s'")?,
+        })
     }
 }
 

@@ -13,8 +13,8 @@ use crate::memory::{check_memory, OomError};
 use crate::placement::Placement;
 use mars_graph::CompGraph;
 use mars_tensor::init::randn_scalar;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 
 /// Outcome of evaluating one placement.
 #[derive(Clone, Debug, PartialEq)]

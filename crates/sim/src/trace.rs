@@ -11,12 +11,12 @@ use crate::device::Cluster;
 use crate::engine::StepReport;
 use crate::placement::Placement;
 use mars_graph::{CompGraph, NodeId};
-use serde::Serialize;
+use mars_json::Json;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// One op execution on a device.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct OpSpan {
     /// Executed op.
     pub node: NodeId,
@@ -29,7 +29,7 @@ pub struct OpSpan {
 }
 
 /// One tensor transfer between devices.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TransferSpan {
     /// Edge index in the graph.
     pub edge: usize,
@@ -46,7 +46,7 @@ pub struct TransferSpan {
 }
 
 /// A full step trace.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct StepTrace {
     /// Makespan and utilization summary.
     pub makespan_s: f64,
@@ -76,6 +76,38 @@ impl StepTrace {
     /// the same device or through a transfer.
     pub fn last_finisher(&self) -> Option<&OpSpan> {
         self.ops.iter().max_by(|a, b| a.end_s.total_cmp(&b.end_s))
+    }
+
+    /// JSON encoding of the whole trace (encode-only; traces are
+    /// experiment artifacts, never read back by the repo).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("makespan_s", Json::from(self.makespan_s)),
+            (
+                "ops",
+                Json::arr(self.ops.iter().map(|o| {
+                    Json::obj([
+                        ("node", Json::from(o.node)),
+                        ("device", Json::from(o.device)),
+                        ("start_s", Json::from(o.start_s)),
+                        ("end_s", Json::from(o.end_s)),
+                    ])
+                })),
+            ),
+            (
+                "transfers",
+                Json::arr(self.transfers.iter().map(|t| {
+                    Json::obj([
+                        ("edge", Json::from(t.edge)),
+                        ("from", Json::from(t.from)),
+                        ("to", Json::from(t.to)),
+                        ("start_s", Json::from(t.start_s)),
+                        ("end_s", Json::from(t.end_s)),
+                        ("bytes", Json::from(t.bytes)),
+                    ])
+                })),
+            ),
+        ])
     }
 
     /// Render a coarse ASCII Gantt chart (`width` columns).

@@ -5,7 +5,7 @@
 //! seed.
 
 use crate::Matrix;
-use rand::Rng;
+use mars_rng::Rng;
 
 /// Uniform initialization in `[-bound, bound]`.
 pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut impl Rng) -> Matrix {
@@ -39,8 +39,8 @@ pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
 
     #[test]
     fn deterministic_for_fixed_seed() {

@@ -7,19 +7,22 @@
 //!
 //! * [`Matrix`] — a row-major dense `f32` matrix with shape checking.
 //! * [`ops`] — matrix multiplication in all transpose variants, with a
-//!   blocked kernel that switches to [rayon]-parallel execution above a
-//!   size threshold.
+//!   blocked kernel that switches to parallel execution on the in-repo
+//!   thread pool above a size threshold.
+//! * [`pool`] — a small persistent thread pool (`std::thread` +
+//!   channels) backing the parallel kernels; no external crates.
 //! * [`stats`] — numerically-stable softmax / log-softmax / logsumexp
 //!   and reduction helpers used by the policy networks.
 //! * [`init`] — deterministic, seedable weight initializers
 //!   (Xavier/Glorot, uniform, Gaussian via Box–Muller).
 //!
-//! All randomness is injected through [`rand::Rng`] so callers control
-//! determinism; nothing in this crate reads ambient entropy.
+//! All randomness is injected through [`mars_rng::Rng`] so callers
+//! control determinism; nothing in this crate reads ambient entropy.
 
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod pool;
 pub mod stats;
 
 pub use matrix::Matrix;

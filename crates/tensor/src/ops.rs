@@ -6,11 +6,11 @@
 //! pass never has to materialize a transposed copy.
 //!
 //! Each kernel uses a cache-friendly i-k-j loop order and switches to a
-//! [rayon]-parallel row partition once the output is large enough for
-//! the fork/join overhead to pay off.
+//! row partition parallelized on the in-repo thread pool
+//! ([`crate::pool`]) once the output is large enough for the fork/join
+//! overhead to pay off.
 
-use crate::Matrix;
-use rayon::prelude::*;
+use crate::{pool, Matrix};
 
 /// Minimum number of multiply-accumulate operations before a kernel
 /// parallelizes across rows. Below this the sequential loop wins.
@@ -44,10 +44,9 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(m, n);
     if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
         let cols = n.max(1);
-        out.as_mut_slice()
-            .par_chunks_mut(cols)
-            .enumerate()
-            .for_each(|(i, out_row)| inner_nn(out_row, a.row(i), b));
+        pool::par_chunks_mut(out.as_mut_slice(), cols, |i, out_row| {
+            inner_nn(out_row, a.row(i), b)
+        });
     } else {
         for i in 0..m {
             let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
@@ -118,10 +117,9 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
         }
     };
     if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
-        out.as_mut_slice()
-            .par_chunks_mut(n.max(1))
-            .enumerate()
-            .for_each(|(i, out_row)| compute_row(i, out_row));
+        pool::par_chunks_mut(out.as_mut_slice(), n.max(1), |i, out_row| {
+            compute_row(i, out_row)
+        });
     } else {
         for i in 0..m {
             let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
@@ -234,10 +232,9 @@ impl CsrMatrix {
             }
         };
         if rows_big && self.rows > 1 {
-            out.as_mut_slice()
-                .par_chunks_mut(n.max(1))
-                .enumerate()
-                .for_each(|(r, out_row)| compute(r, out_row));
+            pool::par_chunks_mut(out.as_mut_slice(), n.max(1), |r, out_row| {
+                compute(r, out_row)
+            });
         } else {
             for r in 0..self.rows {
                 let row = &mut out.as_mut_slice()[r * n..(r + 1) * n];
@@ -328,6 +325,35 @@ mod tests {
         let fast = matmul(&a, &b);
         let slow = seq_matmul(&a, &b);
         assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn parallel_path_is_bit_identical_to_sequential_kernel() {
+        // 70³ MACs exceed PAR_FLOP_THRESHOLD, so matmul takes the pool
+        // path. Per-row arithmetic is the same `inner_nn` either way,
+        // so the results must match exactly — not just within tolerance.
+        let a = Matrix::from_fn(70, 70, |r, c| ((r + 2 * c) as f32 * 0.01).sin());
+        let b = Matrix::from_fn(70, 70, |r, c| ((3 * r + c) as f32 * 0.02).cos());
+        assert!(70 * 70 * 70 >= PAR_FLOP_THRESHOLD);
+        let fast = matmul(&a, &b);
+        let mut seq = Matrix::zeros(70, 70);
+        for i in 0..70 {
+            inner_nn(&mut seq.as_mut_slice()[i * 70..(i + 1) * 70], a.row(i), &b);
+        }
+        assert_eq!(fast, seq);
+    }
+
+    #[test]
+    fn threshold_switch_small_stays_sequential_and_agrees() {
+        // Below the cutoff (8³ MACs) matmul uses the plain loop; the
+        // same operands pushed through the parallel entry point via a
+        // larger embedding must agree exactly on the shared block.
+        let a = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f32 * 0.5);
+        let b = Matrix::from_fn(8, 8, |r, c| ((r + c) as f32).cos());
+        assert!(8 * 8 * 8 < PAR_FLOP_THRESHOLD);
+        let small = matmul(&a, &b);
+        let slow = seq_matmul(&a, &b);
+        assert!(small.max_abs_diff(&slow) < 1e-5);
     }
 
     #[test]

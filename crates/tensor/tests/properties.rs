@@ -1,126 +1,129 @@
-//! Property-based tests of the tensor kernels.
+//! Property-based tests of the tensor kernels, on the in-repo seeded
+//! harness (`mars_rng::props!`).
 
+use mars_rng::rngs::StdRng;
+use mars_rng::{props, Rng};
 use mars_tensor::ops::{matmul, matmul_nt, matmul_tn, CsrMatrix};
 use mars_tensor::stats::{entropy, logsumexp, softmax_rows};
 use mars_tensor::Matrix;
-use proptest::prelude::*;
 
-fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f32..10.0, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data))
-    })
+fn arb_matrix(rng: &mut StdRng, max_dim: usize) -> Matrix {
+    let r = rng.gen_range(1..=max_dim);
+    let c = rng.gen_range(1..=max_dim);
+    let data = (0..r * c).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+    Matrix::from_vec(r, c, data)
 }
 
-fn arb_matmul_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
-    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
-        let a = proptest::collection::vec(-5.0f32..5.0, m * k)
-            .prop_map(move |d| Matrix::from_vec(m, k, d));
-        let b = proptest::collection::vec(-5.0f32..5.0, k * n)
-            .prop_map(move |d| Matrix::from_vec(k, n, d));
-        (a, b)
-    })
+fn arb_matmul_pair(rng: &mut StdRng, max_dim: usize) -> (Matrix, Matrix) {
+    let m = rng.gen_range(1..=max_dim);
+    let k = rng.gen_range(1..=max_dim);
+    let n = rng.gen_range(1..=max_dim);
+    let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.gen_range(-5.0f32..5.0)).collect());
+    let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-5.0f32..5.0)).collect());
+    (a, b)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn transpose_is_involutive(m in arb_matrix(12)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
+props! {
+    fn transpose_is_involutive(rng, 128) {
+        let m = arb_matrix(rng, 12);
+        assert_eq!(m.transpose().transpose(), m);
     }
 
-    #[test]
-    fn matmul_distributes_over_addition((a, b) in arb_matmul_pair(8), scale in -2.0f32..2.0) {
+    fn matmul_distributes_over_addition(rng, 128) {
         // A·(B + sB) == A·B + s(A·B) up to f32 error.
+        let (a, b) = arb_matmul_pair(rng, 8);
+        let scale = rng.gen_range(-2.0f32..2.0);
         let b2 = b.scale(scale);
         let lhs = matmul(&a, &b.add(&b2));
         let ab = matmul(&a, &b);
         let rhs = ab.add(&matmul(&a, &b2));
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-2);
     }
 
-    #[test]
-    fn transpose_variants_consistent((a, b) in arb_matmul_pair(8)) {
+    fn transpose_variants_consistent(rng, 128) {
+        let (a, b) = arb_matmul_pair(rng, 8);
         let c = matmul(&a, &b);
-        prop_assert!(c.max_abs_diff(&matmul_tn(&a.transpose(), &b)) < 1e-3);
-        prop_assert!(c.max_abs_diff(&matmul_nt(&a, &b.transpose())) < 1e-3);
+        assert!(c.max_abs_diff(&matmul_tn(&a.transpose(), &b)) < 1e-3);
+        assert!(c.max_abs_diff(&matmul_nt(&a, &b.transpose())) < 1e-3);
     }
 
-    #[test]
-    fn matmul_transpose_identity((a, b) in arb_matmul_pair(8)) {
+    fn matmul_transpose_identity(rng, 128) {
         // (A·B)ᵀ == Bᵀ·Aᵀ
+        let (a, b) = arb_matmul_pair(rng, 8);
         let lhs = matmul(&a, &b).transpose();
         let rhs = matmul(&b.transpose(), &a.transpose());
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-3);
     }
 
-    #[test]
-    fn softmax_rows_are_distributions(m in arb_matrix(10)) {
+    fn softmax_rows_are_distributions(rng, 128) {
+        let m = arb_matrix(rng, 10);
         let p = softmax_rows(&m);
         for r in 0..p.rows() {
             let sum: f32 = p.row(r).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(p.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+            assert!((sum - 1.0).abs() < 1e-4);
+            assert!(p.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
             // Entropy bounded by ln(n).
             let e = entropy(p.row(r));
-            prop_assert!(e <= (p.cols() as f32).ln() + 1e-4);
+            assert!(e <= (p.cols() as f32).ln() + 1e-4);
         }
     }
 
-    #[test]
-    fn logsumexp_bounds(v in proptest::collection::vec(-50.0f32..50.0, 1..20)) {
+    fn logsumexp_bounds(rng, 128) {
+        let len = rng.gen_range(1..20usize);
+        let v: Vec<f32> = (0..len).map(|_| rng.gen_range(-50.0f32..50.0)).collect();
         let lse = logsumexp(&v);
         let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        prop_assert!(lse >= max - 1e-5);
-        prop_assert!(lse <= max + (v.len() as f32).ln() + 1e-4);
+        assert!(lse >= max - 1e-5);
+        assert!(lse <= max + (v.len() as f32).ln() + 1e-4);
     }
 
-    #[test]
-    fn csr_spmm_matches_dense(
-        (rows, cols) in (1usize..10, 1usize..10),
-        entries in proptest::collection::vec((0usize..10, 0usize..10, -5.0f32..5.0), 0..30),
-        xcols in 1usize..6,
-    ) {
-        let triplets: Vec<(usize, usize, f32)> = entries
-            .into_iter()
-            .map(|(r, c, v)| (r % rows, c % cols, v))
+    fn csr_spmm_matches_dense(rng, 128) {
+        let rows = rng.gen_range(1..10usize);
+        let cols = rng.gen_range(1..10usize);
+        let n_entries = rng.gen_range(0..30usize);
+        let triplets: Vec<(usize, usize, f32)> = (0..n_entries)
+            .map(|_| {
+                (
+                    rng.gen_range(0..10usize) % rows,
+                    rng.gen_range(0..10usize) % cols,
+                    rng.gen_range(-5.0f32..5.0),
+                )
+            })
             .collect();
+        let xcols = rng.gen_range(1..6usize);
         let sp = CsrMatrix::from_triplets(rows, cols, &triplets);
         let x = Matrix::from_fn(cols, xcols, |r, c| ((r * 7 + c * 3) as f32 * 0.1).sin());
         let dense = sp.to_dense();
-        prop_assert!(sp.spmm(&x).max_abs_diff(&matmul(&dense, &x)) < 1e-3);
+        assert!(sp.spmm(&x).max_abs_diff(&matmul(&dense, &x)) < 1e-3);
         let y = Matrix::from_fn(rows, xcols, |r, c| ((r + c) as f32 * 0.2).cos());
-        prop_assert!(sp.spmm_t(&y).max_abs_diff(&matmul(&dense.transpose(), &y)) < 1e-3);
+        assert!(sp.spmm_t(&y).max_abs_diff(&matmul(&dense.transpose(), &y)) < 1e-3);
     }
 
-    #[test]
-    fn gather_rows_preserves_content(m in arb_matrix(10), seed in 0u64..1000) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    fn gather_rows_preserves_content(rng, 128) {
+        use mars_rng::seq::SliceRandom;
+        let m = arb_matrix(rng, 10);
         let mut perm: Vec<usize> = (0..m.rows()).collect();
-        perm.shuffle(&mut rng);
+        perm.shuffle(rng);
         let g = m.gather_rows(&perm);
         for (new_r, &old_r) in perm.iter().enumerate() {
-            prop_assert_eq!(g.row(new_r), m.row(old_r));
+            assert_eq!(g.row(new_r), m.row(old_r));
         }
     }
 
-    #[test]
-    fn hcat_vcat_shapes(m in arb_matrix(8)) {
+    fn hcat_vcat_shapes(rng, 128) {
+        let m = arb_matrix(rng, 8);
         let h = m.hcat(&m);
-        prop_assert_eq!(h.shape(), (m.rows(), m.cols() * 2));
+        assert_eq!(h.shape(), (m.rows(), m.cols() * 2));
         let v = m.vcat(&m);
-        prop_assert_eq!(v.shape(), (m.rows() * 2, m.cols()));
-        prop_assert_eq!(v.slice_rows(0, m.rows()), m.clone());
-        prop_assert_eq!(v.slice_rows(m.rows(), 2 * m.rows()), m);
+        assert_eq!(v.shape(), (m.rows() * 2, m.cols()));
+        assert_eq!(v.slice_rows(0, m.rows()), m.clone());
+        assert_eq!(v.slice_rows(m.rows(), 2 * m.rows()), m);
     }
 
-    #[test]
-    fn frobenius_triangle_inequality(a in arb_matrix(6)) {
+    fn frobenius_triangle_inequality(rng, 128) {
+        let a = arb_matrix(rng, 6);
         let b = a.scale(-0.5);
         let sum = a.add(&b);
-        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-4);
+        assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-4);
     }
 }

@@ -16,8 +16,8 @@ use mars::core::workload_input::WorkloadInput;
 use mars::graph::features::FEATURE_DIM;
 use mars::graph::generators::{Profile, Workload};
 use mars::sim::{Cluster, Placement, SimEnv};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 
 fn main() {
     let graph = Workload::Gnmt4.build(Profile::Reduced);

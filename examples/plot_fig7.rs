@@ -23,9 +23,8 @@ fn main() {
         );
         std::process::exit(1);
     };
-    let data: serde_json::Value =
-        serde_json::from_str(&std::fs::read_to_string(path).expect("read json"))
-            .expect("parse json");
+    let data = mars::json::Json::parse(&std::fs::read_to_string(path).expect("read json"))
+        .expect("parse json");
 
     let out_dir = PathBuf::from("target/experiments");
     std::fs::create_dir_all(&out_dir).expect("mkdir");

@@ -19,8 +19,8 @@ use mars::graph::generators::{Profile, Workload};
 use mars::graph::OpKind;
 use mars::nn::{FwdCtx, ParamStore};
 use mars::tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 
 fn main() {
     let cfg = MarsConfig::small();

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic offline build, full test suite, and a
+# one-iteration smoke pass over every microbenchmark. This is the exact
+# gate CI runs; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q (offline)"
+cargo test -q --offline --workspace
+
+echo "==> kernel benches, smoke mode (one iteration each)"
+cargo bench -p mars-bench --bench kernels --offline -- --smoke
+
+echo "==> OK: build, tests, and bench smoke all green"

@@ -25,8 +25,8 @@ use mars::nn::checkpoint;
 use mars::sim::{
     check_memory, simulate_traced, Cluster, Environment, EvalOutcome, Placement, SimEnv,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
 

@@ -7,8 +7,8 @@ use mars::core::workload_input::WorkloadInput;
 use mars::graph::features::FEATURE_DIM;
 use mars::graph::generators::{Profile, Workload};
 use mars::sim::{Cluster, Environment, Placement, SimEnv};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 
 fn tiny_cfg() -> MarsConfig {
     let mut c = MarsConfig::small();

@@ -42,8 +42,8 @@ fn placement_roundtrips_through_json() {
     let c = Cluster::p100_quad();
     let mut p = Placement::round_robin(&g, &[1, 2, 3]);
     p.enforce_compatibility(&g, &c);
-    let json = serde_json::to_string(&p).expect("serialize");
-    let p2: Placement = serde_json::from_str(&json).expect("deserialize");
+    let json = p.to_json();
+    let p2 = Placement::from_json(&json).expect("deserialize");
     assert_eq!(p, p2);
 
     // And it still evaluates the same.
@@ -56,8 +56,8 @@ fn placement_roundtrips_through_json() {
 #[test]
 fn cluster_roundtrips_through_json() {
     let c = Cluster::heterogeneous();
-    let json = serde_json::to_string(&c).expect("serialize");
-    let c2: Cluster = serde_json::from_str(&json).expect("deserialize");
+    let json = c.to_json();
+    let c2 = Cluster::from_json(&json).expect("deserialize");
     assert_eq!(c.num_devices(), c2.num_devices());
     for d in 0..c.num_devices() {
         assert_eq!(c.device(d).peak_gflops, c2.device(d).peak_gflops);

@@ -1,0 +1,61 @@
+//! End-to-end smoke test: the smallest useful run of the full pipeline
+//! — tiny DGI pre-training plus a short PPO loop — must produce finite
+//! losses and a memory-valid placement. This is the test `verify.sh`
+//! leans on to prove the hermetic build actually works.
+
+use mars::core::agent::{Agent, AgentKind, TrainingLog};
+use mars::core::config::MarsConfig;
+use mars::core::workload_input::WorkloadInput;
+use mars::graph::features::FEATURE_DIM;
+use mars::graph::generators::{Profile, Workload};
+use mars::sim::{check_memory, simulate, Cluster, SimEnv};
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
+
+#[test]
+fn tiny_pipeline_produces_finite_losses_and_valid_placement() {
+    let mut cfg = MarsConfig::small();
+    cfg.encoder_hidden = 16;
+    cfg.placer_hidden = 16;
+    cfg.attn_dim = 8;
+    cfg.segment_size = 24;
+    cfg.dgi_iters = 15;
+
+    let graph = Workload::InceptionV3.build(Profile::Reduced);
+    let input = WorkloadInput::from_graph(&graph);
+    let cluster = Cluster::p100_quad();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut agent =
+        Agent::new(AgentKind::Mars, cfg, FEATURE_DIM, cluster.num_devices(), &mut rng);
+
+    // DGI pre-training: every contrastive loss must be finite, and the
+    // best loss must actually come from the curve.
+    let report = agent.pretrain(&input, &mut rng).expect("Mars agent pre-trains");
+    assert!(!report.losses.is_empty());
+    assert!(report.losses.iter().all(|l| l.is_finite()), "non-finite DGI loss");
+    assert_eq!(report.losses[report.best_iter], report.best_loss);
+
+    // Short PPO loop against the simulator.
+    let mut env = SimEnv::new(graph.clone(), cluster.clone(), 7);
+    let mut log = TrainingLog::default();
+    agent.train(&mut env, &input, 32, &mut rng, &mut log);
+
+    assert!(log.total_samples >= 32);
+    assert!(!log.records.is_empty(), "no policy updates recorded");
+    for r in &log.records {
+        assert!(r.valid_fraction.is_finite() && (0.0..=1.0).contains(&r.valid_fraction));
+        assert!(r.policy_entropy.is_finite(), "non-finite policy entropy");
+        if let Some(m) = r.mean_valid_reading_s {
+            assert!(m.is_finite() && m > 0.0);
+        }
+    }
+
+    // The best placement must be memory-valid and simulate to the
+    // logged reading.
+    let best = log.best_placement.expect("found a valid placement");
+    let reading = log.best_reading_s.expect("recorded its reading");
+    assert!(reading.is_finite() && reading > 0.0);
+    check_memory(&graph, &best, &cluster).expect("best placement fits in device memory");
+    let rep = simulate(&graph, &best, &cluster);
+    assert!(rep.makespan_s.is_finite() && rep.makespan_s > 0.0);
+}
