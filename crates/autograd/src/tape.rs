@@ -447,6 +447,7 @@ impl Tape {
     /// Gradients are available through [`Tape::grad`] afterwards. A
     /// second call resets previous gradients.
     pub fn backward(&mut self, loss: Var) {
+        let _span = mars_telemetry::span("autograd.tape.backward");
         assert_eq!(
             self.value(loss).shape(),
             (1, 1),

@@ -107,10 +107,12 @@ fn bench_backward(opts: &BenchOpts) {
 
 fn main() {
     let opts = BenchOpts::from_args();
+    opts.install_telemetry();
     bench_matmul(&opts);
     bench_spmm(&opts);
     bench_gcn_forward(&opts);
     bench_segment_placer(&opts);
     bench_simulator(&opts);
     bench_backward(&opts);
+    opts.finish();
 }

@@ -12,7 +12,10 @@
 //! | GNMT-4       | 2.040   | 1.449  | 1.440             |
 //! | BERT         | 12.529  | 11.363 | 9.821             |
 
-use mars_bench::{bench_label, cell_opt, print_table, run_agent_multi, save_json, ExpConfig, BENCHMARKS};
+use mars_bench::{
+    bench_label, cell_opt, finish_runs, note_run, print_table, run_agent_multi, save_json,
+    telemetry_from_env, ExpConfig, BENCHMARKS,
+};
 use mars_core::agent::AgentKind;
 use mars_core::placers::PlacerChoice;
 use mars_json::Json;
@@ -39,6 +42,7 @@ impl Row {
 }
 fn main() {
     let cfg = ExpConfig::from_env();
+    telemetry_from_env();
     println!(
         "Table 1 reproduction — profile {:?}, budget {} placements/placer, {} seeds",
         cfg.profile, cfg.budget, cfg.seeds
@@ -66,13 +70,7 @@ fn main() {
                 cfg.budget,
                 (wi * 8 + pi) as u64 + 300,
             );
-            eprintln!(
-                "  frozen-GCN + {} on {}: mean best {:?} over seeds {:?}",
-                choice.label(),
-                w.name(),
-                r.mean_best,
-                r.bests
-            );
+            note_run(&format!("frozen-GCN + {}", choice.label()), w, &r);
             best.push(r.mean_best);
         }
         rows.push(Row {
@@ -102,4 +100,5 @@ fn main() {
         &table_rows,
     );
     save_json("table1_placers", &Json::arr(rows.iter().map(Row::to_json)));
+    finish_runs("table1_placers");
 }

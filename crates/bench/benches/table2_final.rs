@@ -9,8 +9,8 @@
 //! | BERT         | OOM   | OOM      | 12.661  | 11.737  | 9.214 | 11.363         |
 
 use mars_bench::{
-    bench_label, cell, cell_opt, measure_placement, print_table, run_agent_multi, save_json,
-    ExpConfig, BENCHMARKS,
+    bench_label, cell, cell_opt, finish_runs, measure_placement, note_run, print_table,
+    run_agent_multi, save_json, telemetry_from_env, ExpConfig, BENCHMARKS,
 };
 use mars_core::agent::AgentKind;
 use mars_core::baselines::{gpu_only, human_expert};
@@ -43,6 +43,7 @@ impl Row {
 }
 fn main() {
     let cfg = ExpConfig::from_env();
+    telemetry_from_env();
     println!(
         "Table 2 reproduction — profile {:?}, budget {} placements/agent, {} seeds",
         cfg.profile, cfg.budget, cfg.seeds
@@ -66,13 +67,7 @@ fn main() {
         .enumerate()
         {
             let r = run_agent_multi(&cfg, kind, w, pre, cfg.budget, (wi * 16 + ai) as u64 + 100);
-            eprintln!(
-                "  {} on {}: mean best {:?} over seeds {:?}",
-                kind.label(),
-                w.name(),
-                r.mean_best,
-                r.bests
-            );
+            note_run(&kind.label(), w, &r);
             agent_best.push(r.mean_best);
         }
 
@@ -115,4 +110,5 @@ fn main() {
         &table_rows,
     );
     save_json("table2_final", &Json::arr(rows.iter().map(Row::to_json)));
+    finish_runs("table2_final");
 }

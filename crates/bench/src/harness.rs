@@ -6,6 +6,8 @@
 //! `cargo bench -p mars-bench --bench kernels`; pass `--smoke` for a
 //! single-iteration correctness pass (used by `scripts/verify.sh`).
 
+use mars_json::Json;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Parsed command-line options for a bench binary.
@@ -16,6 +18,8 @@ pub struct BenchOpts {
     pub smoke: bool,
     /// Substring filter over benchmark names (first free argument).
     pub filter: Option<String>,
+    /// Record a telemetry JSONL capture to this path (`--telemetry`).
+    pub telemetry: Option<String>,
 }
 
 impl BenchOpts {
@@ -24,15 +28,37 @@ impl BenchOpts {
     pub fn from_args() -> Self {
         let mut smoke = false;
         let mut filter = None;
-        for arg in std::env::args().skip(1) {
+        let mut telemetry = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--smoke" => smoke = true,
+                "--telemetry" => telemetry = args.next(),
                 "--bench" | "--test" => {}
                 s if s.starts_with("--") => {}
                 s => filter = Some(s.to_string()),
             }
         }
-        BenchOpts { smoke, filter }
+        BenchOpts { smoke, filter, telemetry }
+    }
+
+    /// Install the file recorder when `--telemetry <path>` was given.
+    /// Call [`BenchOpts::finish`] at the end of the bench to flush it.
+    pub fn install_telemetry(&self) {
+        if let Some(path) = &self.telemetry {
+            if let Err(e) = mars_telemetry::install_file(path) {
+                eprintln!("cannot open telemetry sink '{path}': {e}");
+            }
+        }
+    }
+
+    /// Flush and close the telemetry recorder, if one was installed.
+    pub fn finish(&self) {
+        if let Some(path) = &self.telemetry {
+            if mars_telemetry::uninstall() {
+                println!("(telemetry written to {path})");
+            }
+        }
     }
 
     /// Whether `name` passes the filter.
@@ -52,6 +78,32 @@ pub struct Sample {
     pub median: Duration,
     /// Mean per-iteration time.
     pub mean: Duration,
+}
+
+impl Sample {
+    /// JSON record for the machine-readable sample log.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.as_str().into()),
+            ("iters", (self.iters as f64).into()),
+            ("median_ns", (self.median.as_nanos() as f64).into()),
+            ("mean_ns", (self.mean.as_nanos() as f64).into()),
+        ])
+    }
+}
+
+/// Append one sample to `target/experiments/bench_samples.jsonl` so
+/// runs accumulate a machine-readable history next to the table JSON.
+fn append_sample_jsonl(sample: &Sample) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if let Ok(mut f) =
+        std::fs::OpenOptions::new().create(true).append(true).open(dir.join("bench_samples.jsonl"))
+    {
+        let _ = writeln!(f, "{}", sample.to_json());
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -107,7 +159,9 @@ pub fn bench<F: FnMut()>(opts: &BenchOpts, name: &str, mut f: F) -> Option<Sampl
         fmt_duration(median),
         fmt_duration(mean)
     );
-    Some(Sample { name: name.to_string(), iters, median, mean })
+    let sample = Sample { name: name.to_string(), iters, median, mean };
+    append_sample_jsonl(&sample);
+    Some(sample)
 }
 
 #[cfg(test)]
@@ -116,7 +170,7 @@ mod tests {
 
     #[test]
     fn smoke_mode_runs_once() {
-        let opts = BenchOpts { smoke: true, filter: None };
+        let opts = BenchOpts { smoke: true, filter: None, telemetry: None };
         let mut count = 0;
         let r = bench(&opts, "noop", || count += 1);
         assert!(r.is_none());
@@ -125,7 +179,7 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching() {
-        let opts = BenchOpts { smoke: true, filter: Some("matmul".into()) };
+        let opts = BenchOpts { smoke: true, filter: Some("matmul".into()), telemetry: None };
         let mut ran = false;
         bench(&opts, "simulate_step", || ran = true);
         assert!(!ran);
@@ -134,7 +188,7 @@ mod tests {
 
     #[test]
     fn measured_mode_reports_stats() {
-        let opts = BenchOpts { smoke: false, filter: None };
+        let opts = BenchOpts { smoke: false, filter: None, telemetry: None };
         // A cheap body: the harness clamps iteration counts, so this
         // stays fast even with the 300 ms warm-up.
         let sample = bench(&opts, "spin", || {

@@ -180,6 +180,61 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!();
 }
 
+/// Install a telemetry JSONL recorder when `MARS_TELEMETRY=<path>` is
+/// set. Call [`finish_runs`] at the end of the bench to flush it.
+pub fn telemetry_from_env() -> bool {
+    match std::env::var("MARS_TELEMETRY") {
+        Ok(path) if !path.is_empty() => match mars_telemetry::install_file(&path) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("cannot open telemetry sink '{path}': {e}");
+                false
+            }
+        },
+        _ => false,
+    }
+}
+
+/// Record one aggregated (agent, workload) training run in telemetry —
+/// the structured replacement for the old per-run stderr lines. Bumps
+/// the `bench.runs` / `bench.runs_no_valid` counters and, when a
+/// recorder is active, emits a `bench.run` event carrying the per-seed
+/// bests.
+pub fn note_run(label: &str, workload: Workload, r: &MultiRunResult) {
+    mars_telemetry::counter("bench.runs").inc();
+    if r.mean_best.is_none() {
+        mars_telemetry::counter("bench.runs_no_valid").inc();
+    }
+    if mars_telemetry::active() {
+        mars_telemetry::event(
+            "bench.run",
+            &[
+                ("agent", label.into()),
+                ("workload", workload.name().into()),
+                ("mean_best_s", r.mean_best.unwrap_or(f64::NAN).into()),
+                ("seeds", (r.bests.len() as f64).into()),
+                (
+                    "seeds_valid",
+                    (r.bests.iter().filter(|b| b.is_some()).count() as f64).into(),
+                ),
+            ],
+        );
+    }
+}
+
+/// Print the single end-of-bench summary line for the runs noted via
+/// [`note_run`] and flush the env-installed recorder, if any.
+pub fn finish_runs(table: &str) {
+    let runs = mars_telemetry::counter("bench.runs").get();
+    let no_valid = mars_telemetry::counter("bench.runs_no_valid").get();
+    eprintln!("{table}: {runs} training runs, {no_valid} found no valid placement");
+    if mars_telemetry::uninstall() {
+        if let Ok(path) = std::env::var("MARS_TELEMETRY") {
+            println!("(telemetry written to {path})");
+        }
+    }
+}
+
 /// Persist an experiment record as JSON under `target/experiments/`.
 pub fn save_json(name: &str, value: &Json) {
     let dir = PathBuf::from("target/experiments");

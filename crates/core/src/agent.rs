@@ -16,7 +16,7 @@ use crate::placers::segment::SegmentSeq2Seq;
 use crate::placers::seq2seq::FullSeq2Seq;
 use crate::placers::trfxl::TrfXlPlacer;
 use crate::placers::{PlacerChoice, PlacerNet};
-use crate::ppo::{ppo_loss, sample_actions, EmaBaseline, SampleRecord};
+use crate::ppo::{ppo_loss_stats, sample_actions, EmaBaseline, PpoStats, SampleRecord};
 use crate::workload_input::WorkloadInput;
 use mars_nn::{apply_grads, Adam, FwdCtx, ParamStore};
 use mars_sim::{Environment, EvalOutcome, Placement};
@@ -277,6 +277,7 @@ impl Agent {
     /// GCN encoder.
     pub fn pretrain(&mut self, input: &WorkloadInput, rng: &mut StdRng) -> Option<DgiReport> {
         let dgi = self.dgi.as_ref()?;
+        let _span = mars_telemetry::span("core.agent.pretrain");
         let report = pretrain(
             &mut self.store,
             self.encoder.as_ref(),
@@ -356,12 +357,14 @@ impl Agent {
         rng: &mut StdRng,
         log: &mut TrainingLog,
     ) {
+        let _span = mars_telemetry::span("core.agent.train");
         let t0 = Instant::now();
         let machine_t0 = env.machine_seconds();
         let start_wall = log.train_wall_s;
 
         while log.total_samples < max_samples {
             // ---- Sampling phase: one forward, S samples. ----
+            let sample_span = mars_telemetry::span("core.agent.sample");
             let probs = self.policy_probs(input);
             let policy_entropy = (0..probs.rows())
                 .map(|r| mars_tensor::stats::entropy(probs.row(r)) as f64)
@@ -370,20 +373,33 @@ impl Agent {
             let round = self.cfg.samples_per_update.min(max_samples - log.total_samples);
             let mut records: Vec<SampleRecord> = Vec::with_capacity(round);
             let mut valid_readings: Vec<f64> = Vec::new();
+            let (mut oom_count, mut bad_count) = (0usize, 0usize);
+            let mut reward_sum = 0.0f64;
             for _ in 0..round {
                 let (actions, old_logp) = sample_actions(&probs, rng);
                 let placement = Placement(actions.clone());
                 let outcome = env.evaluate(&placement);
                 let reading = outcome.reading_s(100.0);
-                if let EvalOutcome::Valid { per_step_s } = outcome {
-                    valid_readings.push(per_step_s);
-                    let better = log.best_reading_s.is_none_or(|b| per_step_s < b);
-                    if better {
-                        log.best_reading_s = Some(per_step_s);
-                        log.best_placement = Some(placement.clone());
+                match outcome {
+                    EvalOutcome::Valid { per_step_s } => {
+                        valid_readings.push(per_step_s);
+                        let better = log.best_reading_s.is_none_or(|b| per_step_s < b);
+                        if better {
+                            log.best_reading_s = Some(per_step_s);
+                            log.best_placement = Some(placement.clone());
+                        }
+                    }
+                    EvalOutcome::Invalid { .. } => {
+                        oom_count += 1;
+                        mars_telemetry::counter("train.oom_penalty").inc();
+                    }
+                    EvalOutcome::Bad { .. } => {
+                        bad_count += 1;
+                        mars_telemetry::counter("train.eval_cutoff").inc();
                     }
                 }
                 let reward = self.cfg.reward_shaping.reward(reading);
+                reward_sum += reward as f64;
                 let advantage = self.baseline.advantage(reward, self.cfg.baseline_mu);
                 records.push(SampleRecord {
                     actions,
@@ -394,9 +410,14 @@ impl Agent {
                 });
                 log.total_samples += 1;
             }
+            drop(sample_span);
 
             // ---- PPO update phase. ----
+            let update_span = mars_telemetry::span("core.agent.update");
             let mut idx: Vec<usize> = (0..records.len()).collect();
+            let mut stats_acc = PpoStats::default();
+            let mut stats_n = 0usize;
+            let mut grad_norm_sq = 0.0f64;
             for _epoch in 0..self.cfg.ppo_epochs {
                 idx.shuffle(rng);
                 let mb = self.cfg.minibatches.min(idx.len().max(1));
@@ -407,24 +428,67 @@ impl Agent {
                     let mut ctx = FwdCtx::new(&self.store);
                     let reps = self.reps_on(&mut ctx, input);
                     let logits = self.placer.logits(&mut ctx, reps);
-                    let loss = ppo_loss(
+                    let (loss, stats) = ppo_loss_stats(
                         &mut ctx,
                         logits,
                         &batch,
                         self.cfg.clip_eps,
                         self.cfg.entropy_coef,
                     );
+                    stats_acc.clip_fraction += stats.clip_fraction;
+                    stats_acc.approx_kl += stats.approx_kl;
+                    stats_acc.entropy += stats.entropy;
+                    stats_n += 1;
                     let grads = ctx.into_grads(loss, 1.0);
+                    if mars_telemetry::active() {
+                        grad_norm_sq += grads
+                            .iter()
+                            .map(|(_, g)| {
+                                g.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()
+                            })
+                            .sum::<f64>();
+                    }
                     apply_grads(&mut self.store, grads);
                     self.adam.step(&mut self.store, self.cfg.grad_clip);
                 }
             }
+            drop(update_span);
 
             let mean_valid = if valid_readings.is_empty() {
                 None
             } else {
                 Some(valid_readings.iter().sum::<f64>() / valid_readings.len() as f64)
             };
+            if mars_telemetry::active() {
+                let inv = 1.0 / stats_n.max(1) as f32;
+                let advs: Vec<f32> = records.iter().map(|r| r.advantage).collect();
+                let adv_mean = advs.iter().sum::<f32>() / advs.len().max(1) as f32;
+                let adv_var = advs.iter().map(|a| (a - adv_mean) * (a - adv_mean)).sum::<f32>()
+                    / advs.len().max(1) as f32;
+                mars_telemetry::event(
+                    "ppo.update",
+                    &[
+                        ("samples_so_far", (log.total_samples as f64).into()),
+                        ("reward_mean", (reward_sum / round.max(1) as f64).into()),
+                        ("baseline", self.baseline.value().unwrap_or(0.0).into()),
+                        ("adv_mean", adv_mean.into()),
+                        ("adv_std", adv_var.sqrt().into()),
+                        ("clip_fraction", (stats_acc.clip_fraction * inv).into()),
+                        ("approx_kl", (stats_acc.approx_kl * inv).into()),
+                        ("entropy", (stats_acc.entropy * inv).into()),
+                        ("grad_norm", grad_norm_sq.sqrt().into()),
+                        ("policy_entropy", policy_entropy.into()),
+                        ("oom_count", (oom_count as f64).into()),
+                        ("bad_count", (bad_count as f64).into()),
+                        (
+                            "valid_fraction",
+                            (valid_readings.len() as f64 / round.max(1) as f64).into(),
+                        ),
+                        ("mean_valid_reading_s", mean_valid.unwrap_or(f64::NAN).into()),
+                        ("best_so_far_s", log.best_reading_s.unwrap_or(f64::NAN).into()),
+                    ],
+                );
+            }
             log.records.push(TrainingRecord {
                 samples_so_far: log.total_samples,
                 mean_valid_reading_s: mean_valid,

@@ -57,6 +57,19 @@ impl Dgi {
         input: &WorkloadInput,
         perm: &[usize],
     ) -> Var {
+        self.loss_stats(ctx, encoder, input, perm).0
+    }
+
+    /// [`Dgi::loss`] plus the discriminator's accuracy: the fraction of
+    /// the `2N` local–global pairs it classifies correctly (positive
+    /// score > 0, negative score < 0).
+    pub fn loss_stats(
+        &self,
+        ctx: &mut FwdCtx<'_>,
+        encoder: &dyn Encoder,
+        input: &WorkloadInput,
+        perm: &[usize],
+    ) -> (Var, f32) {
         let n = input.num_ops;
         assert_eq!(perm.len(), n);
 
@@ -87,7 +100,15 @@ impl Dgi {
         for i in 0..n {
             targets.set(i, 0, 1.0);
         }
-        ctx.tape.bce_with_logits(all, Arc::new(targets))
+        let loss = ctx.tape.bce_with_logits(all, Arc::new(targets));
+
+        // Discriminator accuracy: the sigmoid crosses 0.5 at logit 0.
+        let pos = ctx.tape.value(pos_scores);
+        let neg = ctx.tape.value(neg_scores);
+        let correct = pos.as_slice().iter().filter(|&&s| s > 0.0).count()
+            + neg.as_slice().iter().filter(|&&s| s < 0.0).count();
+        let acc = correct as f32 / (2 * n) as f32;
+        (loss, acc)
     }
 }
 
@@ -103,6 +124,7 @@ pub fn pretrain(
     grad_clip: f32,
     rng: &mut impl Rng,
 ) -> DgiReport {
+    let _span = mars_telemetry::span("core.dgi.pretrain");
     let mut adam = Adam::new(lr);
     let mut losses = Vec::with_capacity(iters);
     let mut best_loss = f32::INFINITY;
@@ -113,12 +135,22 @@ pub fn pretrain(
     for it in 0..iters {
         perm.shuffle(rng);
         let mut ctx = FwdCtx::new(store);
-        let loss = dgi.loss(&mut ctx, encoder, input, &perm);
+        let (loss, disc_acc) = dgi.loss_stats(&mut ctx, encoder, input, &perm);
         let value = ctx.tape.scalar(loss);
         let grads = ctx.into_grads(loss, 1.0);
         apply_grads(store, grads);
         adam.step(store, grad_clip);
         losses.push(value);
+        if mars_telemetry::active() {
+            mars_telemetry::event(
+                "dgi.iter",
+                &[
+                    ("iter", (it as f64).into()),
+                    ("loss", value.into()),
+                    ("disc_acc", disc_acc.into()),
+                ],
+            );
+        }
         if value < best_loss {
             best_loss = value;
             best_iter = it;

@@ -118,6 +118,18 @@ pub fn greedy_actions(probs: &Matrix) -> Vec<usize> {
     (0..probs.rows()).map(|r| stats::argmax(probs.row(r))).collect()
 }
 
+/// Diagnostics of one PPO minibatch update (read off the tape after the
+/// forward pass; pure observation, no effect on the loss).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PpoStats {
+    /// Fraction of (sample, op) ratios outside `1 ± ε`.
+    pub clip_fraction: f32,
+    /// `mean(old_logp − new_logp)` — the usual cheap KL estimate.
+    pub approx_kl: f32,
+    /// Policy entropy averaged over ops (nats).
+    pub entropy: f32,
+}
+
 /// Build the clipped-surrogate PPO loss for one minibatch on the tape.
 ///
 /// `logits` are the current policy's `N × D` logits; each record
@@ -130,17 +142,36 @@ pub fn ppo_loss(
     clip_eps: f32,
     entropy_coef: f32,
 ) -> Var {
+    ppo_loss_stats(ctx, logits, batch, clip_eps, entropy_coef).0
+}
+
+/// [`ppo_loss`] plus [`PpoStats`] diagnostics for telemetry.
+pub fn ppo_loss_stats(
+    ctx: &mut FwdCtx<'_>,
+    logits: Var,
+    batch: &[&SampleRecord],
+    clip_eps: f32,
+    entropy_coef: f32,
+) -> (Var, PpoStats) {
     assert!(!batch.is_empty());
     let lp = ctx.tape.log_softmax_rows(logits);
     let n = ctx.tape.value(lp).rows();
 
     let mut surrogate_sum: Option<Var> = None;
+    let mut clipped_count = 0usize;
+    let mut kl_sum = 0.0f64;
     for rec in batch {
         assert_eq!(rec.actions.len(), n, "sample/op-count mismatch");
         let sel = ctx.tape.select_per_row(lp, rec.actions.clone());
         let old = ctx.tape.constant(rec.old_logp.clone());
         let diff = ctx.tape.sub(sel, old);
         let ratio = ctx.tape.exp(diff);
+        for &r in ctx.tape.value(ratio).as_slice() {
+            if (r - 1.0).abs() > clip_eps {
+                clipped_count += 1;
+            }
+        }
+        kl_sum -= ctx.tape.value(diff).as_slice().iter().map(|&d| d as f64).sum::<f64>();
         let adv = ctx.tape.constant(Matrix::full(n, 1, rec.advantage));
         let unclipped = ctx.tape.mul(ratio, adv);
         let clipped_ratio = ctx.tape.clamp(ratio, 1.0 - clip_eps, 1.0 + clip_eps);
@@ -160,11 +191,16 @@ pub fn ppo_loss(
     let plp = ctx.tape.mul(p, lp);
     let sum = ctx.tape.sum_all(plp);
     let entropy = ctx.tape.scale(sum, -1.0 / n as f32);
+    let stats = PpoStats {
+        clip_fraction: clipped_count as f32 / (batch.len() * n) as f32,
+        approx_kl: (kl_sum / (batch.len() * n) as f64) as f32,
+        entropy: ctx.tape.value(entropy).get(0, 0),
+    };
 
     // Maximize surrogate + coef·entropy → minimize the negation.
     let bonus = ctx.tape.scale(entropy, entropy_coef);
     let objective = ctx.tape.add(surrogate, bonus);
-    ctx.tape.neg(objective)
+    (ctx.tape.neg(objective), stats)
 }
 
 #[cfg(test)]

@@ -68,6 +68,7 @@ impl Attention {
     /// One attention read with decoder state `dec` (`1 × dec_dim`).
     /// Returns the context vector (`1 × enc_dim`).
     pub fn read(&self, ctx: &mut FwdCtx<'_>, keys: AttentionKeys, dec: Var) -> Var {
+        let _span = mars_telemetry::span("nn.attention.read");
         let wd = ctx.p(self.w_dec);
         let dproj = ctx.tape.matmul(dec, wd); // 1 × attn
         let summed = ctx.tape.add_bias(keys.proj, dproj); // T × attn (broadcast)

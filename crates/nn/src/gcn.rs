@@ -52,6 +52,7 @@ impl GcnLayer {
     /// Forward: `x` is `N × in_dim`, `adj` the normalized `N × N`
     /// adjacency; result is `N × out_dim`.
     pub fn forward(&self, ctx: &mut FwdCtx<'_>, adj: &Arc<CsrMatrix>, x: Var) -> Var {
+        let _span = mars_telemetry::span("nn.gcn.forward");
         let w = ctx.p(self.w);
         let xw = ctx.tape.matmul(x, w);
         let agg = ctx.tape.spmm(adj.clone(), xw);
@@ -64,6 +65,7 @@ impl GcnLayer {
     /// Forward without the activation (used by the final encoder layer
     /// when raw embeddings are wanted).
     pub fn forward_linear(&self, ctx: &mut FwdCtx<'_>, adj: &Arc<CsrMatrix>, x: Var) -> Var {
+        let _span = mars_telemetry::span("nn.gcn.forward");
         let w = ctx.p(self.w);
         let xw = ctx.tape.matmul(x, w);
         let agg = ctx.tape.spmm(adj.clone(), xw);

@@ -134,6 +134,7 @@ impl Lstm {
         xs: Var,
         init: Option<LstmState>,
     ) -> (Var, LstmState) {
+        let _span = mars_telemetry::span("nn.lstm.run");
         let t_len = ctx.tape.value(xs).rows();
         assert!(t_len > 0, "Lstm::run on empty sequence");
         let state = init.unwrap_or_else(|| self.cell.zero_state(ctx));
@@ -186,6 +187,7 @@ impl BiLstm {
         xs: Var,
         init: Option<LstmState>,
     ) -> (Var, LstmState) {
+        let _span = mars_telemetry::span("nn.lstm.bi_run");
         let t_len = ctx.tape.value(xs).rows();
         assert!(t_len > 0, "BiLstm::run on empty sequence");
         let reversed: Vec<usize> = (0..t_len).rev().collect();

@@ -83,6 +83,7 @@ pub fn simulate_with(
     cluster: &Cluster,
     options: SimOptions,
 ) -> StepReport {
+    let _span = mars_telemetry::span("sim.engine.simulate");
     let n = graph.num_nodes();
     assert_eq!(placement.len(), n, "placement length mismatch");
     let order = graph.topo_order().expect("graph must be a DAG");

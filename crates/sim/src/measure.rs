@@ -131,22 +131,57 @@ impl SimEnv {
 
 impl Environment for SimEnv {
     fn evaluate(&mut self, placement: &Placement) -> EvalOutcome {
+        let _span = mars_telemetry::span("sim.measure.evaluate");
         self.evaluations += 1;
         let mut p = placement.clone();
         p.enforce_compatibility(&self.graph, &self.cluster);
-        let report = match check_memory(&self.graph, &p, &self.cluster) {
+        let (report, peak_mem) = match check_memory(&self.graph, &p, &self.cluster) {
             Err(oom) => {
                 // Startup + failure still costs machine time.
                 self.machine_seconds += 5.0;
+                mars_telemetry::counter("sim.eval.oom").inc();
+                if mars_telemetry::active() {
+                    let over = oom.required_bytes as f64 / oom.capacity_bytes.max(1) as f64;
+                    mars_telemetry::event(
+                        "sim.eval",
+                        &[
+                            ("outcome", "oom".into()),
+                            ("device", (oom.device as f64).into()),
+                            ("peak_mem_utilization", over.into()),
+                        ],
+                    );
+                }
                 return EvalOutcome::Invalid { oom };
             }
-            Ok(_) => simulate(&self.graph, &p, &self.cluster),
+            Ok(mem) => {
+                let peak = mem.peak_utilization(&self.cluster);
+                (simulate(&self.graph, &p, &self.cluster), peak)
+            }
         };
         let base = report.makespan_s;
+        if mars_telemetry::active() {
+            mars_telemetry::gauge("sim.eval.makespan_s", base);
+            mars_telemetry::gauge("sim.eval.comm_s", report.comm_s);
+            mars_telemetry::gauge("sim.eval.transfers", report.num_transfers as f64);
+            mars_telemetry::gauge("sim.eval.peak_mem_utilization", peak_mem);
+        }
 
         // Bad placements: abort as soon as one step exceeds the cutoff.
         if base > self.bad_cutoff_s {
             self.machine_seconds += base; // one aborted step
+            mars_telemetry::counter("sim.eval.bad").inc();
+            if mars_telemetry::active() {
+                mars_telemetry::event(
+                    "sim.eval",
+                    &[
+                        ("outcome", "bad".into()),
+                        ("makespan_s", base.into()),
+                        ("comm_s", report.comm_s.into()),
+                        ("transfers", (report.num_transfers as f64).into()),
+                        ("peak_mem_utilization", peak_mem.into()),
+                    ],
+                );
+            }
             return EvalOutcome::Bad { cutoff_s: self.bad_cutoff_s };
         }
 
@@ -164,6 +199,20 @@ impl Environment for SimEnv {
             }
         }
         let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+        mars_telemetry::counter("sim.eval.valid").inc();
+        if mars_telemetry::active() {
+            mars_telemetry::event(
+                "sim.eval",
+                &[
+                    ("outcome", "valid".into()),
+                    ("makespan_s", base.into()),
+                    ("reading_s", mean.into()),
+                    ("comm_s", report.comm_s.into()),
+                    ("transfers", (report.num_transfers as f64).into()),
+                    ("peak_mem_utilization", peak_mem.into()),
+                ],
+            );
+        }
         EvalOutcome::Valid { per_step_s: mean }
     }
 

@@ -1,0 +1,275 @@
+//! Process-wide named metrics: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Handles are looked up (and lazily created) by name; [`Counter`] and
+//! [`Histogram`] are cheap `Arc` clones backed by atomics, so hot code
+//! can resolve a handle once and bump it from any thread — including
+//! the tensor crate's kernel thread pool. Gauges are last-value-wins
+//! `f64` cells for quantities that only make sense as "the most recent
+//! reading" (per-eval makespan, peak memory fraction).
+//!
+//! Snapshots feed the recorder's end-of-run summary records; [`reset`]
+//! clears everything (done automatically when a recorder is installed
+//! so each run's JSONL is self-contained).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing atomic counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `f64` observations.
+///
+/// `edges` are the inclusive upper bounds of the first `edges.len()`
+/// buckets; one implicit overflow bucket catches everything larger, so
+/// there are `edges.len() + 1` buckets in total.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+struct HistogramCore {
+    edges: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, stored as `f64` bits behind a CAS loop.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .0
+            .edges
+            .iter()
+            .position(|&e| v <= e)
+            .unwrap_or(self.0.edges.len());
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.0.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Bucket upper edges (the overflow bucket has no edge).
+    pub fn edges(&self) -> &[f64] {
+        &self.0.edges
+    }
+
+    /// Per-bucket counts (`edges.len() + 1` entries, overflow last).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+struct Registries {
+    counters: Mutex<HashMap<String, Counter>>,
+    gauges: Mutex<HashMap<String, f64>>,
+    histograms: Mutex<HashMap<String, Histogram>>,
+}
+
+fn registries() -> &'static Registries {
+    static REG: OnceLock<Registries> = OnceLock::new();
+    REG.get_or_init(|| Registries {
+        counters: Mutex::new(HashMap::new()),
+        gauges: Mutex::new(HashMap::new()),
+        histograms: Mutex::new(HashMap::new()),
+    })
+}
+
+/// Look up (or create) the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registries().counters.lock().unwrap_or_else(|e| e.into_inner());
+    reg.entry(name.to_string())
+        .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+        .clone()
+}
+
+/// Set the gauge named `name` to `value` (last write wins).
+pub fn gauge(name: &str, value: f64) {
+    let mut reg = registries().gauges.lock().unwrap_or_else(|e| e.into_inner());
+    reg.insert(name.to_string(), value);
+}
+
+/// Most recent value of a gauge, if it was ever set.
+pub fn gauge_value(name: &str) -> Option<f64> {
+    let reg = registries().gauges.lock().unwrap_or_else(|e| e.into_inner());
+    reg.get(name).copied()
+}
+
+/// Look up (or create) the histogram named `name` with the given bucket
+/// upper edges. Edges must be non-empty and strictly increasing; they
+/// are fixed on first creation and later calls ignore the argument.
+pub fn histogram(name: &str, edges: &[f64]) -> Histogram {
+    assert!(!edges.is_empty(), "histogram {name} needs at least one bucket edge");
+    assert!(
+        edges.windows(2).all(|w| w[0] < w[1]),
+        "histogram {name} edges must be strictly increasing: {edges:?}"
+    );
+    let mut reg = registries().histograms.lock().unwrap_or_else(|e| e.into_inner());
+    reg.entry(name.to_string())
+        .or_insert_with(|| {
+            Histogram(Arc::new(HistogramCore {
+                edges: edges.to_vec(),
+                buckets: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }))
+        })
+        .clone()
+}
+
+/// Sorted snapshot of every counter.
+pub fn counter_snapshot() -> Vec<(String, u64)> {
+    let reg = registries().counters.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rows: Vec<(String, u64)> = reg.iter().map(|(k, v)| (k.clone(), v.get())).collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// Sorted snapshot of every gauge.
+pub fn gauge_snapshot() -> Vec<(String, f64)> {
+    let reg = registries().gauges.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rows: Vec<(String, f64)> = reg.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// Sorted snapshot of every histogram: `(name, edges, bucket counts,
+/// total count, sum)`.
+pub fn histogram_snapshot() -> Vec<(String, Vec<f64>, Vec<u64>, u64, f64)> {
+    let reg = registries().histograms.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rows: Vec<_> = reg
+        .iter()
+        .map(|(k, h)| (k.clone(), h.edges().to_vec(), h.bucket_counts(), h.count(), h.sum()))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// Drop every counter, gauge, and histogram. Handles obtained before
+/// the reset keep working but are no longer reachable by name.
+pub fn reset() {
+    let reg = registries();
+    reg.counters.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    reg.gauges.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    reg.histograms.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let a = counter("test.metrics.shared");
+        let b = counter("test.metrics.shared");
+        a.inc();
+        b.add(4);
+        assert_eq!(counter("test.metrics.shared").get(), 5);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let c = counter("test.metrics.concurrent");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("incrementer thread");
+        }
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn gauges_are_last_value_wins() {
+        gauge("test.metrics.gauge", 1.5);
+        gauge("test.metrics.gauge", -2.25);
+        assert_eq!(gauge_value("test.metrics.gauge"), Some(-2.25));
+        assert_eq!(gauge_value("test.metrics.never-set"), None);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        let h = histogram("test.metrics.hist", &[1.0, 2.0, 4.0]);
+        // Exactly on an edge lands in that edge's bucket.
+        for v in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0, f64::INFINITY] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+        assert!(h.sum().is_infinite());
+    }
+
+    #[test]
+    fn histogram_sum_accumulates() {
+        let h = histogram("test.metrics.hist-sum", &[10.0]);
+        h.observe(1.5);
+        h.observe(2.25);
+        assert!((h.sum() - 3.75).abs() < 1e-12);
+        assert_eq!(h.bucket_counts(), vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_edges() {
+        let _ = histogram("test.metrics.bad-edges", &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshots_contain_registered_names() {
+        counter("test.metrics.snap").add(7);
+        gauge("test.metrics.snap-gauge", 3.0);
+        let _ = histogram("test.metrics.snap-hist", &[1.0]);
+        assert!(counter_snapshot().iter().any(|(n, v)| n == "test.metrics.snap" && *v >= 7));
+        assert!(gauge_snapshot().iter().any(|(n, _)| n == "test.metrics.snap-gauge"));
+        assert!(histogram_snapshot().iter().any(|(n, ..)| n == "test.metrics.snap-hist"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Scoped wall-clock spans with hierarchical aggregation.
+//!
+//! A [`span`] opens a timing scope on the current thread; dropping the
+//! returned [`SpanGuard`] closes it. Scopes nest: each guard's
+//! aggregation key is the `/`-joined path of every open span on the
+//! thread (`core.agent.train/core.agent.sample/sim.engine.simulate`),
+//! so one kernel appears separately under each of its callers and the
+//! registry reads back as a call tree.
+//!
+//! Per path the registry keeps *count* (times entered), *total* (sum of
+//! wall time inside the span, children included) and *self* (total
+//! minus time attributed to child spans) — the numbers a profiler's
+//! flat view needs. Recursive spans double-count their total by design;
+//! self time stays correct.
+//!
+//! Collection is off by default. [`enable_spans`] flips a process-wide
+//! atomic; when off, [`span`] returns an inert guard after a single
+//! relaxed load, which keeps instrumented hot kernels (`matmul` in the
+//! LSTM step loop) at full speed.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total nanoseconds inside the span, children included.
+    pub total_ns: u64,
+    /// Total minus nanoseconds spent in child spans.
+    pub self_ns: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, SpanStat>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, SpanStat>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+struct Frame {
+    path: String,
+    /// Nanoseconds already attributed to completed direct children.
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turn span collection on or off (process-wide). Installing a recorder
+/// ([`crate::install_file`] / [`crate::install_memory`]) enables spans
+/// automatically.
+pub fn enable_spans(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being collected.
+#[inline]
+pub fn spans_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// RAII guard returned by [`span`]; closes the scope on drop.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard {
+    start: Instant,
+    /// Depth of this guard's frame in the thread stack; `usize::MAX`
+    /// marks an inert (disabled) guard.
+    depth: usize,
+}
+
+/// Open a timing scope named `name` (convention: `crate.module.fn`).
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if !spans_enabled() {
+        return SpanGuard { start: Instant::now(), depth: usize::MAX };
+    }
+    let depth = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{}/{}", parent.path, name),
+            None => name.to_string(),
+        };
+        stack.push(Frame { path, child_ns: 0 });
+        stack.len() - 1
+    });
+    SpanGuard { start: Instant::now(), depth }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.depth == usize::MAX {
+            return;
+        }
+        let elapsed_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop in LIFO order per thread; popping down to this
+            // guard's depth also recovers from frames leaked by a panic
+            // inside the scope.
+            while stack.len() > self.depth + 1 {
+                stack.pop();
+            }
+            let Some(frame) = stack.pop() else { return };
+            let self_ns = elapsed_ns.saturating_sub(frame.child_ns);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += elapsed_ns;
+            }
+            let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+            let stat = reg.entry(frame.path).or_default();
+            stat.count += 1;
+            stat.total_ns += elapsed_ns;
+            stat.self_ns += self_ns;
+        });
+    }
+}
+
+/// Snapshot of every span path recorded so far, sorted by path.
+pub fn snapshot() -> Vec<(String, SpanStat)> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut rows: Vec<(String, SpanStat)> =
+        reg.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// Clear the span registry (the current thread's open spans keep
+/// running and will re-insert their paths when they close).
+pub fn reset() {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    fn stat(path: &str) -> Option<SpanStat> {
+        snapshot().into_iter().find(|(p, _)| p == path).map(|(_, s)| s)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _serial = test_lock();
+        enable_spans(false);
+        {
+            let _g = span("test.disabled.root");
+        }
+        assert!(stat("test.disabled.root").is_none());
+    }
+
+    #[test]
+    fn nested_spans_build_paths_and_self_time() {
+        let _serial = test_lock();
+        enable_spans(true);
+        {
+            let _outer = span("test.nest.outer");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = span("test.nest.inner");
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+        }
+        enable_spans(false);
+        let outer = stat("test.nest.outer").expect("outer recorded");
+        let inner = stat("test.nest.outer/test.nest.inner").expect("inner nested under outer");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Outer total covers both sleeps; its self time excludes the
+        // inner span's whole duration.
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.self_ns <= outer.total_ns - inner.total_ns);
+        assert!(inner.self_ns > 2_000_000, "inner slept ≥ 4 ms: {inner:?}");
+        assert!(outer.self_ns > 2_000_000, "outer slept ≥ 4 ms outside inner: {outer:?}");
+    }
+
+    #[test]
+    fn sibling_spans_accumulate_counts() {
+        let _serial = test_lock();
+        enable_spans(true);
+        {
+            let _root = span("test.sib.root");
+            for _ in 0..3 {
+                let _leaf = span("test.sib.leaf");
+            }
+        }
+        enable_spans(false);
+        let leaf = stat("test.sib.root/test.sib.leaf").expect("leaf recorded");
+        assert_eq!(leaf.count, 3);
+        let root = stat("test.sib.root").expect("root recorded");
+        assert!(root.total_ns >= leaf.total_ns);
+    }
+
+    #[test]
+    fn threads_have_independent_stacks() {
+        let _serial = test_lock();
+        enable_spans(true);
+        let _main = span("test.thread.main");
+        std::thread::spawn(|| {
+            let _g = span("test.thread.worker");
+        })
+        .join()
+        .expect("worker thread");
+        enable_spans(false);
+        // The worker's span must be a root path, not nested under the
+        // main thread's open span.
+        assert!(stat("test.thread.worker").is_some());
+        assert!(stat("test.thread.main/test.thread.worker").is_none());
+    }
+}

@@ -1,0 +1,422 @@
+//! Parse a recorded JSONL run back into metric rollups and a span
+//! tree, and render them as text (`mars-cli metrics summarize`).
+
+use mars_json::Json;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One aggregated span path from the run's `spans` summary record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRow {
+    /// `/`-joined call path (`crate.module.fn` segments).
+    pub path: String,
+    /// Times entered.
+    pub count: u64,
+    /// Wall nanoseconds inside the span, children included.
+    pub total_ns: u64,
+    /// Wall nanoseconds minus child-span time.
+    pub self_ns: u64,
+}
+
+impl SpanRow {
+    /// Last path segment (the span's own name).
+    pub fn leaf(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+/// Statistics of one numeric field across all events with one name.
+#[derive(Clone, Debug)]
+pub struct FieldRollup {
+    /// Event name.
+    pub event: String,
+    /// Field key.
+    pub field: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Value in the last (highest-seq) event carrying the field.
+    pub last: f64,
+}
+
+/// One histogram from the run's summary records.
+#[derive(Clone, Debug)]
+pub struct HistogramRow {
+    /// Histogram name.
+    pub name: String,
+    /// Bucket upper edges.
+    pub edges: Vec<f64>,
+    /// Bucket counts (overflow last).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+/// Everything recovered from one run's JSONL.
+#[derive(Clone, Debug, Default)]
+pub struct RunSummary {
+    /// Parsed JSONL lines.
+    pub lines: usize,
+    /// Event records seen.
+    pub events: u64,
+    /// Per-(event, field) numeric statistics, sorted by (event, field).
+    pub rollups: Vec<FieldRollup>,
+    /// Span paths, sorted by path.
+    pub spans: Vec<SpanRow>,
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Final gauge readings, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramRow>,
+}
+
+impl RunSummary {
+    /// Fraction of total span *self* time spent in spans whose leaf name
+    /// starts with any of `prefixes` (e.g. `["tensor.", "nn."]`).
+    /// Returns 0 when no span time was recorded.
+    pub fn self_time_fraction(&self, prefixes: &[&str]) -> f64 {
+        let total: u64 = self.spans.iter().map(|s| s.self_ns).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let matched: u64 = self
+            .spans
+            .iter()
+            .filter(|s| prefixes.iter().any(|p| s.leaf().starts_with(p)))
+            .map(|s| s.self_ns)
+            .sum();
+        matched as f64 / total as f64
+    }
+
+    /// Render the span tree and metric rollups as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} JSONL lines, {} events", self.lines, self.events);
+
+        if !self.spans.is_empty() {
+            let total_self: u64 = self.spans.iter().map(|s| s.self_ns).sum();
+            let _ = writeln!(out, "\n== span tree (total | self | count) ==");
+            render_span_tree(&mut out, &self.spans, total_self);
+
+            let _ = writeln!(out, "\n== span self-time by name ==");
+            let mut by_leaf: HashMap<&str, u64> = HashMap::new();
+            for s in &self.spans {
+                *by_leaf.entry(s.leaf()).or_default() += s.self_ns;
+            }
+            let mut rows: Vec<(&str, u64)> = by_leaf.into_iter().collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            for (leaf, self_ns) in rows {
+                let pct = 100.0 * self_ns as f64 / total_self.max(1) as f64;
+                let _ = writeln!(out, "{leaf:<44} {:>12}  {pct:5.1}%", fmt_ns(self_ns));
+            }
+        }
+
+        if !self.rollups.is_empty() {
+            let _ = writeln!(out, "\n== event field rollups ==");
+            let mut last_event = "";
+            for r in &self.rollups {
+                if r.event != last_event {
+                    let _ = writeln!(out, "{} ({} values)", r.event, r.count);
+                    last_event = &r.event;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<26} mean {:>12.6}  min {:>12.6}  max {:>12.6}  last {:>12.6}",
+                    r.field, r.mean, r.min, r.max, r.last
+                );
+            }
+        }
+
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\n== counters ==");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<44} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\n== gauges (final reading) ==");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{name:<44} {v:.6}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "\n== histograms ==");
+            for h in &self.histograms {
+                let mean = if h.count > 0 { h.sum / h.count as f64 } else { 0.0 };
+                let _ = writeln!(out, "{} (count {}, mean {mean:.6})", h.name, h.count);
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    let label = match h.edges.get(i) {
+                        Some(e) => format!("<= {e}"),
+                        None => "overflow".to_string(),
+                    };
+                    let _ = writeln!(out, "  {label:<20} {c}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Format nanoseconds human-readably.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+struct TreeNode {
+    name: String,
+    row: Option<SpanRow>,
+    children: Vec<TreeNode>,
+}
+
+fn insert_path(root: &mut TreeNode, segments: &[&str], row: &SpanRow) {
+    let Some((head, rest)) = segments.split_first() else {
+        root.row = Some(row.clone());
+        return;
+    };
+    let child = match root.children.iter_mut().position(|c| c.name == *head) {
+        Some(i) => &mut root.children[i],
+        None => {
+            root.children.push(TreeNode {
+                name: (*head).to_string(),
+                row: None,
+                children: Vec::new(),
+            });
+            root.children.last_mut().expect("just pushed")
+        }
+    };
+    insert_path(child, rest, row);
+}
+
+fn render_node(out: &mut String, node: &TreeNode, depth: usize, total_self: u64) {
+    if let Some(row) = &node.row {
+        let indent = "  ".repeat(depth);
+        let pct = 100.0 * row.self_ns as f64 / total_self.max(1) as f64;
+        let label = format!("{indent}{}", node.name);
+        let _ = writeln!(
+            out,
+            "{label:<52} {:>12} | {:>12} ({pct:4.1}%) | x{}",
+            fmt_ns(row.total_ns),
+            fmt_ns(row.self_ns),
+            row.count
+        );
+    }
+    let mut children: Vec<&TreeNode> = node.children.iter().collect();
+    children.sort_by_key(|c| std::cmp::Reverse(c.row.as_ref().map_or(0, |r| r.total_ns)));
+    for child in children {
+        render_node(out, child, depth + 1, total_self);
+    }
+}
+
+fn render_span_tree(out: &mut String, spans: &[SpanRow], total_self: u64) {
+    let mut root = TreeNode { name: String::new(), row: None, children: Vec::new() };
+    for row in spans {
+        let segments: Vec<&str> = row.path.split('/').collect();
+        insert_path(&mut root, &segments, row);
+    }
+    // The root is synthetic: render its children at depth 0.
+    let mut children: Vec<&TreeNode> = root.children.iter().collect();
+    children.sort_by_key(|c| std::cmp::Reverse(c.row.as_ref().map_or(0, |r| r.total_ns)));
+    for child in children {
+        render_node(out, child, 0, total_self);
+    }
+}
+
+/// Parse a full JSONL run. Blank lines are skipped; a malformed line is
+/// an error naming its line number.
+pub fn summarize(text: &str) -> Result<RunSummary, String> {
+    let mut summary = RunSummary::default();
+    // (event, field) -> (count, sum, min, max, last)
+    let mut agg: HashMap<(String, String), (u64, f64, f64, f64, f64)> = HashMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value =
+            Json::parse(line).map_err(|e| format!("line {}: {e:?}", lineno + 1))?;
+        summary.lines += 1;
+        match value["kind"].as_str() {
+            Some("event") => {
+                summary.events += 1;
+                let name = value["name"].as_str().unwrap_or("<unnamed>").to_string();
+                let Some(pairs) = value.as_object() else { continue };
+                for (key, field) in pairs {
+                    if matches!(key.as_str(), "seq" | "kind" | "name") {
+                        continue;
+                    }
+                    let Some(v) = field.as_f64() else { continue };
+                    let entry = agg
+                        .entry((name.clone(), key.clone()))
+                        .or_insert((0, 0.0, f64::INFINITY, f64::NEG_INFINITY, v));
+                    entry.0 += 1;
+                    entry.1 += v;
+                    entry.2 = entry.2.min(v);
+                    entry.3 = entry.3.max(v);
+                    entry.4 = v;
+                }
+            }
+            Some("spans") => {
+                for s in value["spans"].as_array().map(Vec::as_slice).unwrap_or_default() {
+                    summary.spans.push(SpanRow {
+                        path: s["path"].as_str().unwrap_or_default().to_string(),
+                        count: s["count"].as_u64().unwrap_or(0),
+                        total_ns: s["total_ns"].as_u64().unwrap_or(0),
+                        self_ns: s["self_ns"].as_u64().unwrap_or(0),
+                    });
+                }
+            }
+            Some("counters") => {
+                if let Some(pairs) = value["counters"].as_object() {
+                    for (k, v) in pairs {
+                        summary.counters.push((k.clone(), v.as_u64().unwrap_or(0)));
+                    }
+                }
+            }
+            Some("gauges") => {
+                if let Some(pairs) = value["gauges"].as_object() {
+                    for (k, v) in pairs {
+                        summary.gauges.push((k.clone(), v.as_f64().unwrap_or(0.0)));
+                    }
+                }
+            }
+            Some("histograms") => {
+                for h in value["histograms"].as_array().map(Vec::as_slice).unwrap_or_default()
+                {
+                    summary.histograms.push(HistogramRow {
+                        name: h["name"].as_str().unwrap_or_default().to_string(),
+                        edges: h["edges"]
+                            .as_array()
+                            .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                            .unwrap_or_default(),
+                        buckets: h["buckets"]
+                            .as_array()
+                            .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                            .unwrap_or_default(),
+                        count: h["count"].as_u64().unwrap_or(0),
+                        sum: h["sum"].as_f64().unwrap_or(0.0),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    summary.rollups = agg
+        .into_iter()
+        .map(|((event, field), (count, sum, min, max, last))| FieldRollup {
+            event,
+            field,
+            count,
+            mean: sum / count.max(1) as f64,
+            min,
+            max,
+            last,
+        })
+        .collect();
+    summary.rollups.sort_by(|a, b| (&a.event, &a.field).cmp(&(&b.event, &b.field)));
+    summary.spans.sort_by(|a, b| a.path.cmp(&b.path));
+    summary.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    summary.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    summary.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> String {
+        [
+            r#"{"seq":1,"kind":"event","name":"ppo.update","reward":-0.5,"entropy":1.2}"#,
+            r#"{"seq":2,"kind":"event","name":"ppo.update","reward":-0.3,"entropy":1.0}"#,
+            r#"{"seq":3,"kind":"event","name":"sim.eval","makespan_s":0.07}"#,
+            concat!(
+                r#"{"kind":"spans","spans":["#,
+                r#"{"path":"core.agent.train","count":1,"total_ns":1000,"self_ns":100},"#,
+                r#"{"path":"core.agent.train/tensor.ops.matmul","count":5,"total_ns":900,"self_ns":900}"#,
+                r#"]}"#
+            ),
+            r#"{"kind":"counters","counters":{"sim.eval.valid":3}}"#,
+            r#"{"kind":"gauges","gauges":{"sim.eval.makespan_s":0.07}}"#,
+            r#"{"kind":"histograms","histograms":[{"name":"h","edges":[1],"buckets":[2,0],"count":2,"sum":0.5}]}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn summarize_aggregates_event_fields() {
+        let run = summarize(&sample_run()).expect("parse");
+        assert_eq!(run.events, 3);
+        let reward = run
+            .rollups
+            .iter()
+            .find(|r| r.event == "ppo.update" && r.field == "reward")
+            .expect("reward rollup");
+        assert_eq!(reward.count, 2);
+        assert!((reward.mean + 0.4).abs() < 1e-12);
+        assert_eq!(reward.min, -0.5);
+        assert_eq!(reward.max, -0.3);
+        assert_eq!(reward.last, -0.3);
+    }
+
+    #[test]
+    fn summarize_recovers_spans_counters_gauges_histograms() {
+        let run = summarize(&sample_run()).expect("parse");
+        assert_eq!(run.spans.len(), 2);
+        assert_eq!(run.spans[1].leaf(), "tensor.ops.matmul");
+        assert_eq!(run.counters, vec![("sim.eval.valid".to_string(), 3)]);
+        assert_eq!(run.gauges.len(), 1);
+        assert_eq!(run.histograms[0].buckets, vec![2, 0]);
+    }
+
+    #[test]
+    fn self_time_fraction_by_prefix() {
+        let run = summarize(&sample_run()).expect("parse");
+        let f = run.self_time_fraction(&["tensor.", "nn."]);
+        assert!((f - 0.9).abs() < 1e-12, "{f}");
+        assert_eq!(run.self_time_fraction(&["nonexistent."]), 0.0);
+    }
+
+    #[test]
+    fn render_shows_tree_and_rollups() {
+        let run = summarize(&sample_run()).expect("parse");
+        let text = run.render();
+        assert!(text.contains("span tree"));
+        assert!(text.contains("core.agent.train"));
+        // Child rendered indented under the parent by leaf name.
+        assert!(text.contains("  tensor.ops.matmul"));
+        assert!(text.contains("ppo.update"));
+        assert!(text.contains("sim.eval.valid"));
+    }
+
+    #[test]
+    fn malformed_line_is_an_error_with_line_number() {
+        let err = summarize("{\"kind\":\"event\"}\nnot json").expect_err("must fail");
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_empty_summary() {
+        let run = summarize("\n\n").expect("parse");
+        assert_eq!(run.lines, 0);
+        assert_eq!(run.events, 0);
+        assert!(run.render().contains("0 JSONL lines"));
+    }
+}

@@ -32,6 +32,7 @@ fn inner_nn(out_row: &mut [f32], a_row: &[f32], b: &Matrix) {
 
 /// `C = A · B` where `A: m×k`, `B: k×n`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let _span = mars_telemetry::span("tensor.ops.matmul");
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -61,6 +62,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// This is the gradient-w.r.t.-weights kernel: for `Y = X·W`,
 /// `dW = Xᵀ·dY`.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let _span = mars_telemetry::span("tensor.ops.matmul_tn");
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -95,6 +97,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 /// This is the gradient-w.r.t.-input kernel: for `Y = X·W`,
 /// `dX = dY·Wᵀ`.
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let _span = mars_telemetry::span("tensor.ops.matmul_nt");
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -215,6 +218,7 @@ impl CsrMatrix {
 
     /// Sparse × dense product `self · x`.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let _span = mars_telemetry::span("tensor.ops.spmm");
         assert_eq!(self.cols, x.rows(), "spmm: {}x{} · {:?}", self.rows, self.cols, x.shape());
         let n = x.cols();
         let mut out = Matrix::zeros(self.rows, n);
@@ -246,6 +250,7 @@ impl CsrMatrix {
 
     /// Transposed sparse × dense product `selfᵀ · x` (for backprop).
     pub fn spmm_t(&self, x: &Matrix) -> Matrix {
+        let _span = mars_telemetry::span("tensor.ops.spmm_t");
         assert_eq!(self.rows, x.rows(), "spmm_t: ({}x{})ᵀ · {:?}", self.rows, self.cols, x.shape());
         let n = x.cols();
         let mut out = Matrix::zeros(self.cols, n);

@@ -122,6 +122,9 @@ where
         return;
     }
 
+    // Only the parallel dispatch is spanned; the sequential fallback
+    // above is attributed to the calling kernel's own span.
+    let _span = mars_telemetry::span("tensor.pool.par_chunks_mut");
     let shared = Shared {
         data: data.as_mut_ptr(),
         len: data.len(),

@@ -1,0 +1,35 @@
+//! Telemetry counters bumped from inside the tensor thread pool: the
+//! atomic counter must see every increment exactly once, no matter how
+//! the chunks are distributed across pool workers.
+
+use mars_tensor::pool::par_chunks_mut;
+
+#[test]
+fn counter_increments_from_pool_workers_are_exact() {
+    let counter = mars_telemetry::counter("test.pool.chunks");
+    let before = counter.get();
+
+    let chunk_len = 7;
+    let mut data = vec![0.0f32; 10_007]; // non-multiple of chunk_len
+    let chunks = data.len().div_ceil(chunk_len) as u64;
+    par_chunks_mut(&mut data, chunk_len, |_, chunk| {
+        mars_telemetry::counter("test.pool.chunks").inc();
+        mars_telemetry::counter("test.pool.elems").add(chunk.len() as u64);
+    });
+
+    assert_eq!(counter.get() - before, chunks);
+}
+
+#[test]
+fn element_counts_from_pool_workers_are_exact() {
+    let counter = mars_telemetry::counter("test.pool.elems_exact");
+    let before = counter.get();
+
+    let mut data = vec![0.0f32; 4_099];
+    let total = data.len() as u64;
+    par_chunks_mut(&mut data, 13, |_, chunk| {
+        mars_telemetry::counter("test.pool.elems_exact").add(chunk.len() as u64);
+    });
+
+    assert_eq!(counter.get() - before, total);
+}

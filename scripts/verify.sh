@@ -14,4 +14,17 @@ cargo test -q --offline --workspace
 echo "==> kernel benches, smoke mode (one iteration each)"
 cargo bench -p mars-bench --bench kernels --offline -- --smoke
 
-echo "==> OK: build, tests, and bench smoke all green"
+echo "==> telemetry smoke: tiny instrumented training run + summarize"
+TELEMETRY_RUN=$(mktemp /tmp/mars-telemetry-XXXXXX.jsonl)
+trap 'rm -f "$TELEMETRY_RUN"' EXIT
+./target/release/mars-cli train inception --budget 40 --dgi-iters 10 --seed 1 \
+    --telemetry "$TELEMETRY_RUN" > /dev/null
+SUMMARY=$(./target/release/mars-cli metrics summarize "$TELEMETRY_RUN")
+echo "$SUMMARY" | grep -q "tensor.ops.matmul" || {
+    echo "telemetry summary has no tensor kernel spans"; exit 1; }
+echo "$SUMMARY" | grep -q "ppo.update" || {
+    echo "telemetry summary has no PPO update events"; exit 1; }
+echo "$SUMMARY" | grep -q "sim.eval" || {
+    echo "telemetry summary has no simulator eval events"; exit 1; }
+
+echo "==> OK: build, tests, bench smoke, and telemetry smoke all green"

@@ -3,15 +3,23 @@
 //! ```text
 //! mars-cli inspect  <workload>                      graph stats + memory + baselines
 //! mars-cli train    <workload> [options]            train an agent, print summary
+//! mars-cli pretrain <workload> [options]            DGI contrastive pre-training only
 //! mars-cli trace    <workload> --placement <name>   ASCII Gantt of one placement
 //! mars-cli dot      <workload> [--max-nodes N]      Graphviz export to stdout
 //! mars-cli evaluate <workload> --placement <name>   measure one placement
+//! mars-cli metrics summarize <run.jsonl>            render a telemetry capture
 //!
 //! workloads:  inception | gnmt | bert | vgg | seq2seq | transformer
 //! placements: human | gpu-only | rr2 | rr4 | blocked2 | blocked3 | blocked4 | mincut
 //! train options: --agent mars|mars-nopre|grouper|encoder   --budget N
 //!                --seed N   --profile small|full   --save <ckpt-path>
+//!                --telemetry <run.jsonl>   --dgi-iters N
 //! ```
+//!
+//! `--telemetry <path>` records a JSONL event stream (per-iteration DGI
+//! loss, per-update PPO diagnostics, per-evaluation simulator gauges,
+//! and a span-tree profile of the hot kernels); inspect it afterwards
+//! with `mars-cli metrics summarize <path>`.
 
 use mars::core::agent::{Agent, AgentKind, TrainingLog};
 use mars::core::baselines::{gpu_only, human_expert};
@@ -113,6 +121,26 @@ fn cmd_inspect(workload: Workload, profile: Profile) {
     }
 }
 
+/// Install a JSONL recorder when `--telemetry <path>` was given.
+/// Returns the path so the caller can report where the capture went.
+fn install_telemetry(flags: &HashMap<String, String>) -> Option<String> {
+    let path = flags.get("telemetry")?;
+    match mars::telemetry::install_file(path) {
+        Ok(()) => Some(path.clone()),
+        Err(e) => {
+            eprintln!("cannot open telemetry sink '{path}': {e}");
+            None
+        }
+    }
+}
+
+fn finish_telemetry(path: Option<String>) {
+    if let Some(path) = path {
+        mars::telemetry::uninstall();
+        println!("telemetry written to {path} (mars-cli metrics summarize {path})");
+    }
+}
+
 fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, String>) {
     let kind = match flags.get("agent").map(String::as_str) {
         None | Some("mars") => AgentKind::Mars,
@@ -126,10 +154,14 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, Strin
     };
     let budget: usize = flags.get("budget").and_then(|s| s.parse().ok()).unwrap_or(400);
     let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let cfg = match flags.get("profile").map(String::as_str) {
+    let mut cfg = match flags.get("profile").map(String::as_str) {
         Some("full") | Some("paper") => MarsConfig::paper(),
         _ => MarsConfig::small(),
     };
+    if let Some(iters) = flags.get("dgi-iters").and_then(|s| s.parse().ok()) {
+        cfg.dgi_iters = iters;
+    }
+    let telemetry = install_telemetry(flags);
 
     let graph = workload.build(profile);
     let input = WorkloadInput::from_graph(&graph);
@@ -169,6 +201,81 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, Strin
         match checkpoint::save_file(&agent.store, path) {
             Ok(()) => println!("checkpoint written to {path}"),
             Err(e) => eprintln!("checkpoint save failed: {e}"),
+        }
+    }
+    finish_telemetry(telemetry);
+}
+
+fn cmd_pretrain(workload: Workload, profile: Profile, flags: &HashMap<String, String>) {
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let mut cfg = match flags.get("profile").map(String::as_str) {
+        Some("full") | Some("paper") => MarsConfig::paper(),
+        _ => MarsConfig::small(),
+    };
+    if let Some(iters) = flags.get("dgi-iters").and_then(|s| s.parse().ok()) {
+        cfg.dgi_iters = iters;
+    }
+    let telemetry = install_telemetry(flags);
+    let graph = workload.build(profile);
+    let input = WorkloadInput::from_graph(&graph);
+    let cluster = Cluster::p100_quad();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let iters = cfg.dgi_iters;
+    let mut agent = Agent::new(
+        AgentKind::Mars,
+        cfg,
+        mars::graph::features::FEATURE_DIM,
+        cluster.num_devices(),
+        &mut rng,
+    );
+    println!("DGI pre-training on {} for {iters} iterations…", workload.name());
+    match agent.pretrain(&input, &mut rng) {
+        Some(report) => println!(
+            "loss {:.4} → best {:.4} at iteration {}",
+            report.losses[0], report.best_loss, report.best_iter
+        ),
+        None => eprintln!("agent has no pre-trainable encoder"),
+    }
+    if let Some(path) = flags.get("save") {
+        match checkpoint::save_file(&agent.store, path) {
+            Ok(()) => println!("checkpoint written to {path}"),
+            Err(e) => eprintln!("checkpoint save failed: {e}"),
+        }
+    }
+    finish_telemetry(telemetry);
+}
+
+fn cmd_metrics(args: &[String]) -> ExitCode {
+    let (Some(sub), Some(path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: mars-cli metrics summarize <run.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    if sub != "summarize" {
+        eprintln!("unknown metrics subcommand '{sub}' (expected 'summarize')");
+        return ExitCode::FAILURE;
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mars::telemetry::summarize(&text) {
+        Ok(summary) => {
+            print!("{}", summary.render());
+            let kernel_share = summary.self_time_fraction(&["tensor.", "nn.", "autograd."]);
+            if kernel_share > 0.0 {
+                println!(
+                    "kernel self-time share (tensor/nn/autograd): {:.1}%",
+                    kernel_share * 100.0
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot summarize '{path}': {e}");
+            ExitCode::FAILURE
         }
     }
 }
@@ -217,7 +324,10 @@ fn cmd_evaluate(workload: Workload, profile: Profile, flags: &HashMap<String, St
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: mars-cli <inspect|train|trace|dot|evaluate> <workload> [--flags]\n(see --help in the module docs)";
+    let usage = "usage: mars-cli <inspect|train|pretrain|trace|dot|evaluate> <workload> [--flags]\n       mars-cli metrics summarize <run.jsonl>\n(see --help in the module docs)";
+    if args.first().map(String::as_str) == Some("metrics") {
+        return cmd_metrics(&args[1..]);
+    }
     let (Some(cmd), Some(wname)) = (args.first(), args.get(1)) else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -234,6 +344,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "inspect" => cmd_inspect(workload, profile),
         "train" => cmd_train(workload, profile, &flags),
+        "pretrain" => cmd_pretrain(workload, profile, &flags),
         "trace" => cmd_trace(workload, profile, &flags),
         "evaluate" => cmd_evaluate(workload, profile, &flags),
         "dot" => {
