@@ -4,7 +4,7 @@
 //! ([`mars_bench::harness`]); pass `--smoke` for a one-iteration
 //! correctness pass.
 
-use mars_bench::harness::{bench, BenchOpts};
+use mars_bench::harness::{bench, write_baseline, BenchOpts, Sample};
 use mars_core::config::MarsConfig;
 use mars_core::encoder::{Encoder, GcnEncoder};
 use mars_core::placers::segment::SegmentSeq2Seq;
@@ -16,45 +16,57 @@ use mars_nn::{FwdCtx, ParamStore};
 use mars_rng::rngs::StdRng;
 use mars_rng::SeedableRng;
 use mars_sim::{simulate, Cluster, Placement};
-use mars_tensor::ops::{matmul, CsrMatrix};
+use mars_tensor::ops::{matmul, matmul_tn, CsrMatrix};
 use mars_tensor::{init, Matrix};
 use std::hint::black_box;
 
-fn bench_matmul(opts: &BenchOpts) {
+fn bench_matmul(opts: &BenchOpts, out: &mut Vec<Sample>) {
     for n in [32usize, 128, 256] {
         let mut rng = StdRng::seed_from_u64(1);
         let a = init::uniform(n, n, 1.0, &mut rng);
         let b = init::uniform(n, n, 1.0, &mut rng);
-        bench(opts, &format!("matmul/{n}"), || {
+        out.extend(bench(opts, &format!("matmul/{n}"), || {
             black_box(matmul(black_box(&a), black_box(&b)));
-        });
+        }));
     }
 }
 
-fn bench_spmm(opts: &BenchOpts) {
+fn bench_matmul_tn(opts: &BenchOpts, out: &mut Vec<Sample>) {
+    // The backward hot path: grad_w = xᵀ · grad_y.
+    for n in [128usize, 256] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = init::uniform(n, n, 1.0, &mut rng);
+        let b = init::uniform(n, n, 1.0, &mut rng);
+        out.extend(bench(opts, &format!("matmul_tn/{n}"), || {
+            black_box(matmul_tn(black_box(&a), black_box(&b)));
+        }));
+    }
+}
+
+fn bench_spmm(opts: &BenchOpts, out: &mut Vec<Sample>) {
     let g = Workload::BertBase.build(Profile::Reduced);
     let input = WorkloadInput::from_graph(&g);
     let mut rng = StdRng::seed_from_u64(2);
     let x = init::uniform(input.num_ops, 64, 1.0, &mut rng);
-    bench(opts, "spmm_bert_adjacency_64", || {
+    out.extend(bench(opts, "spmm_bert_adjacency_64", || {
         black_box(CsrMatrix::spmm(black_box(&input.adj), black_box(&x)));
-    });
+    }));
 }
 
-fn bench_gcn_forward(opts: &BenchOpts) {
+fn bench_gcn_forward(opts: &BenchOpts, out: &mut Vec<Sample>) {
     let g = Workload::InceptionV3.build(Profile::Reduced);
     let input = WorkloadInput::from_graph(&g);
     let mut rng = StdRng::seed_from_u64(3);
     let mut store = ParamStore::new();
     let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 48, 3, &mut rng);
-    bench(opts, "gcn_encoder_forward_inception", || {
+    out.extend(bench(opts, "gcn_encoder_forward_inception", || {
         let mut ctx = FwdCtx::new(&store);
         let h = enc.encode(&mut ctx, black_box(&input));
         black_box(ctx.tape.value(h).sum());
-    });
+    }));
 }
 
-fn bench_segment_placer(opts: &BenchOpts) {
+fn bench_segment_placer(opts: &BenchOpts, out: &mut Vec<Sample>) {
     let cfg = MarsConfig::small();
     let mut rng = StdRng::seed_from_u64(4);
     let mut store = ParamStore::new();
@@ -68,27 +80,27 @@ fn bench_segment_placer(opts: &BenchOpts) {
         &mut rng,
     );
     let reps = init::uniform(128, cfg.encoder_hidden, 1.0, &mut rng);
-    bench(opts, "segment_placer_forward_128ops", || {
+    out.extend(bench(opts, "segment_placer_forward_128ops", || {
         let mut ctx = FwdCtx::new(&store);
         let r = ctx.tape.constant(reps.clone());
         let l = placer.logits(&mut ctx, r);
         black_box(ctx.tape.value(l).sum());
-    });
+    }));
 }
 
-fn bench_simulator(opts: &BenchOpts) {
+fn bench_simulator(opts: &BenchOpts, out: &mut Vec<Sample>) {
     let cluster = Cluster::p100_quad();
     for w in [Workload::InceptionV3, Workload::BertBase] {
         let g = w.build(Profile::Reduced);
         let mut p = Placement::round_robin(&g, &[1, 2, 3, 4]);
         p.enforce_compatibility(&g, &cluster);
-        bench(opts, &format!("simulate_step/{}", w.name()), || {
+        out.extend(bench(opts, &format!("simulate_step/{}", w.name()), || {
             black_box(simulate(black_box(&g), black_box(&p), black_box(&cluster)));
-        });
+        }));
     }
 }
 
-fn bench_backward(opts: &BenchOpts) {
+fn bench_backward(opts: &BenchOpts, out: &mut Vec<Sample>) {
     // Full forward+backward of a GCN layer stack, the PPO inner loop's
     // dominant cost.
     let g = Workload::InceptionV3.build(Profile::Reduced);
@@ -97,22 +109,28 @@ fn bench_backward(opts: &BenchOpts) {
     let mut store = ParamStore::new();
     let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 48, 3, &mut rng);
     let targets = std::sync::Arc::new(Matrix::full(input.num_ops, 48, 0.5));
-    bench(opts, "gcn_forward_backward_inception", || {
+    out.extend(bench(opts, "gcn_forward_backward_inception", || {
         let mut ctx = FwdCtx::new(&store);
         let h = enc.encode(&mut ctx, &input);
         let loss = ctx.tape.bce_with_logits(h, targets.clone());
         black_box(ctx.into_grads(loss, 1.0).len());
-    });
+    }));
 }
 
 fn main() {
     let opts = BenchOpts::from_args();
     opts.install_telemetry();
-    bench_matmul(&opts);
-    bench_spmm(&opts);
-    bench_gcn_forward(&opts);
-    bench_segment_placer(&opts);
-    bench_simulator(&opts);
-    bench_backward(&opts);
+    let mut samples = Vec::new();
+    bench_matmul(&opts, &mut samples);
+    bench_matmul_tn(&opts, &mut samples);
+    bench_spmm(&opts, &mut samples);
+    bench_gcn_forward(&opts, &mut samples);
+    bench_segment_placer(&opts, &mut samples);
+    bench_simulator(&opts, &mut samples);
+    bench_backward(&opts, &mut samples);
+    // Only a full unfiltered run is a baseline worth comparing against.
+    if !opts.smoke && opts.filter.is_none() {
+        write_baseline("BENCH_kernels.json", &samples, &[]);
+    }
     opts.finish();
 }

@@ -78,6 +78,10 @@ pub struct Sample {
     pub median: Duration,
     /// Mean per-iteration time.
     pub mean: Duration,
+    /// 10th-percentile per-iteration time.
+    pub p10: Duration,
+    /// 90th-percentile per-iteration time.
+    pub p90: Duration,
 }
 
 impl Sample {
@@ -88,7 +92,28 @@ impl Sample {
             ("iters", (self.iters as f64).into()),
             ("median_ns", (self.median.as_nanos() as f64).into()),
             ("mean_ns", (self.mean.as_nanos() as f64).into()),
+            ("p10_ns", (self.p10.as_nanos() as f64).into()),
+            ("p90_ns", (self.p90.as_nanos() as f64).into()),
         ])
+    }
+}
+
+/// Write a `BENCH_*.json` perf baseline at the repository root: one
+/// record per benchmark (median + p10/p90 nanoseconds), plus optional
+/// free-form `extra` fields (e.g. an end-to-end speedup factor). These
+/// files are the trajectory future PRs compare against; `basename`
+/// must be the bare file name, e.g. `"BENCH_kernels.json"`.
+pub fn write_baseline(basename: &str, samples: &[Sample], extra: &[(&str, Json)]) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut fields: Vec<(&str, Json)> = vec![(
+        "benchmarks",
+        Json::arr(samples.iter().map(Sample::to_json)),
+    )];
+    fields.extend(extra.iter().cloned());
+    let path = root.join(basename);
+    match std::fs::write(&path, format!("{}\n", Json::obj(fields))) {
+        Ok(()) => println!("(baseline written to {basename})"),
+        Err(e) => eprintln!("cannot write '{}': {e}", path.display()),
     }
 }
 
@@ -154,12 +179,14 @@ pub fn bench<F: FnMut()>(opts: &BenchOpts, name: &str, mut f: F) -> Option<Sampl
     times.sort_unstable();
     let median = times[times.len() / 2];
     let mean = times.iter().sum::<Duration>() / iters;
+    let p10 = times[times.len() / 10];
+    let p90 = times[(times.len() * 9 / 10).min(times.len() - 1)];
     println!(
         "{name:<44} median {:>12}   mean {:>12}   ({iters} iters)",
         fmt_duration(median),
         fmt_duration(mean)
     );
-    let sample = Sample { name: name.to_string(), iters, median, mean };
+    let sample = Sample { name: name.to_string(), iters, median, mean, p10, p90 };
     append_sample_jsonl(&sample);
     Some(sample)
 }

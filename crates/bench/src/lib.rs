@@ -135,6 +135,8 @@ pub fn run_agent(
     }
 
     let mut env = SimEnv::new(graph, cluster, cfg.seed ^ seed_offset ^ 0xE11);
+    env.set_eval_threads(cfg.mars.eval_threads);
+    env.set_cache_enabled(cfg.mars.eval_cache);
     agent.train(&mut env, &input, budget, &mut rng, &mut log);
     RunResult { log, agent, pretrain_losses }
 }

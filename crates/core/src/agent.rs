@@ -375,10 +375,20 @@ impl Agent {
             let mut valid_readings: Vec<f64> = Vec::new();
             let (mut oom_count, mut bad_count) = (0usize, 0usize);
             let mut reward_sum = 0.0f64;
-            for _ in 0..round {
-                let (actions, old_logp) = sample_actions(&probs, rng);
-                let placement = Placement(actions.clone());
-                let outcome = env.evaluate(&placement);
+            // Draw the whole round up front (the agent RNG stream is
+            // identical to the old one-at-a-time loop), then hand the
+            // placements to the environment as one batch so it can
+            // evaluate them concurrently / from its memo cache.
+            // Outcomes come back in sample order.
+            let sampled: Vec<_> = (0..round).map(|_| sample_actions(&probs, rng)).collect();
+            let placements: Vec<Placement> =
+                sampled.iter().map(|(actions, _)| Placement(actions.clone())).collect();
+            let eval_t0 = Instant::now();
+            let outcomes = env.evaluate_batch(&placements);
+            let eval_wall_s = eval_t0.elapsed().as_secs_f64();
+            for (((actions, old_logp), placement), outcome) in
+                sampled.into_iter().zip(placements).zip(outcomes)
+            {
                 let reading = outcome.reading_s(100.0);
                 match outcome {
                     EvalOutcome::Valid { per_step_s } => {
@@ -486,6 +496,7 @@ impl Agent {
                         ),
                         ("mean_valid_reading_s", mean_valid.unwrap_or(f64::NAN).into()),
                         ("best_so_far_s", log.best_reading_s.unwrap_or(f64::NAN).into()),
+                        ("eval_wall_s", eval_wall_s.into()),
                     ],
                 );
             }

@@ -48,6 +48,15 @@ pub struct MarsConfig {
     pub dgi_iters: usize,
     /// DGI pre-training learning rate.
     pub dgi_lr: f32,
+
+    /// Threads used to evaluate each round's sampled placements
+    /// (calling thread included). Never changes results — evaluation is
+    /// pure and outcomes commit in sample order (see `mars_sim`).
+    pub eval_threads: usize,
+    /// Memoize placement evaluations in the environment's LRU cache.
+    /// Cache hits replay the stored outcome and machine-time cost bit
+    /// for bit, so this too changes wall-clock only.
+    pub eval_cache: bool,
 }
 
 impl MarsConfig {
@@ -71,6 +80,8 @@ impl MarsConfig {
             ppo_epochs: 3,
             dgi_iters: 1000,
             dgi_lr: 1e-3,
+            eval_threads: 1,
+            eval_cache: true,
         }
     }
 
@@ -95,6 +106,8 @@ impl MarsConfig {
             ppo_epochs: 3,
             dgi_iters: 300,
             dgi_lr: 2e-3,
+            eval_threads: 1,
+            eval_cache: true,
         }
     }
 

@@ -1,0 +1,226 @@
+//! Bounded LRU memo cache for placement evaluations.
+//!
+//! The PPO policy resamples placements constantly — within a round once
+//! entropy drops, and across rounds as the policy converges — and every
+//! resample used to pay a full critical-path simulation. Evaluation is
+//! a pure function of `(graph, cluster, env seed, placement)` (see
+//! [`crate::measure`]), so identical placements can be answered from a
+//! map lookup. The cache is keyed by the [`Placement`] itself (already
+//! `Hash + Eq`) and guarded by a fingerprint of the graph + cluster so
+//! a cache can never silently serve readings for a different workload.
+//!
+//! Eviction is least-recently-used with a monotonic tick: ticks are
+//! unique, so the eviction victim is deterministic and cache behavior
+//! is identical across serial and parallel rollout runs (all cache
+//! mutations happen in the serial commit phase of
+//! [`crate::measure::SimEnv::evaluate_batch`]). The victim scan is
+//! `O(len)` per eviction; with the default capacity and
+//! millisecond-scale simulations this is noise, and it keeps the
+//! structure a single `HashMap` with no intrusive list to maintain.
+
+use crate::measure::EvalComputation;
+use crate::placement::Placement;
+use std::collections::HashMap;
+
+/// Default number of memoized evaluations ([`EvalCache::with_default_capacity`]).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+struct Entry {
+    value: EvalComputation,
+    last_used: u64,
+}
+
+/// Bounded LRU map from [`Placement`] to its evaluation result.
+pub struct EvalCache {
+    map: HashMap<Placement, Entry>,
+    capacity: usize,
+    fingerprint: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl EvalCache {
+    /// Empty cache holding at most `capacity` entries, bound to the
+    /// environment identified by `fingerprint`
+    /// (see [`crate::measure::env_fingerprint`]).
+    pub fn new(capacity: usize, fingerprint: u64) -> Self {
+        assert!(capacity > 0, "EvalCache capacity must be positive");
+        EvalCache {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            capacity,
+            fingerprint,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// [`EvalCache::new`] with [`DEFAULT_CAPACITY`].
+    pub fn with_default_capacity(fingerprint: u64) -> Self {
+        Self::new(DEFAULT_CAPACITY, fingerprint)
+    }
+
+    fn check_fingerprint(&self, fingerprint: u64) {
+        assert_eq!(
+            self.fingerprint, fingerprint,
+            "EvalCache used with a different graph/cluster than it was built for"
+        );
+    }
+
+    /// Look up `placement`, refreshing its recency and bumping the
+    /// hit/miss statistics. `fingerprint` must match the one the cache
+    /// was built with.
+    pub fn get(&mut self, placement: &Placement, fingerprint: u64) -> Option<EvalComputation> {
+        self.check_fingerprint(fingerprint);
+        self.tick += 1;
+        match self.map.get_mut(placement) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `placement` is cached, *without* touching recency or the
+    /// hit/miss statistics (used by the batch pre-pass to decide what
+    /// to compute; the authoritative lookup happens at commit time).
+    pub fn peek(&self, placement: &Placement) -> bool {
+        self.map.contains_key(placement)
+    }
+
+    /// Insert an evaluation, evicting the least-recently-used entry
+    /// when full. Ticks are unique so the victim is deterministic.
+    pub fn insert(&mut self, placement: Placement, value: EvalComputation, fingerprint: u64) {
+        self.check_fingerprint(fingerprint);
+        self.tick += 1;
+        if !self.map.contains_key(&placement) && self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(p, _)| p.clone())
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(placement, Entry { value, last_used: self.tick });
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entry is held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Hit fraction over all lookups (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::EvalComputation;
+    use crate::EvalOutcome;
+
+    fn comp(reading: f64) -> EvalComputation {
+        EvalComputation {
+            outcome: EvalOutcome::Valid { per_step_s: reading },
+            machine_s: reading * 20.0,
+            makespan_s: reading,
+            comm_s: 0.0,
+            num_transfers: 0,
+            peak_mem_utilization: 0.1,
+        }
+    }
+
+    fn p(ids: &[usize]) -> Placement {
+        Placement(ids.to_vec())
+    }
+
+    #[test]
+    fn get_after_insert_returns_value_and_counts_hit() {
+        let mut c = EvalCache::new(8, 7);
+        assert!(c.get(&p(&[1, 2]), 7).is_none());
+        c.insert(p(&[1, 2]), comp(0.5), 7);
+        let v = c.get(&p(&[1, 2]), 7).expect("cached");
+        assert_eq!(v.outcome, EvalOutcome::Valid { per_step_s: 0.5 });
+        assert_eq!(c.stats(), (1, 1, 0));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = EvalCache::new(2, 0);
+        c.insert(p(&[0]), comp(0.1), 0);
+        c.insert(p(&[1]), comp(0.2), 0);
+        // Touch [0] so [1] becomes the LRU victim.
+        assert!(c.get(&p(&[0]), 0).is_some());
+        c.insert(p(&[2]), comp(0.3), 0);
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(&p(&[0])), "recently used entry survived");
+        assert!(!c.peek(&p(&[1])), "LRU entry evicted");
+        assert!(c.peek(&p(&[2])));
+        assert_eq!(c.stats().2, 1, "one eviction");
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut c = EvalCache::new(2, 0);
+        c.insert(p(&[0]), comp(0.1), 0);
+        c.insert(p(&[1]), comp(0.2), 0);
+        c.insert(p(&[0]), comp(0.9), 0); // overwrite, cache stays full
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().2, 0);
+        let v = c.get(&p(&[0]), 0).expect("overwritten entry");
+        assert_eq!(v.outcome, EvalOutcome::Valid { per_step_s: 0.9 });
+    }
+
+    #[test]
+    fn peek_does_not_disturb_recency_or_stats() {
+        let mut c = EvalCache::new(2, 0);
+        c.insert(p(&[0]), comp(0.1), 0);
+        c.insert(p(&[1]), comp(0.2), 0);
+        assert!(c.peek(&p(&[0])));
+        // peek([0]) must NOT have refreshed it: [0] is still the LRU.
+        c.insert(p(&[2]), comp(0.3), 0);
+        assert!(!c.peek(&p(&[0])));
+        assert_eq!(c.stats(), (0, 0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph/cluster")]
+    fn fingerprint_mismatch_panics() {
+        let mut c = EvalCache::new(2, 1);
+        c.insert(p(&[0]), comp(0.1), 2);
+    }
+}

@@ -22,6 +22,7 @@
 //! ("bad placements"), and penalize invalid placements with a 100 s
 //! reading.
 
+pub mod cache;
 pub mod cost;
 pub mod device;
 pub mod engine;
@@ -30,9 +31,10 @@ pub mod memory;
 pub mod placement;
 pub mod trace;
 
+pub use cache::EvalCache;
 pub use device::{Cluster, DeviceId, DeviceKind, DeviceSpec, LinkSpec};
 pub use engine::{simulate, simulate_with, SimOptions, StepReport};
-pub use measure::{Environment, EvalOutcome, SimEnv};
+pub use measure::{env_fingerprint, Environment, EvalComputation, EvalOutcome, SimEnv};
 pub use memory::{check_memory, MemoryReport, OomError};
 pub use placement::Placement;
 pub use trace::{simulate_traced, StepTrace};

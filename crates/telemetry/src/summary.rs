@@ -78,7 +78,93 @@ pub struct RunSummary {
     pub histograms: Vec<HistogramRow>,
 }
 
+/// Rollout-engine digest: eval-cache effectiveness and the concurrent
+/// evaluation speedup, recovered from `sim.cache.*` counters and
+/// `sim.eval_batch` events.
+#[derive(Clone, Debug)]
+pub struct RolloutReport {
+    /// Cache hits over all evaluations.
+    pub cache_hits: u64,
+    /// Cache misses over all evaluations.
+    pub cache_misses: u64,
+    /// Evaluation rounds recorded.
+    pub rounds: u64,
+    /// Mean wall-clock seconds per evaluation round.
+    pub mean_round_wall_s: f64,
+    /// Total wall-clock seconds across rounds.
+    pub total_wall_s: f64,
+    /// Total per-evaluation compute seconds (sum of each evaluation's
+    /// own wall time — what a fully serial engine would have spent).
+    pub total_compute_s: f64,
+}
+
+impl RolloutReport {
+    /// Hit fraction over all lookups (0 when none were made).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Parallel speedup factor: serial-equivalent compute time over the
+    /// actual batched wall time (1.0 when no rounds were recorded).
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.total_wall_s > 0.0 {
+            self.total_compute_s / self.total_wall_s
+        } else {
+            1.0
+        }
+    }
+
+    /// Render as the two summary lines `metrics summarize` prints.
+    pub fn render(&self) -> String {
+        format!(
+            "eval cache hit rate: {:.1}% ({} of {} evaluations)\n\
+             eval rounds: {} (mean {:.4} s wall; parallel speedup {:.2}x over serial compute)\n",
+            self.cache_hit_rate() * 100.0,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.rounds,
+            self.mean_round_wall_s,
+            self.parallel_speedup(),
+        )
+    }
+}
+
 impl RunSummary {
+    /// Rollout-engine digest, if the run recorded any evaluations
+    /// (`sim.cache.*` counters or `sim.eval_batch` events).
+    pub fn rollout_report(&self) -> Option<RolloutReport> {
+        let counter = |name: &str| {
+            self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        let hits = counter("sim.cache.hit");
+        let misses = counter("sim.cache.miss");
+        let rollup = |field: &str| {
+            self.rollups.iter().find(|r| r.event == "sim.eval_batch" && r.field == field)
+        };
+        let wall = rollup("wall_s");
+        let compute = rollup("compute_s");
+        if hits + misses == 0 && wall.is_none() {
+            return None;
+        }
+        let rounds = wall.map_or(0, |r| r.count);
+        let mean_round_wall_s = wall.map_or(0.0, |r| r.mean);
+        let total_wall_s = wall.map_or(0.0, |r| r.mean * r.count as f64);
+        let total_compute_s = compute.map_or(0.0, |r| r.mean * r.count as f64);
+        Some(RolloutReport {
+            cache_hits: hits,
+            cache_misses: misses,
+            rounds,
+            mean_round_wall_s,
+            total_wall_s,
+            total_compute_s,
+        })
+    }
+
     /// Fraction of total span *self* time spent in spans whose leaf name
     /// starts with any of `prefixes` (e.g. `["tensor.", "nn."]`).
     /// Returns 0 when no span time was recorded.
@@ -404,6 +490,31 @@ mod tests {
         assert!(text.contains("  tensor.ops.matmul"));
         assert!(text.contains("ppo.update"));
         assert!(text.contains("sim.eval.valid"));
+    }
+
+    #[test]
+    fn rollout_report_from_cache_counters_and_batch_events() {
+        let run = [
+            r#"{"seq":1,"kind":"event","name":"sim.eval_batch","size":10,"computed":6,"wall_s":0.2,"compute_s":0.6}"#,
+            r#"{"seq":2,"kind":"event","name":"sim.eval_batch","size":10,"computed":2,"wall_s":0.2,"compute_s":0.6}"#,
+            r#"{"kind":"counters","counters":{"sim.cache.hit":12,"sim.cache.miss":8}}"#,
+        ]
+        .join("\n");
+        let report = summarize(&run).expect("parse").rollout_report().expect("report");
+        assert_eq!(report.cache_hits, 12);
+        assert_eq!(report.cache_misses, 8);
+        assert!((report.cache_hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(report.rounds, 2);
+        assert!((report.parallel_speedup() - 3.0).abs() < 1e-9, "{}", report.parallel_speedup());
+        let text = report.render();
+        assert!(text.contains("60.0%"), "{text}");
+        assert!(text.contains("3.00x"), "{text}");
+    }
+
+    #[test]
+    fn rollout_report_absent_without_eval_telemetry() {
+        let run = summarize(&sample_run()).expect("parse");
+        assert!(run.rollout_report().is_none());
     }
 
     #[test]

@@ -8,13 +8,39 @@
 //! Each kernel uses a cache-friendly i-k-j loop order and switches to a
 //! row partition parallelized on the in-repo thread pool
 //! ([`crate::pool`]) once the output is large enough for the fork/join
-//! overhead to pay off.
+//! overhead to pay off. Large products additionally take a blocked
+//! (GEBP-style) path: `B` is packed into contiguous column panels of
+//! [`PANEL_W`] floats that stay resident in cache while a block of
+//! [`BLOCK_ROWS`] output rows is swept, and `matmul_tn` packs `Aᵀ` so
+//! the backward hot path reads both operands contiguously.
+//!
+//! **Bit-exactness contract.** Every tiled/packed path performs, for
+//! each output element, the *same sequence of f32 operations* as the
+//! naive kernel: accumulation strictly ascends over the contraction
+//! index and the `a == 0.0` skip is preserved. Tiling here reorders
+//! only *which element* is updated next, never the order of adds within
+//! an element, so packed results are bit-identical to the naive loops
+//! (asserted by the `*_bit_identical_*` tests below) and the numerics
+//! tests keep exact equality rather than relaxing to epsilon bounds.
 
 use crate::{pool, Matrix};
 
 /// Minimum number of multiply-accumulate operations before a kernel
 /// parallelizes across rows. Below this the sequential loop wins.
 const PAR_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Width (in f32 columns) of one packed `B` panel: 64 floats = 256
+/// bytes = 4 cache lines per packed row.
+const PANEL_W: usize = 64;
+
+/// Output rows swept per parallel task in the blocked path; one block
+/// reuses each resident packed panel `BLOCK_ROWS` times.
+const BLOCK_ROWS: usize = 32;
+
+/// Minimum `m` before packing `B` pays for its `O(k·n)` copy: the pack
+/// is amortized over `m` row sweeps, so single-row products (LSTM
+/// steps) stay on the unpacked path.
+const PACK_MIN_ROWS: usize = 8;
 
 #[inline]
 fn inner_nn(out_row: &mut [f32], a_row: &[f32], b: &Matrix) {
@@ -26,6 +52,62 @@ fn inner_nn(out_row: &mut [f32], a_row: &[f32], b: &Matrix) {
         let b_row = b.row(k);
         for (o, &bv) in out_row.iter_mut().zip(b_row) {
             *o += a * bv;
+        }
+    }
+}
+
+/// `B` repacked into contiguous column panels: panel `p` holds columns
+/// `p·PANEL_W .. min((p+1)·PANEL_W, n)` as `k` consecutive rows of the
+/// panel's width, so the inner kernel streams both operands linearly.
+struct PackedB {
+    data: Vec<f32>,
+    /// Start offset of each panel in `data` (one trailing sentinel).
+    offsets: Vec<usize>,
+    /// Column range `(j0, width)` of each panel.
+    panels: Vec<(usize, usize)>,
+}
+
+fn pack_b(b: &Matrix) -> PackedB {
+    let (k, n) = b.shape();
+    let num_panels = n.div_ceil(PANEL_W);
+    let mut data = vec![0.0f32; k * n];
+    let mut offsets = Vec::with_capacity(num_panels + 1);
+    let mut panels = Vec::with_capacity(num_panels);
+    let mut off = 0;
+    for p in 0..num_panels {
+        let j0 = p * PANEL_W;
+        let w = PANEL_W.min(n - j0);
+        offsets.push(off);
+        panels.push((j0, w));
+        for t in 0..k {
+            let src = &b.row(t)[j0..j0 + w];
+            data[off + t * w..off + t * w + w].copy_from_slice(src);
+        }
+        off += k * w;
+    }
+    offsets.push(off);
+    PackedB { data, offsets, panels }
+}
+
+/// Blocked row sweep: accumulate `rows` output rows starting at global
+/// row `i0` against every packed panel. Per element the adds ascend in
+/// `t` with the zero skip, exactly like [`inner_nn`].
+fn packed_block(out_blk: &mut [f32], a: &Matrix, bp: &PackedB, i0: usize, n: usize) {
+    let rows = out_blk.len() / n;
+    for (p, &(j0, w)) in bp.panels.iter().enumerate() {
+        let panel = &bp.data[bp.offsets[p]..bp.offsets[p + 1]];
+        for r in 0..rows {
+            let a_row = a.row(i0 + r);
+            let out_seg = &mut out_blk[r * n + j0..r * n + j0 + w];
+            for (t, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &panel[t * w..(t + 1) * w];
+                for (o, &bv) in out_seg.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
         }
     }
 }
@@ -43,7 +125,14 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
-    if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
+    if m * n * k >= PAR_FLOP_THRESHOLD && m >= PACK_MIN_ROWS {
+        // Blocked/packed path: pack B once, sweep BLOCK_ROWS-row blocks
+        // in parallel with the packed panels shared read-only.
+        let bp = pack_b(b);
+        pool::par_chunks_mut(out.as_mut_slice(), BLOCK_ROWS * n.max(1), |blk, out_blk| {
+            packed_block(out_blk, a, &bp, blk * BLOCK_ROWS, n)
+        });
+    } else if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
         let cols = n.max(1);
         pool::par_chunks_mut(out.as_mut_slice(), cols, |i, out_row| {
             inner_nn(out_row, a.row(i), b)
@@ -74,6 +163,31 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let m = a.cols();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
+    if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
+        // Packed path: transpose A once so each output row reads one
+        // contiguous k-slice, then sweep rows in parallel. Per element
+        // the adds ascend in t with the zero skip — bit-identical to
+        // the rank-1 accumulation below.
+        let mut at = vec![0.0f32; m * k];
+        for t in 0..k {
+            for (i, &av) in a.row(t).iter().enumerate() {
+                at[i * k + t] = av;
+            }
+        }
+        pool::par_chunks_mut(out.as_mut_slice(), n.max(1), |i, out_row| {
+            let a_col = &at[i * k..(i + 1) * k];
+            for (t, &av) in a_col.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(t);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        });
+        return out;
+    }
     // Accumulate rank-1 updates; row-major friendly for both inputs.
     for t in 0..k {
         let a_row = a.row(t);
@@ -88,7 +202,6 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
             }
         }
     }
-    let _ = m;
     out
 }
 
@@ -108,10 +221,30 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let n = b.rows();
     let mut out = Matrix::zeros(m, n);
+    // Four output columns at a time: a_row stays in registers across
+    // four dot products. Each accumulator still ascends in t, so the
+    // result is bit-identical to the single-column loop.
     let compute_row = |i: usize, out_row: &mut [f32]| {
         let a_row = a.row(i);
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = b.row(j);
+        let mut j = 0;
+        while j + 4 <= n {
+            let (b0, b1, b2, b3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+            let (mut c0, mut c1, mut c2, mut c3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for t in 0..k {
+                let av = a_row[t];
+                c0 += av * b0[t];
+                c1 += av * b1[t];
+                c2 += av * b2[t];
+                c3 += av * b3[t];
+            }
+            out_row[j] = c0;
+            out_row[j + 1] = c1;
+            out_row[j + 2] = c2;
+            out_row[j + 3] = c3;
+            j += 4;
+        }
+        for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+            let b_row = b.row(jj);
             let mut acc = 0.0f32;
             for t in 0..k {
                 acc += a_row[t] * b_row[t];
@@ -359,6 +492,91 @@ mod tests {
         let small = matmul(&a, &b);
         let slow = seq_matmul(&a, &b);
         assert!(small.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn packed_matmul_bit_identical_on_ragged_shapes() {
+        // Shapes that hit the packed path with a ragged last panel
+        // (n % PANEL_W ≠ 0) and a ragged last row block
+        // (m % BLOCK_ROWS ≠ 0). The packed result must equal the naive
+        // inner_nn rows bit for bit — same per-element add sequence.
+        for (m, k, n) in [(70, 70, 70), (33, 100, 90), (41, 128, 130), (8, 300, 200)] {
+            assert!(m * n * k >= PAR_FLOP_THRESHOLD && m >= 8, "({m},{k},{n}) misses path");
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 3 + c) as f32 * 0.013).sin());
+            let b = Matrix::from_fn(k, n, |r, c| ((r + 5 * c) as f32 * 0.007).cos());
+            let fast = matmul(&a, &b);
+            let mut seq = Matrix::zeros(m, n);
+            for i in 0..m {
+                inner_nn(&mut seq.as_mut_slice()[i * n..(i + 1) * n], a.row(i), &b);
+            }
+            assert_eq!(fast, seq, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn packed_matmul_preserves_zero_skip_semantics() {
+        let mut a = Matrix::from_fn(40, 80, |r, c| ((r + c) as f32 * 0.02).sin());
+        for i in 0..40 {
+            // Zero out a stripe so the skip branch is exercised.
+            let row = &mut a.as_mut_slice()[i * 80..i * 80 + 80];
+            row[i..80].iter_mut().step_by(3).for_each(|v| *v = 0.0);
+        }
+        let b = Matrix::from_fn(80, 96, |r, c| ((2 * r + c) as f32 * 0.011).cos());
+        assert!(40 * 80 * 96 >= PAR_FLOP_THRESHOLD);
+        let fast = matmul(&a, &b);
+        let mut seq = Matrix::zeros(40, 96);
+        for i in 0..40 {
+            inner_nn(&mut seq.as_mut_slice()[i * 96..(i + 1) * 96], a.row(i), &b);
+        }
+        assert_eq!(fast, seq);
+    }
+
+    #[test]
+    fn matmul_tn_packed_bit_identical_to_rank1() {
+        // (k, m, n) hitting the packed-Aᵀ path; reference is the serial
+        // rank-1 accumulation (the small-size code path).
+        let (k, m, n) = (90, 70, 70);
+        assert!(m * n * k >= PAR_FLOP_THRESHOLD);
+        let a = Matrix::from_fn(k, m, |r, c| ((r * 7 + c) as f32 * 0.017).sin());
+        let b = Matrix::from_fn(k, n, |r, c| ((r + 11 * c) as f32 * 0.019).cos());
+        let fast = matmul_tn(&a, &b);
+        let mut seq = Matrix::zeros(m, n);
+        for t in 0..k {
+            let a_row = a.row(t);
+            let b_row = b.row(t);
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut seq.as_mut_slice()[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        assert_eq!(fast, seq);
+    }
+
+    #[test]
+    fn matmul_nt_column_blocking_bit_identical() {
+        // n not a multiple of 4 exercises the remainder loop; compare
+        // against the plain one-column-at-a-time dot products.
+        let (m, k, n) = (70, 80, 67);
+        assert!(m * n * k >= PAR_FLOP_THRESHOLD);
+        let a = Matrix::from_fn(m, k, |r, c| ((r + 2 * c) as f32 * 0.01).sin());
+        let b = Matrix::from_fn(n, k, |r, c| ((3 * r + c) as f32 * 0.02).cos());
+        let fast = matmul_nt(&a, &b);
+        let mut seq = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for t in 0..k {
+                    acc += a.row(i)[t] * b.row(j)[t];
+                }
+                seq.set(i, j, acc);
+            }
+        }
+        assert_eq!(fast, seq);
     }
 
     #[test]

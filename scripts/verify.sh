@@ -14,6 +14,17 @@ cargo test -q --offline --workspace
 echo "==> kernel benches, smoke mode (one iteration each)"
 cargo bench -p mars-bench --bench kernels --offline -- --smoke
 
+echo "==> rollout engine bench, smoke mode (asserts parallel+cached == serial)"
+cargo bench -p mars-bench --bench rollout --offline -- --smoke
+
+echo "==> engine parity: smoke train serial vs --eval-threads 4 must print identically"
+SERIAL_OUT=$(./target/release/mars-cli train inception --budget 40 --dgi-iters 10 --seed 1 \
+    --eval-threads 1)
+ENGINE_OUT=$(./target/release/mars-cli train inception --budget 40 --dgi-iters 10 --seed 1 \
+    --eval-threads 4)
+diff <(echo "$SERIAL_OUT") <(echo "$ENGINE_OUT") || {
+    echo "parallel evaluation changed training output"; exit 1; }
+
 echo "==> telemetry smoke: tiny instrumented training run + summarize"
 TELEMETRY_RUN=$(mktemp /tmp/mars-telemetry-XXXXXX.jsonl)
 trap 'rm -f "$TELEMETRY_RUN"' EXIT
@@ -27,4 +38,4 @@ echo "$SUMMARY" | grep -q "ppo.update" || {
 echo "$SUMMARY" | grep -q "sim.eval" || {
     echo "telemetry summary has no simulator eval events"; exit 1; }
 
-echo "==> OK: build, tests, bench smoke, and telemetry smoke all green"
+echo "==> OK: build, tests, bench smoke, engine parity, and telemetry smoke all green"

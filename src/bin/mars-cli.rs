@@ -14,6 +14,7 @@
 //! train options: --agent mars|mars-nopre|grouper|encoder   --budget N
 //!                --seed N   --profile small|full   --save <ckpt-path>
 //!                --telemetry <run.jsonl>   --dgi-iters N
+//!                --eval-threads N   --no-eval-cache
 //! ```
 //!
 //! `--telemetry <path>` records a JSONL event stream (per-iteration DGI
@@ -57,9 +58,18 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(key.to_string(), value);
-            i += 2;
+            // A flag followed by another `--flag` (or by nothing) is a
+            // boolean switch, e.g. `--no-eval-cache`.
+            match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                Some(value) => {
+                    flags.insert(key.to_string(), value.clone());
+                    i += 2;
+                }
+                None => {
+                    flags.insert(key.to_string(), String::new());
+                    i += 1;
+                }
+            }
         } else {
             i += 1;
         }
@@ -161,6 +171,12 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, Strin
     if let Some(iters) = flags.get("dgi-iters").and_then(|s| s.parse().ok()) {
         cfg.dgi_iters = iters;
     }
+    if let Some(threads) = flags.get("eval-threads").and_then(|s| s.parse().ok()) {
+        cfg.eval_threads = threads;
+    }
+    if flags.contains_key("no-eval-cache") {
+        cfg.eval_cache = false;
+    }
     let telemetry = install_telemetry(flags);
 
     let graph = workload.build(profile);
@@ -181,6 +197,8 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, Strin
         }
     }
     let mut env = SimEnv::new(graph, cluster, seed);
+    env.set_eval_threads(agent.cfg.eval_threads);
+    env.set_cache_enabled(agent.cfg.eval_cache);
     let mut log = TrainingLog::default();
     println!("training {} on {} for {budget} placement evaluations…", kind.label(), workload.name());
     agent.train(&mut env, &input, budget, &mut rng, &mut log);
@@ -196,6 +214,13 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, Strin
             );
         }
         None => println!("no valid placement found in {} samples", log.total_samples),
+    }
+    if let Some((hits, misses, evictions)) = env.cache_stats() {
+        let total = hits + misses;
+        println!(
+            "eval cache: {hits}/{total} hits ({:.1}%), {evictions} evictions",
+            env.cache_hit_rate().unwrap_or(0.0) * 100.0
+        );
     }
     if let Some(path) = flags.get("save") {
         match checkpoint::save_file(&agent.store, path) {
@@ -270,6 +295,9 @@ fn cmd_metrics(args: &[String]) -> ExitCode {
                     "kernel self-time share (tensor/nn/autograd): {:.1}%",
                     kernel_share * 100.0
                 );
+            }
+            if let Some(report) = summary.rollout_report() {
+                print!("{}", report.render());
             }
             ExitCode::SUCCESS
         }

@@ -23,8 +23,14 @@ fn tiny_cfg() -> MarsConfig {
 }
 
 /// Run DGI pre-training + PPO and return the pretrain loss curve and
-/// the training log.
-fn run(seed: u64, samples: usize) -> (Vec<f32>, TrainingLog) {
+/// the training log. `eval_threads`/`eval_cache` configure the rollout
+/// engine — they must never change anything this function returns.
+fn run_with_engine(
+    seed: u64,
+    samples: usize,
+    eval_threads: usize,
+    eval_cache: bool,
+) -> (Vec<f32>, TrainingLog) {
     let graph = Workload::InceptionV3.build(Profile::Reduced);
     let input = WorkloadInput::from_graph(&graph);
     let cluster = Cluster::p100_quad();
@@ -33,9 +39,15 @@ fn run(seed: u64, samples: usize) -> (Vec<f32>, TrainingLog) {
         Agent::new(AgentKind::Mars, tiny_cfg(), FEATURE_DIM, cluster.num_devices(), &mut rng);
     let report = agent.pretrain(&input, &mut rng).expect("Mars agent pre-trains");
     let mut env = SimEnv::new(graph, cluster, seed);
+    env.set_eval_threads(eval_threads);
+    env.set_cache_enabled(eval_cache);
     let mut log = TrainingLog::default();
     agent.train(&mut env, &input, samples, &mut rng, &mut log);
     (report.losses, log)
+}
+
+fn run(seed: u64, samples: usize) -> (Vec<f32>, TrainingLog) {
+    run_with_engine(seed, samples, 1, true)
 }
 
 /// The deterministic portion of a training trace, with floats reduced
@@ -78,6 +90,32 @@ fn same_seed_runs_are_byte_identical() {
         log_a.best_reading_s.map(f64::to_bits),
         log_b.best_reading_s.map(f64::to_bits)
     );
+}
+
+#[test]
+fn parallel_eval_is_bit_identical_to_serial() {
+    // The rollout engine (evaluation threads, memo cache) may change
+    // wall-clock only: every combination must reproduce the serial
+    // no-cache trace bit for bit, including simulated machine time.
+    let (losses_ref, log_ref) = run_with_engine(42, 48, 1, false);
+    for (threads, cache) in [(4, false), (1, true), (4, true)] {
+        let (losses, log) = run_with_engine(42, 48, threads, cache);
+        assert_eq!(
+            losses_ref.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            "DGI losses diverged with threads={threads} cache={cache}"
+        );
+        assert_eq!(
+            trace_bits(&log_ref),
+            trace_bits(&log),
+            "training trace diverged with threads={threads} cache={cache}"
+        );
+        assert_eq!(log_ref.best_placement, log.best_placement);
+        assert_eq!(
+            log_ref.best_reading_s.map(f64::to_bits),
+            log.best_reading_s.map(f64::to_bits)
+        );
+    }
 }
 
 #[test]
