@@ -42,11 +42,7 @@ pub fn check_gradients(
     let analytic: Vec<Matrix> = vars
         .iter()
         .zip(inputs)
-        .map(|(&v, m)| {
-            tape.grad(v)
-                .cloned()
-                .unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols()))
-        })
+        .map(|(&v, m)| tape.grad(v).cloned().unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols())))
         .collect();
 
     let eval = |probe: &[Matrix]| -> f32 {

@@ -358,7 +358,7 @@ impl Tape {
         let (t_len, in_dim) = self.value(x).shape();
         let hd4 = self.value(w_ih).cols();
         assert_eq!(self.value(w_ih).rows(), in_dim, "w_ih shape mismatch");
-        assert!(hd4 % 4 == 0, "w_ih width must be 4·H");
+        assert!(hd4.is_multiple_of(4), "w_ih width must be 4·H");
         let hd = hd4 / 4;
         assert_eq!(self.value(w_hh).shape(), (hd, hd4), "w_hh shape mismatch");
         assert_eq!(self.value(b).shape(), (1, hd4), "bias shape mismatch");
@@ -411,8 +411,8 @@ impl Tape {
             }
         }
         // Final cell state as the extra row.
-        for k in 0..hd {
-            out.set(t_len, k, c_prev[k]);
+        for (k, &c) in c_prev.iter().enumerate() {
+            out.set(t_len, k, c);
         }
 
         let rg = self.rg(x)
@@ -421,11 +421,7 @@ impl Tape {
             || self.rg(b)
             || self.rg(h0)
             || self.rg(c0);
-        self.push(
-            out,
-            Op::LstmSeq { x, w_ih, w_hh, b, h0, c0, cache: Arc::new(cache) },
-            rg,
-        )
+        self.push(out, Op::LstmSeq { x, w_ih, w_hh, b, h0, c0, cache: Arc::new(cache) }, rg)
     }
 
     // ---------------------------------------------------------------
@@ -581,12 +577,8 @@ impl Tape {
                         let p = self.nodes[i].value.clone();
                         let mut gx = Matrix::zeros(p.rows(), p.cols());
                         for r in 0..p.rows() {
-                            let dot: f32 = g
-                                .row(r)
-                                .iter()
-                                .zip(p.row(r))
-                                .map(|(&gi, &pi)| gi * pi)
-                                .sum();
+                            let dot: f32 =
+                                g.row(r).iter().zip(p.row(r)).map(|(&gi, &pi)| gi * pi).sum();
                             for c in 0..p.cols() {
                                 gx.set(r, c, p.get(r, c) * (g.get(r, c) - dot));
                             }
@@ -713,13 +705,17 @@ impl Tape {
                 }
                 Op::Clamp(x, lo, hi) => {
                     if self.rg(x) {
-                        let gx = g.zip_map(self.value(x), |gi, xi| {
-                            if xi > lo && xi < hi {
-                                gi
-                            } else {
-                                0.0
-                            }
-                        });
+                        let gx =
+                            g.zip_map(
+                                self.value(x),
+                                |gi, xi| {
+                                    if xi > lo && xi < hi {
+                                        gi
+                                    } else {
+                                        0.0
+                                    }
+                                },
+                            );
                         self.accumulate(x, gx);
                     }
                 }
@@ -778,8 +774,7 @@ impl Tape {
                     let mut dz = vec![0.0f32; 4 * hd];
 
                     for t in (0..t_len).rev() {
-                        let c_prev: &[f32] =
-                            if t == 0 { &c0_row } else { cache.c.row(t - 1) };
+                        let c_prev: &[f32] = if t == 0 { &c0_row } else { cache.c.row(t - 1) };
                         for k in 0..hd {
                             let dh = g.get(t, k) + dh_rec[k];
                             let o = cache.o.get(t, k);

@@ -1,11 +1,11 @@
 //! Finite-difference verification of every op's backward rule.
 
 use mars_autograd::check::check_gradients_default;
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
 use mars_tensor::init;
 use mars_tensor::ops::CsrMatrix;
 use mars_tensor::Matrix;
-use mars_rng::rngs::StdRng;
-use mars_rng::SeedableRng;
 use std::sync::Arc;
 
 fn rng(seed: u64) -> StdRng {
@@ -79,17 +79,17 @@ fn grad_scale_add_scalar() {
 #[test]
 fn grad_activations() {
     let x = rand_m(3, 3, 9);
-    check_gradients_default(&[x.clone()], |t, v| {
+    check_gradients_default(std::slice::from_ref(&x), |t, v| {
         let y = t.sigmoid(v[0]);
         t.mean_all(y)
     });
-    check_gradients_default(&[x.clone()], |t, v| {
+    check_gradients_default(std::slice::from_ref(&x), |t, v| {
         let y = t.tanh(v[0]);
         t.mean_all(y)
     });
     // ReLU/clamp are non-smooth at 0; shift inputs away from kinks.
     let shifted = x.map(|e| e + if e >= 0.0 { 0.5 } else { -0.5 });
-    check_gradients_default(&[shifted.clone()], |t, v| {
+    check_gradients_default(std::slice::from_ref(&shifted), |t, v| {
         let y = t.relu(v[0]);
         t.mean_all(y)
     });
@@ -150,7 +150,7 @@ fn grad_log_softmax_rows() {
 #[test]
 fn grad_reductions() {
     let x = rand_m(3, 4, 16);
-    check_gradients_default(&[x.clone()], |t, v| {
+    check_gradients_default(std::slice::from_ref(&x), |t, v| {
         let m = t.mean_rows(v[0]);
         let s = t.tanh(m);
         t.sum_all(s)

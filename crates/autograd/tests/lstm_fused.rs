@@ -4,11 +4,12 @@
 
 use mars_autograd::check::check_gradients_default;
 use mars_autograd::{Tape, Var};
-use mars_tensor::{init, Matrix};
 use mars_rng::rngs::StdRng;
 use mars_rng::SeedableRng;
+use mars_tensor::{init, Matrix};
 
 /// Composed reference: one step of the same LSTM from primitive ops.
+#[allow(clippy::too_many_arguments)]
 fn composed_step(
     t: &mut Tape,
     x_t: Var,

@@ -6,11 +6,14 @@
 //! that ignores scheduling/pipelining — while Mars optimizes measured
 //! step time directly.
 
-use mars_bench::{bench_label, cell, measure_placement, print_table, run_agent_multi, save_json, ExpConfig, BENCHMARKS};
+use mars_bench::{
+    bench_label, cell, measure_placement, print_table, run_agent_multi, save_json, ExpConfig,
+    BENCHMARKS,
+};
 use mars_core::agent::AgentKind;
 use mars_core::partitioner::best_min_cut;
-use mars_sim::Cluster;
 use mars_json::Json;
+use mars_sim::Cluster;
 
 struct Row {
     workload: String,
@@ -18,7 +21,6 @@ struct Row {
     mars_s: String,
     cut_bytes_mb: f64,
 }
-
 
 impl Row {
     fn to_json(&self) -> Json {
@@ -50,8 +52,7 @@ fn main() {
             None => ("infeasible".to_string(), 0.0),
         };
         let mars = run_agent_multi(&cfg, AgentKind::Mars, w, true, cfg.budget, 6100 + wi as u64);
-        let mars_cell =
-            mars.mean_best.map(|b| format!("{b:.3}")).unwrap_or_else(|| "-".into());
+        let mars_cell = mars.mean_best.map(|b| format!("{b:.3}")).unwrap_or_else(|| "-".into());
         println!(
             "  {:<14} min-cut {} ({:.0} MB cut)  Mars {}",
             bench_label(w),

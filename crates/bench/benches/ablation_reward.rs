@@ -16,7 +16,6 @@ struct Row {
     mean_best_s: Option<f64>,
 }
 
-
 impl Row {
     fn to_json(&self) -> Json {
         Json::obj([

@@ -19,7 +19,6 @@ struct Row {
     mean_samples_to_converge: Option<f64>,
 }
 
-
 impl Row {
     fn to_json(&self) -> Json {
         Json::obj([

@@ -15,7 +15,6 @@ struct Row {
     mean_best_s: Option<f64>,
 }
 
-
 impl Row {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -32,12 +31,11 @@ fn main() {
         cfg.profile, cfg.budget, cfg.seeds
     );
 
-    let sweep: &[usize] =
-        if matches!(cfg.profile, mars_graph::generators::Profile::Paper) {
-            &[32, 64, 128, 256, 4096]
-        } else {
-            &[8, 16, 32, 64, 4096]
-        };
+    let sweep: &[usize] = if matches!(cfg.profile, mars_graph::generators::Profile::Paper) {
+        &[32, 64, 128, 256, 4096]
+    } else {
+        &[8, 16, 32, 64, 4096]
+    };
 
     let mut rows = Vec::new();
     let mut table = Vec::new();
@@ -59,7 +57,11 @@ fn main() {
                 if s >= 4096 { "whole-seq".into() } else { s.to_string() },
                 r.mean_best.map(|b| format!("{b:.3}")).unwrap_or_else(|| "-".into()),
             ]);
-            rows.push(Row { workload: bench_label(w).to_string(), segment_size: s, mean_best_s: r.mean_best });
+            rows.push(Row {
+                workload: bench_label(w).to_string(),
+                segment_size: s,
+                mean_best_s: r.mean_best,
+            });
         }
     }
     print_table(

@@ -33,7 +33,6 @@ struct Figure {
     series: Vec<Series>,
 }
 
-
 impl Series {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -62,10 +61,8 @@ fn mean_opt(values: Vec<Option<f64>>) -> Option<f64> {
 }
 
 fn ascii_plot(series: &[Series]) {
-    let max_t = series
-        .iter()
-        .flat_map(|s| s.best_so_far_s.iter().flatten())
-        .fold(0.0f64, |a, &b| a.max(b));
+    let max_t =
+        series.iter().flat_map(|s| s.best_so_far_s.iter().flatten()).fold(0.0f64, |a, &b| a.max(b));
     if max_t <= 0.0 {
         return;
     }
@@ -110,9 +107,7 @@ fn main() {
             let samples: Vec<usize> =
                 (0..rounds).map(|i| r.logs[0].records[i].samples_so_far).collect();
             let best_so_far: Vec<Option<f64>> = (0..rounds)
-                .map(|i| {
-                    mean_opt(r.logs.iter().map(|l| l.records[i].best_so_far_s).collect())
-                })
+                .map(|i| mean_opt(r.logs.iter().map(|l| l.records[i].best_so_far_s).collect()))
                 .collect();
             let mean_valid: Vec<Option<f64>> = (0..rounds)
                 .map(|i| {
@@ -130,8 +125,7 @@ fn main() {
                 .iter()
                 .filter_map(|l| l.samples_to_converge(1.10).map(|s| s as f64))
                 .collect();
-            let conv =
-                (!convs.is_empty()).then(|| convs.iter().sum::<f64>() / convs.len() as f64);
+            let conv = (!convs.is_empty()).then(|| convs.iter().sum::<f64>() / convs.len() as f64);
             println!(
                 "  {:<24} mean best {}  converged@{} samples  entropy {:.2}→{:.2}",
                 kind.label(),

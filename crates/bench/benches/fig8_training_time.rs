@@ -33,9 +33,6 @@ struct Entry {
     seeds: usize,
 }
 
-/// Machine+agent time when `log` first had a best ≤ `target`;
-/// `None` if it never did.
-
 impl Entry {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -49,6 +46,8 @@ impl Entry {
         ])
     }
 }
+/// Machine+agent time when `log` first had a best ≤ `target`;
+/// `None` if it never did.
 fn time_to_target(log: &TrainingLog, target: f64) -> Option<(f64, f64, usize)> {
     for r in &log.records {
         if r.best_so_far_s.is_some_and(|b| b <= target) {
@@ -87,10 +86,7 @@ fn main() {
             .flat_map(|(_, r)| r.bests.iter().flatten().copied())
             .fold(f64::INFINITY, f64::min);
         let target = global_best * 1.10;
-        println!(
-            "  {} target: within 10% of global best {global_best:.3} s",
-            bench_label(w)
-        );
+        println!("  {} target: within 10% of global best {global_best:.3} s", bench_label(w));
 
         // Phase 2: per-agent mean time to the target.
         for (kind, r) in &runs {
@@ -137,10 +133,8 @@ fn main() {
     let mut savings = Vec::new();
     for w in BENCHMARKS {
         let label = bench_label(w);
-        let mars = entries
-            .iter()
-            .find(|e| e.workload == label && e.agent == "Mars")
-            .expect("mars entry");
+        let mars =
+            entries.iter().find(|e| e.workload == label && e.agent == "Mars").expect("mars entry");
         let nopre = entries
             .iter()
             .find(|e| e.workload == label && e.agent == "Mars (no pre-training)")

@@ -122,8 +122,7 @@ fn smoke_train(threads: usize, cache: bool) -> (Duration, TrainingLog) {
     cfg.eval_threads = threads;
     cfg.eval_cache = cache;
     let mut rng = StdRng::seed_from_u64(SEED);
-    let mut agent =
-        Agent::new(AgentKind::Mars, cfg, FEATURE_DIM, cluster.num_devices(), &mut rng);
+    let mut agent = Agent::new(AgentKind::Mars, cfg, FEATURE_DIM, cluster.num_devices(), &mut rng);
     let mut env = SimEnv::new(graph, cluster, SEED);
     env.set_eval_threads(threads);
     env.set_cache_enabled(cache);
@@ -189,6 +188,26 @@ fn main() {
     );
 
     if opts.smoke {
+        // One-rep measurement for the CI bench gate: too noisy to be a
+        // committed baseline, but enough to catch an order-of-magnitude
+        // regression via `mars-cli bench-gate` with a loose floor.
+        let serial_s = serial_times[0].as_secs_f64();
+        let engine_s = engine_times[0].as_secs_f64().max(1e-12);
+        let smoke = Json::obj([
+            ("speedup", Json::from(serial_s / engine_s)),
+            ("cache_hit_rate", Json::from(hit_rate)),
+            ("smoke", Json::from(true)),
+        ]);
+        // Anchor at the workspace root (cargo runs benches from the
+        // package dir), same as `write_baseline`.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+        let _ = std::fs::create_dir_all(&dir);
+        match std::fs::write(dir.join("BENCH_e2e_smoke.json"), format!("{smoke}\n")) {
+            Ok(()) => {
+                println!("(smoke baseline written to target/experiments/BENCH_e2e_smoke.json)")
+            }
+            Err(e) => eprintln!("cannot write smoke baseline: {e}"),
+        }
         println!("rollout smoke ok");
         opts.finish();
         return;
@@ -214,9 +233,7 @@ fn main() {
                 ("engine_s", Json::from(train_engine.as_secs_f64())),
                 (
                     "speedup",
-                    Json::from(
-                        train_serial.as_secs_f64() / train_engine.as_secs_f64().max(1e-12),
-                    ),
+                    Json::from(train_serial.as_secs_f64() / train_engine.as_secs_f64().max(1e-12)),
                 ),
             ]),
         ),

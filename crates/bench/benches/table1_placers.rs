@@ -28,7 +28,6 @@ struct Row {
     mlp: String,
 }
 
-
 impl Row {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -51,14 +50,10 @@ fn main() {
     let mut rows = Vec::new();
     for (wi, w) in BENCHMARKS.iter().copied().enumerate() {
         let mut best = Vec::new();
-        for (pi, choice) in [
-            PlacerChoice::Seq2Seq,
-            PlacerChoice::TrfXl,
-            PlacerChoice::Segment,
-            PlacerChoice::Mlp,
-        ]
-        .into_iter()
-        .enumerate()
+        for (pi, choice) in
+            [PlacerChoice::Seq2Seq, PlacerChoice::TrfXl, PlacerChoice::Segment, PlacerChoice::Mlp]
+                .into_iter()
+                .enumerate()
         {
             // Pre-train the encoder, then freeze it (run_agent calls
             // freeze_encoder for FixedEncoder kinds after pre-training).

@@ -14,8 +14,8 @@ use mars_bench::{
 };
 use mars_core::agent::AgentKind;
 use mars_core::baselines::{gpu_only, human_expert};
-use mars_sim::Cluster;
 use mars_json::Json;
+use mars_sim::Cluster;
 
 struct Row {
     model: String,
@@ -26,7 +26,6 @@ struct Row {
     mars: String,
     mars_no_pretrain: String,
 }
-
 
 impl Row {
     fn to_json(&self) -> Json {

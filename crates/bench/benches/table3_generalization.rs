@@ -22,7 +22,6 @@ struct Row {
     different_source: String,
 }
 
-
 impl Row {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -82,13 +81,8 @@ fn main() {
             );
             // Fair comparison: direct training gets the same total budget.
             let total = sim.train_samples + finetune;
-            let d = direct(
-                &cfg.mars,
-                w,
-                cfg.profile,
-                total,
-                cfg.seed ^ (wi as u64 * 31 + 3 + s * 977),
-            );
+            let d =
+                direct(&cfg.mars, w, cfg.profile, total, cfg.seed ^ (wi as u64 * 31 + 3 + s * 977));
             sim_bests.push(sim.best_s);
             dif_bests.push(dif.best_s);
             dir_bests.push(d);
@@ -118,13 +112,16 @@ fn main() {
 
     let table_rows: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![r.unseen.clone(), r.direct.clone(), r.similar.clone(), r.different.clone()]
-        })
+        .map(|r| vec![r.unseen.clone(), r.direct.clone(), r.similar.clone(), r.different.clone()])
         .collect();
     print_table(
         "Table 3: generalization (100 fine-tune steps on the unseen workload)",
-        &["Unseen workloads", "Direct training", "Generalized from similar type", "Generalized from different type"],
+        &[
+            "Unseen workloads",
+            "Direct training",
+            "Generalized from similar type",
+            "Generalized from different type",
+        ],
         &table_rows,
     );
     save_json("table3_generalization", &Json::arr(rows.iter().map(Row::to_json)));

@@ -63,7 +63,7 @@ impl BenchOpts {
 
     /// Whether `name` passes the filter.
     pub fn selected(&self, name: &str) -> bool {
-        self.filter.as_deref().map_or(true, |f| name.contains(f))
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
 }
 
@@ -105,10 +105,8 @@ impl Sample {
 /// must be the bare file name, e.g. `"BENCH_kernels.json"`.
 pub fn write_baseline(basename: &str, samples: &[Sample], extra: &[(&str, Json)]) {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let mut fields: Vec<(&str, Json)> = vec![(
-        "benchmarks",
-        Json::arr(samples.iter().map(Sample::to_json)),
-    )];
+    let mut fields: Vec<(&str, Json)> =
+        vec![("benchmarks", Json::arr(samples.iter().map(Sample::to_json)))];
     fields.extend(extra.iter().cloned());
     let path = root.join(basename);
     match std::fs::write(&path, format!("{}\n", Json::obj(fields))) {

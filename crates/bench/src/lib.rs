@@ -88,8 +88,7 @@ pub fn run_agent_multi(
         logs.push(r.log);
     }
     let found: Vec<f64> = bests.iter().flatten().copied().collect();
-    let mean_best =
-        (!found.is_empty()).then(|| found.iter().sum::<f64>() / found.len() as f64);
+    let mean_best = (!found.is_empty()).then(|| found.iter().sum::<f64>() / found.len() as f64);
     MultiRunResult { bests, mean_best, logs }
 }
 
@@ -160,6 +159,8 @@ pub fn cell(v: &EvalOutcome) -> String {
         EvalOutcome::Valid { per_step_s } => format!("{per_step_s:.3}"),
         EvalOutcome::Bad { .. } => "bad".into(),
         EvalOutcome::Invalid { .. } => "OOM".into(),
+        EvalOutcome::TransientError { .. } => "fault".into(),
+        EvalOutcome::Straggler { .. } => "straggler".into(),
     }
 }
 
@@ -215,10 +216,7 @@ pub fn note_run(label: &str, workload: Workload, r: &MultiRunResult) {
                 ("workload", workload.name().into()),
                 ("mean_best_s", r.mean_best.unwrap_or(f64::NAN).into()),
                 ("seeds", (r.bests.len() as f64).into()),
-                (
-                    "seeds_valid",
-                    (r.bests.iter().filter(|b| b.is_some()).count() as f64).into(),
-                ),
+                ("seeds_valid", (r.bests.iter().filter(|b| b.is_some()).count() as f64).into()),
             ],
         );
     }

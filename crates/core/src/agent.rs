@@ -19,10 +19,10 @@ use crate::placers::{PlacerChoice, PlacerNet};
 use crate::ppo::{ppo_loss_stats, sample_actions, EmaBaseline, PpoStats, SampleRecord};
 use crate::workload_input::WorkloadInput;
 use mars_nn::{apply_grads, Adam, FwdCtx, ParamStore};
-use mars_sim::{Environment, EvalOutcome, Placement};
-use mars_tensor::{stats, Matrix};
 use mars_rng::rngs::StdRng;
 use mars_rng::seq::SliceRandom;
+use mars_sim::{Environment, EvalOutcome, Placement};
+use mars_tensor::{stats, Matrix};
 use std::time::Instant;
 
 /// Which agent architecture to build.
@@ -321,8 +321,7 @@ impl Agent {
             None => {
                 let h = self.encoder.encode(ctx, input);
                 let v = ctx.tape.value(h);
-                let rms =
-                    (v.as_slice().iter().map(|x| x * x).sum::<f32>() / v.len() as f32).sqrt();
+                let rms = (v.as_slice().iter().map(|x| x * x).sum::<f32>() / v.len() as f32).sqrt();
                 if rms > 1e-6 {
                     ctx.tape.scale(h, 1.0 / rms)
                 } else {
@@ -373,7 +372,7 @@ impl Agent {
             let round = self.cfg.samples_per_update.min(max_samples - log.total_samples);
             let mut records: Vec<SampleRecord> = Vec::with_capacity(round);
             let mut valid_readings: Vec<f64> = Vec::new();
-            let (mut oom_count, mut bad_count) = (0usize, 0usize);
+            let (mut oom_count, mut bad_count, mut fault_count) = (0usize, 0usize, 0usize);
             let mut reward_sum = 0.0f64;
             // Draw the whole round up front (the agent RNG stream is
             // identical to the old one-at-a-time loop), then hand the
@@ -406,6 +405,10 @@ impl Agent {
                     EvalOutcome::Bad { .. } => {
                         bad_count += 1;
                         mars_telemetry::counter("train.eval_cutoff").inc();
+                    }
+                    EvalOutcome::TransientError { .. } | EvalOutcome::Straggler { .. } => {
+                        fault_count += 1;
+                        mars_telemetry::counter("train.eval_fault").inc();
                     }
                 }
                 let reward = self.cfg.reward_shaping.reward(reading);
@@ -490,6 +493,7 @@ impl Agent {
                         ("policy_entropy", policy_entropy.into()),
                         ("oom_count", (oom_count as f64).into()),
                         ("bad_count", (bad_count as f64).into()),
+                        ("fault_count", (fault_count as f64).into()),
                         (
                             "valid_fraction",
                             (valid_readings.len() as f64 / round.max(1) as f64).into(),
@@ -509,9 +513,48 @@ impl Agent {
                 machine_s: env.machine_seconds(),
                 policy_entropy,
             });
+
+            // An injected crash killed the process during this round's
+            // evaluations; checkpoint and resume before the next round.
+            if env.take_crash() {
+                self.resume_from_crash(log.total_samples);
+            }
         }
         log.train_wall_s = start_wall + t0.elapsed().as_secs_f64();
         log.machine_s += env.machine_seconds() - machine_t0;
+    }
+
+    /// Checkpoint-and-resume after an injected crash: serialize every
+    /// parameter, then reload it — to `cfg.auto_checkpoint` when set,
+    /// else through an in-memory buffer. The roundtrip is bit-exact
+    /// (f32 bits are stored losslessly), so a crashed-and-resumed run
+    /// produces the identical trace to an uninterrupted one. Optimizer
+    /// and baseline state stay in memory (see DESIGN.md §9).
+    fn resume_from_crash(&mut self, samples_so_far: usize) {
+        let _span = mars_telemetry::span("core.agent.crash_resume");
+        match self.cfg.auto_checkpoint.clone() {
+            Some(path) => {
+                mars_nn::checkpoint::save_file(&self.store, &path).expect("auto-checkpoint save");
+                mars_nn::checkpoint::load_file(&mut self.store, &path)
+                    .expect("auto-checkpoint load");
+            }
+            None => {
+                let mut buf = Vec::new();
+                mars_nn::checkpoint::save(&self.store, &mut buf).expect("in-memory checkpoint");
+                mars_nn::checkpoint::load(&mut self.store, &mut buf.as_slice())
+                    .expect("in-memory resume");
+            }
+        }
+        mars_telemetry::counter("train.crash_resume").inc();
+        if mars_telemetry::active() {
+            mars_telemetry::event(
+                "train.crash_resume",
+                &[
+                    ("samples_so_far", (samples_so_far as f64).into()),
+                    ("to_file", (self.cfg.auto_checkpoint.is_some() as u64 as f64).into()),
+                ],
+            );
+        }
     }
 }
 
@@ -520,8 +563,8 @@ mod tests {
     use super::*;
     use mars_graph::features::FEATURE_DIM;
     use mars_graph::generators::{Profile, Workload};
-    use mars_sim::{Cluster, SimEnv};
     use mars_rng::SeedableRng;
+    use mars_sim::{Cluster, SimEnv};
 
     fn tiny_cfg() -> MarsConfig {
         let mut c = MarsConfig::small();

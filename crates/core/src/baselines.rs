@@ -38,8 +38,9 @@ pub fn human_expert(workload: Workload, graph: &CompGraph, cluster: &Cluster) ->
                 let name = &node.name;
                 let layer = layer_index(name);
                 let dev = match () {
-                    _ if name.starts_with("encoder/embedding")
-                        || name.starts_with("input") => gpus[0],
+                    _ if name.starts_with("encoder/embedding") || name.starts_with("input") => {
+                        gpus[0]
+                    }
                     _ if name.starts_with("decoder/embedding") => gpus[0],
                     _ if name.starts_with("encoder") => gpus[layer % gpus.len()],
                     _ if name.starts_with("decoder") => gpus[layer % gpus.len()],
@@ -119,10 +120,8 @@ mod tests {
         let c = Cluster::p100_quad();
         let g = Workload::Gnmt4.build(Profile::Reduced);
         let env = SimEnv::new(g.clone(), c.clone(), 0);
-        let human = env
-            .true_step_time(&human_expert(Workload::Gnmt4, &g, &c))
-            .expect("valid")
-            .makespan_s;
+        let human =
+            env.true_step_time(&human_expert(Workload::Gnmt4, &g, &c)).expect("valid").makespan_s;
         let mut blocked = Placement::blocked(&g, &c.gpu_ids());
         blocked.enforce_compatibility(&g, &c);
         let reference = env.true_step_time(&blocked).expect("valid").makespan_s;

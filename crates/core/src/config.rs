@@ -57,6 +57,17 @@ pub struct MarsConfig {
     /// Cache hits replay the stored outcome and machine-time cost bit
     /// for bit, so this too changes wall-clock only.
     pub eval_cache: bool,
+
+    /// Retries allowed per evaluation after an injected transient
+    /// error (bounded exponential backoff; see `mars_sim::RetryPolicy`).
+    pub max_eval_retries: u32,
+    /// Per-evaluation machine-time budget in seconds: retries beyond
+    /// this are abandoned and the evaluation reads as the cutoff.
+    pub eval_timeout_s: f64,
+    /// Checkpoint path used to resume through injected agent crashes.
+    /// `None` keeps the checkpoint in memory (still a full
+    /// save-and-reload roundtrip, so resume stays bit-exact).
+    pub auto_checkpoint: Option<String>,
 }
 
 impl MarsConfig {
@@ -82,6 +93,9 @@ impl MarsConfig {
             dgi_lr: 1e-3,
             eval_threads: 1,
             eval_cache: true,
+            max_eval_retries: 3,
+            eval_timeout_s: 300.0,
+            auto_checkpoint: None,
         }
     }
 
@@ -108,6 +122,9 @@ impl MarsConfig {
             dgi_lr: 2e-3,
             eval_threads: 1,
             eval_cache: true,
+            max_eval_retries: 3,
+            eval_timeout_s: 300.0,
+            auto_checkpoint: None,
         }
     }
 

@@ -15,9 +15,9 @@ use crate::encoder::Encoder;
 use crate::workload_input::WorkloadInput;
 use mars_autograd::Var;
 use mars_nn::{apply_grads, Adam, FwdCtx, ParamId, ParamStore};
-use mars_tensor::{init, Matrix};
 use mars_rng::seq::SliceRandom;
 use mars_rng::Rng;
+use mars_tensor::{init, Matrix};
 use std::sync::Arc;
 
 /// The DGI discriminator (bilinear weight) plus the pre-training loop.
@@ -177,8 +177,7 @@ mod tests {
         let mut store = ParamStore::new();
         let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 16, 2, &mut rng);
         let dgi = Dgi::new(&mut store, 16, &mut rng);
-        let input =
-            WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
+        let input = WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
         let report = pretrain(&mut store, &enc, &dgi, &input, 150, 5e-3, 1.0, &mut rng);
         let first10: f32 = report.losses[..10].iter().sum::<f32>() / 10.0;
         let last10: f32 = report.losses[report.losses.len() - 10..].iter().sum::<f32>() / 10.0;
@@ -197,8 +196,7 @@ mod tests {
         let mut store = ParamStore::new();
         let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 8, 2, &mut rng);
         let dgi = Dgi::new(&mut store, 8, &mut rng);
-        let input =
-            WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
+        let input = WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
         let perm: Vec<usize> = (0..input.num_ops).rev().collect();
         let mut ctx = FwdCtx::new(&store);
         let loss = dgi.loss(&mut ctx, &enc, &input, &perm);
@@ -212,8 +210,7 @@ mod tests {
         let mut store = ParamStore::new();
         let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 8, 1, &mut rng);
         let dgi = Dgi::new(&mut store, 8, &mut rng);
-        let input =
-            WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
+        let input = WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
         let report = pretrain(&mut store, &enc, &dgi, &input, 30, 5e-3, 1.0, &mut rng);
         // Evaluate the restored parameters: their loss must be close to
         // the reported best (same permutation class, modest variance).

@@ -84,7 +84,14 @@ impl SageEncoder {
         let mut in_dim = feature_dim;
         for l in 0..num_layers {
             self_proj.push(Linear::new(store, &format!("sage{l}.self"), in_dim, hidden, true, rng));
-            neigh_proj.push(Linear::new(store, &format!("sage{l}.neigh"), in_dim, hidden, false, rng));
+            neigh_proj.push(Linear::new(
+                store,
+                &format!("sage{l}.neigh"),
+                in_dim,
+                hidden,
+                false,
+                rng,
+            ));
             in_dim = hidden;
         }
         SageEncoder { self_proj, neigh_proj, out_dim: hidden }

@@ -10,9 +10,9 @@ use crate::config::MarsConfig;
 use crate::workload_input::WorkloadInput;
 use mars_graph::features::FEATURE_DIM;
 use mars_graph::generators::{Profile, Workload};
-use mars_sim::{Cluster, SimEnv};
 use mars_rng::rngs::StdRng;
 use mars_rng::SeedableRng;
+use mars_sim::{Cluster, SimEnv};
 
 /// Result of one generalization run.
 pub struct GeneralizeResult {
@@ -119,10 +119,8 @@ pub fn train_over_set(
     let mut agent =
         Agent::new(AgentKind::Mars, cfg.clone(), FEATURE_DIM, cluster.num_devices(), &mut rng);
 
-    let inputs: Vec<WorkloadInput> = workloads
-        .iter()
-        .map(|w| WorkloadInput::from_graph(&w.build(profile)))
-        .collect();
+    let inputs: Vec<WorkloadInput> =
+        workloads.iter().map(|w| WorkloadInput::from_graph(&w.build(profile))).collect();
     agent.pretrain(&inputs[0], &mut rng);
 
     let mut envs: Vec<SimEnv> = workloads

@@ -72,9 +72,9 @@ impl PlacerNet for GrouperPlacerNet {
         let st = ctx.tape.transpose(s); // G × N
         let mass = ctx.tape.sum_rows(s); // 1 × G, column masses
         let raw = ctx.tape.matmul(st, reps); // G × F
-        // Normalize each group row by its mass (avoid division op:
-        // scale via reciprocal diagonal — implemented with an
-        // elementwise product against a broadcast reciprocal).
+                                             // Normalize each group row by its mass (avoid division op:
+                                             // scale via reciprocal diagonal — implemented with an
+                                             // elementwise product against a broadcast reciprocal).
         let recip = {
             let eps = 1e-6f32;
             let m = ctx.tape.value(mass).clone();
@@ -83,11 +83,7 @@ impl PlacerNet for GrouperPlacerNet {
             ctx.tape.constant(r)
         };
         let recip_t = ctx.tape.transpose(recip); // G × 1
-        let ones = ctx.tape.constant(mars_tensor::Matrix::full(
-            1,
-            ctx.tape.value(raw).cols(),
-            1.0,
-        ));
+        let ones = ctx.tape.constant(mars_tensor::Matrix::full(1, ctx.tape.value(raw).cols(), 1.0));
         let recip_full = ctx.tape.matmul(recip_t, ones); // G × F broadcast
         let group_emb = ctx.tape.mul(raw, recip_full); // G × F
 
@@ -125,10 +121,10 @@ impl PlacerNet for GrouperPlacerNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mars_tensor::init;
-    use mars_tensor::stats::softmax_rows;
     use mars_rng::rngs::StdRng;
     use mars_rng::SeedableRng;
+    use mars_tensor::init;
+    use mars_tensor::stats::softmax_rows;
 
     #[test]
     fn logits_rows_are_normalized_distributions() {
@@ -183,8 +179,7 @@ mod tests {
         let sel = ctx.tape.select_per_row(l, vec![0, 1, 2, 3, 0]);
         let loss = ctx.tape.mean_all(sel);
         let grads = ctx.into_grads(loss, 1.0);
-        let by_name: Vec<&str> =
-            grads.iter().map(|(id, _)| store.name(*id)).collect();
+        let by_name: Vec<&str> = grads.iter().map(|(id, _)| store.name(*id)).collect();
         assert!(by_name.iter().any(|n| n.starts_with("grp.fc1")), "{by_name:?}");
         assert!(by_name.iter().any(|n| n.starts_with("grp.head")), "{by_name:?}");
     }

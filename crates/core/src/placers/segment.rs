@@ -93,9 +93,9 @@ impl PlacerNet for SegmentSeq2Seq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mars_tensor::init;
     use mars_rng::rngs::StdRng;
     use mars_rng::SeedableRng;
+    use mars_tensor::init;
 
     #[test]
     fn logits_shape_with_ragged_last_segment() {

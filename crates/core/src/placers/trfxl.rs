@@ -34,13 +34,7 @@ impl Block {
 
     /// One segment pass: queries from `cur`, keys/values over
     /// `[mem ‖ cur]`. Returns the block output for `cur`'s rows.
-    fn forward(
-        &self,
-        ctx: &mut FwdCtx<'_>,
-        cur: Var,
-        mem: Option<Var>,
-        inv_sqrt_d: f32,
-    ) -> Var {
+    fn forward(&self, ctx: &mut FwdCtx<'_>, cur: Var, mem: Option<Var>, inv_sqrt_d: f32) -> Var {
         let kv_src = match mem {
             Some(m) => ctx.tape.concat_rows(m, cur),
             None => cur,
@@ -135,9 +129,9 @@ impl PlacerNet for TrfXlPlacer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mars_tensor::init;
     use mars_rng::rngs::StdRng;
     use mars_rng::SeedableRng;
+    use mars_tensor::init;
 
     #[test]
     fn logits_shape_multiple_segments() {
@@ -180,6 +174,11 @@ mod tests {
         let _ = TrfXlPlacer::new(&mut s1, 16, 32, 8, 5, &mut rng);
         let mut s2 = ParamStore::new();
         let _ = crate::placers::segment::SegmentSeq2Seq::new(&mut s2, 16, 32, 16, 8, 5, &mut rng);
-        assert!(s1.num_scalars() > s2.num_scalars(), "{} vs {}", s1.num_scalars(), s2.num_scalars());
+        assert!(
+            s1.num_scalars() > s2.num_scalars(),
+            "{} vs {}",
+            s1.num_scalars(),
+            s2.num_scalars()
+        );
     }
 }

@@ -9,9 +9,9 @@
 
 use mars_autograd::Var;
 use mars_nn::FwdCtx;
+use mars_rng::Rng;
 use mars_tensor::stats;
 use mars_tensor::Matrix;
-use mars_rng::Rng;
 
 /// One sampled placement with everything PPO needs to reuse it.
 #[derive(Clone)]

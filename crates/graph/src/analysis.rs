@@ -40,11 +40,7 @@ pub fn stats(graph: &CompGraph) -> GraphStats {
     let in_edges = graph.in_edges();
     let mut level = vec![0usize; graph.num_nodes()];
     for &n in &order {
-        level[n] = in_edges[n]
-            .iter()
-            .map(|&e| level[graph.edges()[e].src] + 1)
-            .max()
-            .unwrap_or(0);
+        level[n] = in_edges[n].iter().map(|&e| level[graph.edges()[e].src] + 1).max().unwrap_or(0);
     }
     let depth = level.iter().copied().max().unwrap_or(0) + 1;
     let mut width: HashMap<usize, usize> = HashMap::new();

@@ -45,7 +45,14 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// Spec with zero cost (plumbing ops).
     pub fn plumbing(kind: OpKind, name: impl Into<String>, out: TensorShape) -> Self {
-        NodeSpec { kind, name: name.into(), out, flops: 0.0, param_bytes: 0, activation_bytes: None }
+        NodeSpec {
+            kind,
+            name: name.into(),
+            out,
+            flops: 0.0,
+            param_bytes: 0,
+            activation_bytes: None,
+        }
     }
 }
 
@@ -135,9 +142,7 @@ impl GraphBuilder {
 
     /// Finish and validate.
     pub fn build(self) -> CompGraph {
-        self.graph
-            .validate()
-            .unwrap_or_else(|e| panic!("generator produced invalid graph: {e}"));
+        self.graph.validate().unwrap_or_else(|e| panic!("generator produced invalid graph: {e}"));
         self.graph
     }
 

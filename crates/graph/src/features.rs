@@ -31,18 +31,10 @@ pub fn node_features(graph: &CompGraph) -> Matrix {
     let n = graph.num_nodes();
     let mut x = Matrix::zeros(n, FEATURE_DIM);
 
-    let max_dim = graph
-        .nodes()
-        .iter()
-        .map(|nd| nd.output_shape.max_dim())
-        .max()
-        .unwrap_or(1) as f64;
-    let max_out_bytes = graph
-        .nodes()
-        .iter()
-        .map(|nd| nd.output_shape.bytes())
-        .max()
-        .unwrap_or(1) as f64;
+    let max_dim =
+        graph.nodes().iter().map(|nd| nd.output_shape.max_dim()).max().unwrap_or(1) as f64;
+    let max_out_bytes =
+        graph.nodes().iter().map(|nd| nd.output_shape.bytes()).max().unwrap_or(1) as f64;
     let max_flops = graph.nodes().iter().map(|nd| nd.flops).fold(1.0f64, f64::max);
     let max_params = graph.nodes().iter().map(|nd| nd.param_bytes).max().unwrap_or(1) as f64;
 
@@ -80,7 +72,8 @@ pub fn node_features(graph: &CompGraph) -> Matrix {
 /// the standard GCN treatment of directed graphs (and what DGI assumes).
 pub fn normalized_adjacency(graph: &CompGraph) -> Arc<CsrMatrix> {
     let n = graph.num_nodes();
-    let mut undirected: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut undirected: std::collections::HashSet<(usize, usize)> =
+        std::collections::HashSet::new();
     for e in graph.edges() {
         undirected.insert((e.src.min(e.dst), e.src.max(e.dst)));
     }

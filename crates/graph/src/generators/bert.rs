@@ -105,9 +105,27 @@ fn transformer_layer(c: &mut LayerCtx<'_>, l: usize, input: NodeId) -> NodeId {
         let q = c.dense(format!("l{l}/attn/q"), input, tok, HIDDEN, HIDDEN, hid_shape.clone());
         let k = c.dense(format!("l{l}/attn/k"), input, tok, HIDDEN, HIDDEN, hid_shape.clone());
         let v = c.dense(format!("l{l}/attn/v"), input, tok, HIDDEN, HIDDEN, hid_shape.clone());
-        let qt = plumb_inplace(c.b, OpKind::Transpose, format!("l{l}/attn/q_t"), hid_shape.clone(), &[q]);
-        let kt = plumb_inplace(c.b, OpKind::Transpose, format!("l{l}/attn/k_t"), hid_shape.clone(), &[k]);
-        let vt = plumb_inplace(c.b, OpKind::Transpose, format!("l{l}/attn/v_t"), hid_shape.clone(), &[v]);
+        let qt = plumb_inplace(
+            c.b,
+            OpKind::Transpose,
+            format!("l{l}/attn/q_t"),
+            hid_shape.clone(),
+            &[q],
+        );
+        let kt = plumb_inplace(
+            c.b,
+            OpKind::Transpose,
+            format!("l{l}/attn/k_t"),
+            hid_shape.clone(),
+            &[k],
+        );
+        let vt = plumb_inplace(
+            c.b,
+            OpKind::Transpose,
+            format!("l{l}/attn/v_t"),
+            hid_shape.clone(),
+            &[v],
+        );
         (qt, kt, vt)
     } else {
         let qkv_shape = shape![BATCH, SEQ, 3 * HIDDEN];
@@ -153,7 +171,13 @@ fn transformer_layer(c: &mut LayerCtx<'_>, l: usize, input: NodeId) -> NodeId {
     );
     let proj = c.dense(format!("l{l}/attn/out"), ctx, tok, HIDDEN, HIDDEN, hid_shape.clone());
     let drop1 = if paper {
-        plumb_inplace(c.b, OpKind::Dropout, format!("l{l}/attn/dropout"), hid_shape.clone(), &[proj])
+        plumb_inplace(
+            c.b,
+            OpKind::Dropout,
+            format!("l{l}/attn/dropout"),
+            hid_shape.clone(),
+            &[proj],
+        )
     } else {
         proj
     };
@@ -269,7 +293,8 @@ pub fn build(profile: Profile) -> CompGraph {
         logits_shape.num_elements() as f64 * 3.0,
         &[logits],
     );
-    let loss = b.compute(OpKind::Loss, "mlm/loss", shape![1], logits_shape.num_elements() as f64, &[sm]);
+    let loss =
+        b.compute(OpKind::Loss, "mlm/loss", shape![1], logits_shape.num_elements() as f64, &[sm]);
     b.layer(
         OpKind::ApplyGradient,
         "train/apply_gradients",

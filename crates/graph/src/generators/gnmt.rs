@@ -140,13 +140,8 @@ pub fn build(profile: Profile) -> CompGraph {
 
     // Attention memory: concat of top-layer encoder chunks.
     let enc_top: Vec<NodeId> = enc[LAYERS - 1].clone();
-    let memory = b.compute(
-        OpKind::Concat,
-        "attention/memory",
-        shape![BATCH, SEQ, HIDDEN],
-        0.0,
-        &enc_top,
-    );
+    let memory =
+        b.compute(OpKind::Concat, "attention/memory", shape![BATCH, SEQ, HIDDEN], 0.0, &enc_top);
 
     // Decoder with per-chunk attention feeding layer 0.
     let mut dec_prev: Vec<NodeId> = Vec::new();
@@ -215,7 +210,10 @@ pub fn build(profile: Profile) -> CompGraph {
     let mut losses = Vec::with_capacity(c);
     for (t, &top) in dec_top.iter().enumerate() {
         let logits_shape = shape![BATCH, steps, SOFTMAX_SAMPLES];
-        let proj_flops = 2.0 * BATCH as f64 * steps as f64 * HIDDEN as f64
+        let proj_flops = 2.0
+            * BATCH as f64
+            * steps as f64
+            * HIDDEN as f64
             * SOFTMAX_SAMPLES as f64
             * TRAIN_FLOPS_FACTOR;
         let proj = b.add(

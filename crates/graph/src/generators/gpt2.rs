@@ -25,7 +25,7 @@ fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
     2.0 * m as f64 * k as f64 * n as f64 * TRAIN_FLOPS_FACTOR
 }
 
-fn layer(b: &mut GraphBuilder, profile: Profile, l: usize, input: NodeId) -> NodeId {
+fn layer(b: &mut GraphBuilder, _profile: Profile, l: usize, input: NodeId) -> NodeId {
     let tok = BATCH * SEQ;
     let hid = shape![BATCH, SEQ, HIDDEN];
     let ln1 = b.layer(
@@ -187,7 +187,8 @@ pub fn build(profile: Profile) -> CompGraph {
         logits_shape.num_elements() as f64 * 3.0,
         &[logits],
     );
-    let loss = b.compute(OpKind::Loss, "head/loss", shape![1], logits_shape.num_elements() as f64, &[sm]);
+    let loss =
+        b.compute(OpKind::Loss, "head/loss", shape![1], logits_shape.num_elements() as f64, &[sm]);
     b.layer(
         OpKind::ApplyGradient,
         "train/apply_gradients",

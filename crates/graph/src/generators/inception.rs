@@ -39,7 +39,11 @@ impl Ctx {
     ) -> NodeId {
         self.conv_count += 1;
         let out = shape![BATCH, out_hw.0, out_hw.1, cout];
-        let fwd_flops = 2.0 * k.0 as f64 * k.1 as f64 * cin as f64 * cout as f64
+        let fwd_flops = 2.0
+            * k.0 as f64
+            * k.1 as f64
+            * cin as f64
+            * cout as f64
             * out_hw.0 as f64
             * out_hw.1 as f64
             * BATCH as f64;
@@ -156,11 +160,7 @@ fn inception_c(c: &mut Ctx, name: &str, input: NodeId, cin: usize) -> NodeId {
     let d_b = c.conv(&format!("{name}/d_3x1"), d2, (3, 1), 384, 384, hw);
     let p = c.pool(OpKind::AvgPool, &format!("{name}/pool"), input, shape![BATCH, 8, 8, cin]);
     let pc = c.conv(&format!("{name}/pool_proj"), p, (1, 1), cin, 192, hw);
-    c.concat(
-        &format!("{name}/concat"),
-        &[b1, m_a, m_b, d_a, d_b, pc],
-        shape![BATCH, 8, 8, 2048],
-    )
+    c.concat(&format!("{name}/concat"), &[b1, m_a, m_b, d_a, d_b, pc], shape![BATCH, 8, 8, 2048])
 }
 
 /// Build the Inception-V3 graph.

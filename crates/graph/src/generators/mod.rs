@@ -19,8 +19,8 @@
 //!   box.
 
 pub mod bert;
-pub mod gpt2;
 pub mod gnmt;
+pub mod gpt2;
 pub mod inception;
 pub mod resnet;
 pub mod seq2seq;
@@ -161,7 +161,7 @@ mod tests {
             let g = w.build(Profile::Reduced);
             let n = g.num_nodes();
             let mut parent: Vec<usize> = (0..n).collect();
-            fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+            fn find(p: &mut [usize], mut x: usize) -> usize {
                 while p[x] != x {
                     p[x] = p[p[x]];
                     x = p[x];

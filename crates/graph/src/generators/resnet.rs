@@ -71,6 +71,7 @@ impl Ctx {
 
     /// Bottleneck block: 1×1 reduce → 3×3 → 1×1 expand (+ projection
     /// shortcut when the channel count changes).
+    #[allow(clippy::too_many_arguments)]
     fn bottleneck(
         &mut self,
         name: String,
@@ -125,20 +126,18 @@ pub fn build(profile: Profile) -> CompGraph {
     );
 
     // (stage, blocks, mid, cout, hw)
-    let stages = [(2usize, 3usize, 64usize, 256usize, 56usize), (3, 4, 128, 512, 28), (4, 6, 256, 1024, 14), (5, 3, 512, 2048, 7)];
+    let stages = [
+        (2usize, 3usize, 64usize, 256usize, 56usize),
+        (3, 4, 128, 512, 28),
+        (4, 6, 256, 1024, 14),
+        (5, 3, 512, 2048, 7),
+    ];
     let mut cur = pooled;
     let mut cin = 64usize;
     for (stage, blocks, mid, cout, hw) in stages {
         for blk in 0..blocks {
-            cur = c.bottleneck(
-                format!("stage{stage}/block{blk}"),
-                cur,
-                cin,
-                mid,
-                cout,
-                hw,
-                blk == 0,
-            );
+            cur =
+                c.bottleneck(format!("stage{stage}/block{blk}"), cur, cin, mid, cout, hw, blk == 0);
             cin = cout;
         }
     }
@@ -158,7 +157,13 @@ pub fn build(profile: Profile) -> CompGraph {
         (2048 * 1000 + 1000) as u64 * 4,
         &[gap],
     );
-    let sm = c.b.compute(OpKind::Softmax, "head/softmax", shape![BATCH, 1000], (3 * BATCH * 1000) as f64, &[fc]);
+    let sm = c.b.compute(
+        OpKind::Softmax,
+        "head/softmax",
+        shape![BATCH, 1000],
+        (3 * BATCH * 1000) as f64,
+        &[fc],
+    );
     let loss = c.b.compute(OpKind::Loss, "head/loss", shape![1], (BATCH * 1000) as f64, &[sm]);
     c.b.layer(
         OpKind::ApplyGradient,

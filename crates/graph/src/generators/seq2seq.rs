@@ -65,7 +65,10 @@ pub fn build(profile: Profile) -> CompGraph {
 
     let chunk_out = shape![BATCH, steps, HIDDEN];
     let chunk_act = chunk_out.bytes() * MEM_SCALE;
-    let chunk_flops = 2.0 * 4.0 * HIDDEN as f64 * (2 * HIDDEN) as f64
+    let chunk_flops = 2.0
+        * 4.0
+        * HIDDEN as f64
+        * (2 * HIDDEN) as f64
         * BATCH as f64
         * steps as f64
         * TRAIN_FLOPS_FACTOR;
@@ -119,7 +122,11 @@ pub fn build(profile: Profile) -> CompGraph {
                 kind: OpKind::MatMul,
                 name: format!("softmax/proj/t{t}"),
                 out: logits.clone(),
-                flops: 2.0 * BATCH as f64 * steps as f64 * HIDDEN as f64 * VOCAB as f64
+                flops: 2.0
+                    * BATCH as f64
+                    * steps as f64
+                    * HIDDEN as f64
+                    * VOCAB as f64
                     * TRAIN_FLOPS_FACTOR,
                 param_bytes: if t == 0 { (VOCAB * HIDDEN) as u64 * 4 } else { 0 },
                 activation_bytes: Some(logits.bytes() * 3),

@@ -41,8 +41,7 @@ pub fn build(profile: Profile) -> CompGraph {
     for (bname, cout, hw, n_convs) in BLOCKS {
         for i in 0..n_convs {
             let out = shape![BATCH, hw, hw, cout];
-            let fwd =
-                2.0 * 9.0 * cin as f64 * cout as f64 * (hw * hw) as f64 * BATCH as f64;
+            let fwd = 2.0 * 9.0 * cin as f64 * cout as f64 * (hw * hw) as f64 * BATCH as f64;
             let conv = b.add(
                 crate::builder::NodeSpec {
                     kind: OpKind::Conv2d,

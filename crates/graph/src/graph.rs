@@ -176,12 +176,8 @@ impl CompGraph {
     pub fn topo_order(&self) -> Option<Vec<NodeId>> {
         let mut indeg = self.in_degrees();
         let out = self.out_edges();
-        let mut queue: std::collections::VecDeque<NodeId> = indeg
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d == 0)
-            .map(|(i, _)| i)
-            .collect();
+        let mut queue: std::collections::VecDeque<NodeId> =
+            indeg.iter().enumerate().filter(|(_, &d)| d == 0).map(|(i, _)| i).collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(n) = queue.pop_front() {
             order.push(n);
@@ -242,10 +238,7 @@ impl CompGraph {
         let mut finish = vec![0.0f64; self.nodes.len()];
         let mut best: f64 = 0.0;
         for &n in &order {
-            let start = inn[n]
-                .iter()
-                .map(|&ei| finish[self.edges[ei].src])
-                .fold(0.0f64, f64::max);
+            let start = inn[n].iter().map(|&ei| finish[self.edges[ei].src]).fold(0.0f64, f64::max);
             finish[n] = start + self.nodes[n].flops;
             best = best.max(finish[n]);
         }

@@ -119,10 +119,7 @@ impl OpKind {
 
     /// Index into the one-hot feature block.
     pub fn index(self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|&k| k == self)
-            .expect("every OpKind is listed in ALL")
+        Self::ALL.iter().position(|&k| k == self).expect("every OpKind is listed in ALL")
     }
 
     /// Whether a GPU kernel exists for this op. Host-side pipeline ops

@@ -77,9 +77,7 @@ impl Json {
     /// Number as `u64`, if numeric, non-negative and integral.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
-                Some(*n as u64)
-            }
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
     }
@@ -397,7 +395,13 @@ mod tests {
             ("name", Json::from("bert")),
             ("nodes", Json::arr([Json::from(1u64), Json::from(2.5), Json::Null])),
             ("valid", Json::from(true)),
-            ("nested", Json::obj([("empty_arr", Json::arr([])), ("empty_obj", Json::obj::<String, _>([]))])),
+            (
+                "nested",
+                Json::obj([
+                    ("empty_arr", Json::arr([])),
+                    ("empty_obj", Json::obj::<String, _>([])),
+                ]),
+            ),
         ]);
         let compact = Json::parse(&v.to_string()).expect("compact");
         assert_eq!(compact, v);
@@ -417,8 +421,7 @@ mod tests {
     #[test]
     fn object_key_order_is_preserved() {
         let v = Json::parse(r#"{"z": 1, "a": 2, "m": 3}"#).expect("parse");
-        let keys: Vec<&str> =
-            v.as_object().expect("obj").iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<&str> = v.as_object().expect("obj").iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, ["z", "a", "m"]);
     }
 

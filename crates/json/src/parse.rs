@@ -186,8 +186,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..0xE000).contains(&lo) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(combined)
                                 } else {
                                     return Err(self.err("unpaired surrogate"));
@@ -231,8 +230,7 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| self.err("invalid \\u escape"))?;
-        let cp =
-            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
         self.pos += 4;
         Ok(cp)
     }
@@ -288,9 +286,24 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "tru", "01", "1.", "1e", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}",
-            "\"unterminated", "{\"a\":1} extra", "nul", "+1", ".5", "\"\\x\"",
-            "\"\\u12\"", "[,]", "{,}",
+            "",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "nul",
+            "+1",
+            ".5",
+            "\"\\x\"",
+            "\"\\u12\"",
+            "[,]",
+            "{,}",
         ] {
             assert!(parse(bad).is_err(), "should reject: {bad:?}");
         }

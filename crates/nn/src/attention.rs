@@ -16,8 +16,8 @@
 use crate::ctx::FwdCtx;
 use crate::param::{ParamId, ParamStore};
 use mars_autograd::Var;
-use mars_tensor::init;
 use mars_rng::Rng;
+use mars_tensor::init;
 
 /// Bahdanau-style additive attention.
 pub struct Attention {
@@ -84,9 +84,9 @@ impl Attention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mars_tensor::Matrix;
     use mars_rng::rngs::StdRng;
     use mars_rng::SeedableRng;
+    use mars_tensor::Matrix;
 
     #[test]
     fn context_is_convex_combination() {

@@ -85,8 +85,7 @@ pub fn load(store: &mut ParamStore, r: &mut impl Read) -> io::Result<usize> {
         let name_len = read_u32(r)? as usize;
         let mut name_buf = vec![0u8; name_len];
         r.read_exact(&mut name_buf)?;
-        let name =
-            String::from_utf8(name_buf).map_err(|_| bad("invalid UTF-8 parameter name"))?;
+        let name = String::from_utf8(name_buf).map_err(|_| bad("invalid UTF-8 parameter name"))?;
         let rows = read_u32(r)? as usize;
         let cols = read_u32(r)? as usize;
         let mut data = vec![0f32; rows * cols];
@@ -120,9 +119,9 @@ pub fn load_file(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mars_tensor::init;
     use mars_rng::rngs::StdRng;
     use mars_rng::SeedableRng;
+    use mars_tensor::init;
 
     fn store_with(names: &[&str], seed: u64) -> ParamStore {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -156,7 +155,10 @@ mod tests {
         let before_placer = dst.value(dst.ids().nth(1).expect("id")).clone();
         let restored = load(&mut dst, &mut buf.as_slice()).expect("load");
         assert_eq!(restored, 1);
-        assert_eq!(dst.value(dst.ids().next().expect("id")), src.value(src.ids().next().expect("id")));
+        assert_eq!(
+            dst.value(dst.ids().next().expect("id")),
+            src.value(src.ids().next().expect("id"))
+        );
         assert_eq!(dst.value(dst.ids().nth(1).expect("id")), &before_placer);
     }
 
@@ -183,7 +185,10 @@ mod tests {
         save_file(&src, &path).expect("save_file");
         let mut dst = store_with(&["x", "y"], 8);
         assert_eq!(load_file(&mut dst, &path).expect("load_file"), 2);
-        assert_eq!(src.value(src.ids().next().expect("id")), dst.value(dst.ids().next().expect("id")));
+        assert_eq!(
+            src.value(src.ids().next().expect("id")),
+            dst.value(dst.ids().next().expect("id"))
+        );
         let _ = std::fs::remove_file(path);
     }
 }

@@ -9,9 +9,9 @@
 use crate::ctx::FwdCtx;
 use crate::param::{ParamId, ParamStore};
 use mars_autograd::Var;
+use mars_rng::Rng;
 use mars_tensor::ops::CsrMatrix;
 use mars_tensor::{init, Matrix};
-use mars_rng::Rng;
 use std::sync::Arc;
 
 /// One graph-convolution layer with PReLU activation.

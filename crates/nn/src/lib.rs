@@ -14,8 +14,8 @@
 //!   optimizer the paper trains with (lr 3e-4, clip 1.0).
 
 pub mod adam;
-pub mod checkpoint;
 pub mod attention;
+pub mod checkpoint;
 pub mod ctx;
 pub mod gcn;
 pub mod linear;

@@ -3,8 +3,8 @@
 use crate::ctx::FwdCtx;
 use crate::param::{ParamId, ParamStore};
 use mars_autograd::Var;
-use mars_tensor::{init, Matrix};
 use mars_rng::Rng;
+use mars_tensor::{init, Matrix};
 
 /// `y = x · W (+ b)` with Xavier-initialized `W` and zero bias.
 pub struct Linear {
@@ -101,7 +101,7 @@ mod tests {
             let loss = ctx.tape.mean_all(sq);
             last = ctx.tape.scalar(loss);
             let grads = ctx.into_grads(loss, 1.0);
-        crate::ctx::apply_grads(&mut store, grads);
+            crate::ctx::apply_grads(&mut store, grads);
             adam.step(&mut store, 1.0);
         }
         assert!(last < 1e-3, "final loss {last}");

@@ -14,8 +14,8 @@ use crate::ctx::FwdCtx;
 use crate::param::{ParamId, ParamStore};
 use crate::util::slice_cols;
 use mars_autograd::Var;
-use mars_tensor::{init, Matrix};
 use mars_rng::Rng;
+use mars_tensor::{init, Matrix};
 
 /// Carried `(h, c)` state of an LSTM, as tape variables (each `1 × H`).
 #[derive(Clone, Copy)]
@@ -48,8 +48,10 @@ impl LstmCell {
         hidden_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w_ih = store.add(format!("{name}.w_ih"), init::xavier_uniform(input_dim, 4 * hidden_dim, rng));
-        let w_hh = store.add(format!("{name}.w_hh"), init::xavier_uniform(hidden_dim, 4 * hidden_dim, rng));
+        let w_ih =
+            store.add(format!("{name}.w_ih"), init::xavier_uniform(input_dim, 4 * hidden_dim, rng));
+        let w_hh = store
+            .add(format!("{name}.w_hh"), init::xavier_uniform(hidden_dim, 4 * hidden_dim, rng));
         let mut bias = Matrix::zeros(1, 4 * hidden_dim);
         for cidx in hidden_dim..2 * hidden_dim {
             bias.set(0, cidx, 1.0);
@@ -128,12 +130,7 @@ impl Lstm {
     /// node for the whole sequence, hand-written BPTT) — verified
     /// equivalent to the step-composed rollout in
     /// `mars-autograd/tests/lstm_fused.rs`.
-    pub fn run(
-        &self,
-        ctx: &mut FwdCtx<'_>,
-        xs: Var,
-        init: Option<LstmState>,
-    ) -> (Var, LstmState) {
+    pub fn run(&self, ctx: &mut FwdCtx<'_>, xs: Var, init: Option<LstmState>) -> (Var, LstmState) {
         let _span = mars_telemetry::span("nn.lstm.run");
         let t_len = ctx.tape.value(xs).rows();
         assert!(t_len > 0, "Lstm::run on empty sequence");
@@ -181,12 +178,7 @@ impl BiLstm {
     /// [`mars_autograd::Tape::lstm_seq`] op; the backward direction
     /// processes a row-reversed view of the input and un-reverses its
     /// outputs.
-    pub fn run(
-        &self,
-        ctx: &mut FwdCtx<'_>,
-        xs: Var,
-        init: Option<LstmState>,
-    ) -> (Var, LstmState) {
+    pub fn run(&self, ctx: &mut FwdCtx<'_>, xs: Var, init: Option<LstmState>) -> (Var, LstmState) {
         let _span = mars_telemetry::span("nn.lstm.bi_run");
         let t_len = ctx.tape.value(xs).rows();
         assert!(t_len > 0, "BiLstm::run on empty sequence");

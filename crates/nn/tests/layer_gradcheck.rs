@@ -5,10 +5,10 @@
 use mars_autograd::check::check_gradients;
 use mars_autograd::{Tape, Var};
 use mars_nn::util::slice_cols;
-use mars_tensor::ops::CsrMatrix;
-use mars_tensor::{init, Matrix};
 use mars_rng::rngs::StdRng;
 use mars_rng::SeedableRng;
+use mars_tensor::ops::CsrMatrix;
+use mars_tensor::{init, Matrix};
 use std::sync::Arc;
 
 fn rng(seed: u64) -> StdRng {

@@ -129,10 +129,7 @@ macro_rules! props {
 pub fn assert_slices_close(a: &[f32], b: &[f32], tol: f32) {
     assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert!(
-            (x - y).abs() <= tol,
-            "element {i} differs: {x} vs {y} (tol {tol})"
-        );
+        assert!((x - y).abs() <= tol, "element {i} differs: {x} vs {y} (tol {tol})");
     }
 }
 

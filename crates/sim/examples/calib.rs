@@ -3,21 +3,37 @@ use mars_sim::{Cluster, Placement, SimEnv};
 
 fn main() {
     let c = Cluster::p100_quad();
-    for w in [Workload::InceptionV3, Workload::Gnmt4, Workload::BertBase, Workload::Vgg16, Workload::Seq2Seq, Workload::Transformer] {
+    for w in [
+        Workload::InceptionV3,
+        Workload::Gnmt4,
+        Workload::BertBase,
+        Workload::Vgg16,
+        Workload::Seq2Seq,
+        Workload::Transformer,
+    ] {
         let g = w.build(Profile::Reduced);
         let env = SimEnv::new(g.clone(), c.clone(), 0);
-        println!("== {} ({} nodes, {:.2} GB, {:.2e} flops)", w.name(), g.num_nodes(), g.total_memory_bytes() as f64/(1u64<<30) as f64, g.total_flops());
+        println!(
+            "== {} ({} nodes, {:.2} GB, {:.2e} flops)",
+            w.name(),
+            g.num_nodes(),
+            g.total_memory_bytes() as f64 / (1u64 << 30) as f64,
+            g.total_flops()
+        );
         for (label, p) in [
             ("gpu0-only", Placement::all_on(&g, 1)),
-            ("rr-2gpu", Placement::round_robin(&g, &[1,2])),
-            ("rr-4gpu", Placement::round_robin(&g, &[1,2,3,4])),
-            ("blocked-2", Placement::blocked(&g, &[1,2])),
-            ("blocked-3", Placement::blocked(&g, &[1,2,3])),
-            ("blocked-4", Placement::blocked(&g, &[1,2,3,4])),
+            ("rr-2gpu", Placement::round_robin(&g, &[1, 2])),
+            ("rr-4gpu", Placement::round_robin(&g, &[1, 2, 3, 4])),
+            ("blocked-2", Placement::blocked(&g, &[1, 2])),
+            ("blocked-3", Placement::blocked(&g, &[1, 2, 3])),
+            ("blocked-4", Placement::blocked(&g, &[1, 2, 3, 4])),
             ("cpu-only", Placement::all_on(&g, 0)),
         ] {
             match env.true_step_time(&p) {
-                Ok(r) => println!("  {label:10} {:8.3}s  comm {:6.3}s xfers {}", r.makespan_s, r.comm_s, r.num_transfers),
+                Ok(r) => println!(
+                    "  {label:10} {:8.3}s  comm {:6.3}s xfers {}",
+                    r.makespan_s, r.comm_s, r.num_transfers
+                ),
                 Err(e) => println!("  {label:10} OOM ({e})"),
             }
         }

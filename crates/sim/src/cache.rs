@@ -102,11 +102,8 @@ impl EvalCache {
         self.check_fingerprint(fingerprint);
         self.tick += 1;
         if !self.map.contains_key(&placement) && self.map.len() >= self.capacity {
-            if let Some(victim) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(p, _)| p.clone())
+            if let Some(victim) =
+                self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(p, _)| p.clone())
             {
                 self.map.remove(&victim);
                 self.evictions += 1;

@@ -95,13 +95,18 @@ pub struct Cluster {
     /// Optional per-pair overrides, keyed `from * num_devices + to`.
     /// Absent in older serialized clusters; decoding defaults to empty.
     link_overrides: Vec<Option<LinkSpec>>,
+    /// Per-device failure mask. Failed devices keep their id (the
+    /// placer's action space stays stable) but accept no work; see
+    /// [`Placement::remap_failed`](crate::Placement::remap_failed).
+    failed: Vec<bool>,
 }
 
 impl Cluster {
     /// Build from explicit parts.
     pub fn new(devices: Vec<DeviceSpec>, link: LinkSpec) -> Self {
         assert!(!devices.is_empty(), "cluster needs at least one device");
-        Cluster { devices, link, link_overrides: Vec::new() }
+        let failed = vec![false; devices.len()];
+        Cluster { devices, link, link_overrides: Vec::new(), failed }
     }
 
     /// Override the link between a specific ordered device pair (both
@@ -176,6 +181,41 @@ impl Cluster {
             .expect("cluster has a CPU")
     }
 
+    /// Permanently mark a device as failed. Its id stays valid (the
+    /// action space does not shrink) but placements must be remapped
+    /// off it before simulation. Failing the CPU is rejected — ops
+    /// without a GPU kernel need somewhere to live.
+    pub fn fail_device(&mut self, id: DeviceId) {
+        assert!(id < self.devices.len(), "fail_device: no device {id}");
+        assert!(self.devices[id].kind != DeviceKind::Cpu, "fail_device: the CPU cannot fail");
+        self.failed[id] = true;
+    }
+
+    /// True when the device has not failed.
+    pub fn is_alive(&self, id: DeviceId) -> bool {
+        !self.failed[id]
+    }
+
+    /// True when any device has failed.
+    pub fn has_failures(&self) -> bool {
+        self.failed.iter().any(|&f| f)
+    }
+
+    /// Ids of failed devices.
+    pub fn failed_ids(&self) -> Vec<DeviceId> {
+        (0..self.devices.len()).filter(|&i| self.failed[i]).collect()
+    }
+
+    /// Ids of GPUs still alive.
+    pub fn live_gpu_ids(&self) -> Vec<DeviceId> {
+        self.gpu_ids().into_iter().filter(|&i| !self.failed[i]).collect()
+    }
+
+    /// Number of devices still alive.
+    pub fn num_live_devices(&self) -> usize {
+        self.failed.iter().filter(|&&f| !f).count()
+    }
+
     /// The interconnect between two distinct devices.
     pub fn link(&self, from: DeviceId, to: DeviceId) -> LinkSpec {
         if !self.link_overrides.is_empty() {
@@ -203,6 +243,7 @@ impl Cluster {
                     None => Json::Null,
                 })),
             ),
+            ("failed", Json::arr(self.failed.iter().map(|&f| Json::from(f)))),
         ])
     }
 
@@ -225,25 +266,39 @@ impl Cluster {
             return Err("cluster: needs at least one device".into());
         }
         let link = LinkSpec::from_json_value(&v["link"])?;
-        let link_overrides = match &v["link_overrides"] {
-            Json::Null => Vec::new(),
-            overrides => overrides
-                .as_array()
-                .ok_or("cluster: 'link_overrides' must be an array")?
-                .iter()
-                .map(|o| {
-                    if o.is_null() {
-                        Ok(None)
-                    } else {
-                        LinkSpec::from_json_value(o).map(Some)
-                    }
-                })
-                .collect::<Result<Vec<_>, String>>()?,
-        };
+        let link_overrides =
+            match &v["link_overrides"] {
+                Json::Null => Vec::new(),
+                overrides => overrides
+                    .as_array()
+                    .ok_or("cluster: 'link_overrides' must be an array")?
+                    .iter()
+                    .map(|o| {
+                        if o.is_null() {
+                            Ok(None)
+                        } else {
+                            LinkSpec::from_json_value(o).map(Some)
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            };
         if !link_overrides.is_empty() && link_overrides.len() != devices.len() * devices.len() {
             return Err("cluster: 'link_overrides' has wrong length".into());
         }
-        Ok(Cluster { devices, link, link_overrides })
+        // Older snapshots predate the failure mask; default all-alive.
+        let failed = match &v["failed"] {
+            Json::Null => vec![false; devices.len()],
+            mask => mask
+                .as_array()
+                .ok_or("cluster: 'failed' must be an array")?
+                .iter()
+                .map(|b| b.as_bool().ok_or_else(|| "cluster: bad 'failed' entry".to_string()))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        if failed.len() != devices.len() {
+            return Err("cluster: 'failed' has wrong length".into());
+        }
+        Ok(Cluster { devices, link, link_overrides, failed })
     }
 }
 
@@ -349,6 +404,43 @@ mod tests {
         assert!(nv.bandwidth_bps > 5.0 * pcie.bandwidth_bps);
         assert!(nv.latency_s < pcie.latency_s);
         assert_eq!(c.link(3, 4).bandwidth_bps, pcie.bandwidth_bps);
+    }
+
+    #[test]
+    fn failure_mask_tracks_live_devices() {
+        let mut c = Cluster::p100_quad();
+        assert!(!c.has_failures());
+        assert_eq!(c.num_live_devices(), 5);
+        c.fail_device(2);
+        assert!(c.has_failures());
+        assert!(!c.is_alive(2));
+        assert!(c.is_alive(1));
+        assert_eq!(c.failed_ids(), vec![2]);
+        assert_eq!(c.live_gpu_ids(), vec![1, 3, 4]);
+        assert_eq!(c.num_live_devices(), 4);
+        // Ids remain stable: the action space does not shrink.
+        assert_eq!(c.num_devices(), 5);
+        assert_eq!(c.gpu_ids(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU cannot fail")]
+    fn cpu_failure_is_rejected() {
+        Cluster::p100_quad().fail_device(0);
+    }
+
+    #[test]
+    fn failure_mask_roundtrips_through_json() {
+        let mut c = Cluster::p100_quad();
+        c.fail_device(3);
+        let back = Cluster::from_json(&c.to_json()).expect("roundtrip");
+        assert_eq!(back.failed_ids(), vec![3]);
+        // Snapshots without the mask decode as all-alive.
+        let legacy = r#"{"devices":[{"name":"/cpu:0","kind":"Cpu","peak_gflops":50.0,
+            "util_knee_flops":5e7,"op_overhead_s":6e-5,"memory_bytes":1000}],
+            "link":{"bandwidth_bps":6e9,"latency_s":2e-5}}"#;
+        let old = Cluster::from_json(legacy).expect("legacy decode");
+        assert!(!old.has_failures());
     }
 
     #[test]

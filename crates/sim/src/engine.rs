@@ -86,6 +86,10 @@ pub fn simulate_with(
     let _span = mars_telemetry::span("sim.engine.simulate");
     let n = graph.num_nodes();
     assert_eq!(placement.len(), n, "placement length mismatch");
+    debug_assert!(
+        placement.0.iter().all(|&d| cluster.is_alive(d)),
+        "placement references a failed device; remap it first (Placement::remap_failed)"
+    );
     let order = graph.topo_order().expect("graph must be a DAG");
     let mut rank = vec![0usize; n];
     for (r, &node) in order.iter().enumerate() {
@@ -224,8 +228,7 @@ mod tests {
         let c = Cluster::p100_quad();
         let p = Placement::all_on(&g, 1);
         let rep = simulate(&g, &p, &c);
-        let expected: f64 =
-            g.nodes().iter().map(|nd| crate::cost::op_time(nd, c.device(1))).sum();
+        let expected: f64 = g.nodes().iter().map(|nd| crate::cost::op_time(nd, c.device(1))).sum();
         assert!((rep.makespan_s - expected).abs() < 1e-9);
         assert_eq!(rep.num_transfers, 0);
         assert_eq!(rep.comm_s, 0.0);

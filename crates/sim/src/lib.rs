@@ -26,6 +26,7 @@ pub mod cache;
 pub mod cost;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod measure;
 pub mod memory;
 pub mod placement;
@@ -34,6 +35,7 @@ pub mod trace;
 pub use cache::EvalCache;
 pub use device::{Cluster, DeviceId, DeviceKind, DeviceSpec, LinkSpec};
 pub use engine::{simulate, simulate_with, SimOptions, StepReport};
+pub use fault::{Fault, FaultKind, FaultPlan, RetryPolicy};
 pub use measure::{env_fingerprint, Environment, EvalComputation, EvalOutcome, SimEnv};
 pub use memory::{check_memory, MemoryReport, OomError};
 pub use placement::Placement;

@@ -32,6 +32,7 @@
 use crate::cache::EvalCache;
 use crate::device::Cluster;
 use crate::engine::{simulate, StepReport};
+use crate::fault::{Fault, FaultKind, FaultPlan, RetryPolicy};
 use crate::memory::{check_memory, OomError};
 use crate::placement::Placement;
 use mars_graph::CompGraph;
@@ -61,6 +62,21 @@ pub enum EvalOutcome {
         /// Which device overflowed.
         oom: OomError,
     },
+    /// An injected transient error exhausted the retry/timeout budget
+    /// (see [`crate::fault::RetryPolicy`]).
+    TransientError {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The cutoff used as the reward reading.
+        cutoff_s: f64,
+    },
+    /// An injected straggler slowed the run past the cutoff; aborted.
+    Straggler {
+        /// The slowdown factor that was injected.
+        slowdown: f64,
+        /// The cutoff used as the reward reading.
+        cutoff_s: f64,
+    },
 }
 
 impl EvalOutcome {
@@ -72,6 +88,8 @@ impl EvalOutcome {
             EvalOutcome::Valid { per_step_s } => *per_step_s,
             EvalOutcome::Bad { cutoff_s } => *cutoff_s,
             EvalOutcome::Invalid { .. } => invalid_penalty_s,
+            EvalOutcome::TransientError { cutoff_s, .. } => *cutoff_s,
+            EvalOutcome::Straggler { cutoff_s, .. } => *cutoff_s,
         }
     }
 
@@ -119,6 +137,9 @@ pub fn env_fingerprint(graph: &CompGraph, cluster: &Cluster) -> u64 {
     fold(cluster.num_devices() as u64);
     for d in 0..cluster.num_devices() {
         fold(cluster.device(d).memory_bytes);
+        // The failure mask is part of the environment identity: losing
+        // a device invalidates every memoized evaluation.
+        fold(cluster.is_alive(d) as u64);
     }
     h
 }
@@ -146,6 +167,12 @@ pub trait Environment {
     fn machine_seconds(&self) -> f64;
     /// Number of evaluations performed.
     fn evaluations(&self) -> usize;
+    /// Consume a pending injected agent crash: `true` exactly once per
+    /// crash fault that fired since the last call. The training loop
+    /// reacts by checkpointing and resuming (see `mars_core`).
+    fn take_crash(&mut self) -> bool {
+        false
+    }
 }
 
 /// Simulator-backed environment with the paper's measurement protocol.
@@ -177,11 +204,22 @@ pub struct SimEnv {
     pub steps_per_eval: usize,
     /// Warm-up steps discarded.
     pub warmup_steps: usize,
+    /// Retry policy for injected transient errors.
+    pub retry: RetryPolicy,
+    /// Per-evaluation machine-time budget: retries that would push one
+    /// evaluation past this are abandoned (mirrors the paper's cutoff
+    /// philosophy — never let one measurement stall the search).
+    pub eval_timeout_s: f64,
     machine_seconds: f64,
     evaluations: usize,
     eval_threads: usize,
     fingerprint: u64,
     cache: Option<EvalCache>,
+    fault_plan: FaultPlan,
+    /// Boundary faults (device failures, crashes) not yet fired.
+    boundaries: Vec<Fault>,
+    boundary_cursor: usize,
+    crash_pending: bool,
 }
 
 impl SimEnv {
@@ -199,11 +237,90 @@ impl SimEnv {
             noise_sigma: 0.03,
             steps_per_eval: 15,
             warmup_steps: 5,
+            retry: RetryPolicy::default(),
+            eval_timeout_s: 300.0,
             machine_seconds: 0.0,
             evaluations: 0,
             eval_threads: 1,
             fingerprint,
             cache: Some(EvalCache::with_default_capacity(fingerprint)),
+            fault_plan: FaultPlan::none(),
+            boundaries: Vec::new(),
+            boundary_cursor: 0,
+            crash_pending: false,
+        }
+    }
+
+    /// Install a fault plan (validated against the cluster). Replaces
+    /// any previous plan; boundary faults scheduled at or before the
+    /// current evaluation count fire before the next evaluation.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), String> {
+        plan.validate(&self.cluster)?;
+        self.boundaries = plan.boundaries();
+        self.boundary_cursor = 0;
+        self.fault_plan = plan;
+        Ok(())
+    }
+
+    /// The installed fault plan (the empty plan by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Global index of the next boundary fault yet to fire, if any.
+    fn next_boundary(&self) -> Option<u64> {
+        self.boundaries.get(self.boundary_cursor).map(|f| f.at_eval)
+    }
+
+    /// Fire every boundary fault scheduled at or before the current
+    /// evaluation count. Called before each evaluation (and before each
+    /// batch segment), so the firing point is a pure function of the
+    /// global evaluation index — identical across threads and caching.
+    fn fire_due_faults(&mut self) {
+        while let Some(f) = self.boundaries.get(self.boundary_cursor) {
+            if f.at_eval > self.evaluations as u64 {
+                break;
+            }
+            let fault = f.clone();
+            self.boundary_cursor += 1;
+            match fault.kind {
+                FaultKind::DeviceFailure { device } => self.apply_device_failure(device),
+                FaultKind::AgentCrash => {
+                    self.crash_pending = true;
+                    mars_telemetry::counter("sim.fault.crash").inc();
+                    if mars_telemetry::active() {
+                        mars_telemetry::event(
+                            "sim.fault.crash",
+                            &[("at_eval", (self.evaluations as f64).into())],
+                        );
+                    }
+                }
+                // Commit faults never appear in `boundaries`.
+                FaultKind::Transient { .. } | FaultKind::Straggler { .. } => unreachable!(),
+            }
+        }
+    }
+
+    /// Degrade the cluster: mark the device dead, refresh the
+    /// environment fingerprint (the failure mask is part of it), and
+    /// rebuild the memo cache — every stored reading was measured on
+    /// the healthy cluster and must not be replayed.
+    fn apply_device_failure(&mut self, device: usize) {
+        self.cluster.fail_device(device);
+        self.fingerprint = env_fingerprint(&self.graph, &self.cluster);
+        if self.cache.is_some() {
+            self.cache = Some(EvalCache::with_default_capacity(self.fingerprint));
+        }
+        mars_telemetry::counter("sim.fault.device_failure").inc();
+        if mars_telemetry::active() {
+            mars_telemetry::event(
+                "sim.fault.device_failure",
+                &[
+                    ("device", (device as f64).into()),
+                    ("at_eval", (self.evaluations as f64).into()),
+                    ("live_devices", (self.cluster.num_live_devices() as f64).into()),
+                ],
+            );
         }
     }
 
@@ -255,6 +372,96 @@ impl SimEnv {
         p.enforce_compatibility(&self.graph, &self.cluster);
         check_memory(&self.graph, &p, &self.cluster)?;
         Ok(simulate(&self.graph, &p, &self.cluster))
+    }
+
+    /// Compatibility-enforce a sampled placement and remap it off any
+    /// failed devices. Runs serially (pre-pass of the batch path, or
+    /// inline in the serial path) so remap telemetry is deterministic.
+    fn normalize(&self, placement: &Placement) -> Placement {
+        let mut p = placement.clone();
+        p.enforce_compatibility(&self.graph, &self.cluster);
+        let moved = p.remap_failed(&self.graph, &self.cluster);
+        if moved > 0 {
+            mars_telemetry::counter("sim.fault.remap").inc();
+            mars_telemetry::counter("sim.fault.remap_ops").add(moved as u64);
+            if mars_telemetry::active() {
+                mars_telemetry::event(
+                    "sim.fault.remap",
+                    &[
+                        ("ops_moved", (moved as f64).into()),
+                        ("live_devices", (self.cluster.num_live_devices() as f64).into()),
+                    ],
+                );
+            }
+        }
+        p
+    }
+
+    /// Apply this evaluation's commit faults (straggler, transient) to
+    /// a pure computation. Keyed by the global evaluation index (the
+    /// pre-commit evaluation count), so the transformation is identical
+    /// whether `comp` was freshly computed, replayed from the memo
+    /// cache, or produced on another thread.
+    fn apply_commit_faults(&self, comp: &EvalComputation) -> EvalComputation {
+        if self.fault_plan.is_empty() {
+            return comp.clone();
+        }
+        let idx = self.evaluations as u64;
+        let mut comp = comp.clone();
+
+        // Straggler: the whole evaluation runs `slow`× longer; if the
+        // slowed per-step time would blow the cutoff, the measurement
+        // protocol aborts it like any other over-cutoff run. OOM never
+        // started, so it cannot straggle.
+        if let Some(slow) = self.fault_plan.straggler_at(self.seed, idx) {
+            if !matches!(comp.outcome, EvalOutcome::Invalid { .. }) {
+                comp.machine_s *= slow;
+                mars_telemetry::counter("sim.fault.straggler").inc();
+                if let EvalOutcome::Valid { per_step_s } = comp.outcome {
+                    if per_step_s * slow > self.bad_cutoff_s {
+                        comp.outcome =
+                            EvalOutcome::Straggler { slowdown: slow, cutoff_s: self.bad_cutoff_s };
+                        mars_telemetry::counter("sim.fault.straggler_abort").inc();
+                    }
+                }
+            }
+        }
+
+        // Transient errors: each failed attempt burns a full attempt's
+        // machine time plus exponential backoff. The retry budget and
+        // the per-evaluation timeout both bound the total spend.
+        let failures = self.fault_plan.transient_failures_at(self.seed, idx);
+        if failures > 0 {
+            mars_telemetry::counter("sim.fault.transient").inc();
+            let attempt_cost = comp.machine_s;
+            let mut spend = 0.0;
+            let mut attempts = 0u32;
+            let mut succeeded = false;
+            while attempts <= self.retry.max_retries {
+                if attempts > 0 {
+                    spend += self.retry.backoff_s(attempts - 1);
+                }
+                spend += attempt_cost;
+                attempts += 1;
+                if spend > self.eval_timeout_s {
+                    break; // the timeout kills the evaluation mid-attempt
+                }
+                if attempts > failures {
+                    succeeded = true;
+                    break;
+                }
+            }
+            mars_telemetry::counter("sim.fault.retry").add(attempts.saturating_sub(1) as u64);
+            if succeeded {
+                comp.machine_s = spend;
+            } else {
+                mars_telemetry::counter("sim.fault.retry_exhausted").inc();
+                comp.machine_s = spend.min(self.eval_timeout_s);
+                comp.outcome =
+                    EvalOutcome::TransientError { attempts, cutoff_s: self.bad_cutoff_s };
+            }
+        }
+        comp
     }
 
     /// Stable seed for a placement's measurement noise: the env seed
@@ -370,6 +577,33 @@ impl SimEnv {
                     );
                 }
             }
+            EvalOutcome::TransientError { attempts, .. } => {
+                mars_telemetry::counter("sim.eval.transient_error").inc();
+                if mars_telemetry::active() {
+                    mars_telemetry::event(
+                        "sim.eval",
+                        &[
+                            ("outcome", "transient_error".into()),
+                            ("attempts", (*attempts as f64).into()),
+                            ("cached", (cached as u64 as f64).into()),
+                        ],
+                    );
+                }
+            }
+            EvalOutcome::Straggler { slowdown, .. } => {
+                mars_telemetry::counter("sim.eval.straggler").inc();
+                if mars_telemetry::active() {
+                    mars_telemetry::event(
+                        "sim.eval",
+                        &[
+                            ("outcome", "straggler".into()),
+                            ("slowdown", (*slowdown).into()),
+                            ("makespan_s", comp.makespan_s.into()),
+                            ("cached", (cached as u64 as f64).into()),
+                        ],
+                    );
+                }
+            }
             EvalOutcome::Valid { per_step_s } => {
                 self.eval_gauges(comp);
                 mars_telemetry::counter("sim.eval.valid").inc();
@@ -426,28 +660,65 @@ impl SimEnv {
 impl Environment for SimEnv {
     fn evaluate(&mut self, placement: &Placement) -> EvalOutcome {
         let _span = mars_telemetry::span("sim.measure.evaluate");
-        let mut p = placement.clone();
-        p.enforce_compatibility(&self.graph, &self.cluster);
+        self.fire_due_faults();
+        let p = self.normalize(placement);
         let (comp, cached) = self.lookup_or_compute(p);
+        let comp = self.apply_commit_faults(&comp);
         self.commit(&comp, cached)
     }
 
-    /// One round of evaluations: cache-known placements are skipped,
-    /// the remaining computations run on up to `eval_threads` threads,
-    /// and all bookkeeping (cache get/insert, machine time, telemetry)
-    /// is committed serially in sample order — exactly the sequence the
-    /// serial loop would produce.
+    /// One round of evaluations. Boundary faults (device failures,
+    /// crashes) split the round into segments — each segment sees one
+    /// consistent cluster, and faults fire at exactly the same global
+    /// evaluation index the serial loop would fire them at.
     fn evaluate_batch(&mut self, placements: &[Placement]) -> Vec<EvalOutcome> {
         let _span = mars_telemetry::span("sim.measure.evaluate_batch");
+        let mut outcomes = Vec::with_capacity(placements.len());
+        let mut i = 0;
+        while i < placements.len() {
+            self.fire_due_faults();
+            let remaining = placements.len() - i;
+            let seg = match self.next_boundary() {
+                Some(b) => (b.saturating_sub(self.evaluations as u64) as usize).min(remaining),
+                None => remaining,
+            };
+            debug_assert!(seg > 0, "due boundaries fire before segmentation");
+            outcomes.extend(self.evaluate_batch_segment(&placements[i..i + seg]));
+            i += seg;
+        }
+        outcomes
+    }
+
+    fn graph(&self) -> &CompGraph {
+        &self.graph
+    }
+
+    fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn machine_seconds(&self) -> f64 {
+        self.machine_seconds
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    fn take_crash(&mut self) -> bool {
+        std::mem::take(&mut self.crash_pending)
+    }
+}
+
+impl SimEnv {
+    /// One boundary-free segment of a round: cache-known placements are
+    /// skipped, the remaining computations run on up to `eval_threads`
+    /// threads, and all bookkeeping (cache get/insert, machine time,
+    /// fault application, telemetry) is committed serially in sample
+    /// order — exactly the sequence the serial loop would produce.
+    fn evaluate_batch_segment(&mut self, placements: &[Placement]) -> Vec<EvalOutcome> {
         let wall_t0 = Instant::now();
-        let enforced: Vec<Placement> = placements
-            .iter()
-            .map(|p| {
-                let mut p = p.clone();
-                p.enforce_compatibility(&self.graph, &self.cluster);
-                p
-            })
-            .collect();
+        let enforced: Vec<Placement> = placements.iter().map(|p| self.normalize(p)).collect();
 
         // Pre-pass: decide what actually needs computing. With the
         // cache on, only the first occurrence of each unknown placement
@@ -495,8 +766,7 @@ impl Environment for SimEnv {
         let mut batch_hits = 0u64;
         for (i, p) in enforced.iter().enumerate() {
             let (comp, cached) = if self.cache.is_some() {
-                let from_cache =
-                    self.cache.as_mut().and_then(|c| c.get(p, fp));
+                let from_cache = self.cache.as_mut().and_then(|c| c.get(p, fp));
                 match from_cache {
                     Some(hit) => (hit, true),
                     None => {
@@ -505,10 +775,7 @@ impl Environment for SimEnv {
                         // of an entry evicted between pre-pass and
                         // commit with a tiny cache capacity — the pure
                         // function makes both paths identical).
-                        let comp = by_placement
-                            .get(p)
-                            .cloned()
-                            .unwrap_or_else(|| self.compute(p));
+                        let comp = by_placement.get(p).cloned().unwrap_or_else(|| self.compute(p));
                         if let Some(cache) = &mut self.cache {
                             cache.insert(p.clone(), comp.clone(), fp);
                         }
@@ -521,6 +788,7 @@ impl Environment for SimEnv {
             if cached {
                 batch_hits += 1;
             }
+            let comp = self.apply_commit_faults(&comp);
             outcomes.push(self.commit(&comp, cached));
         }
 
@@ -538,22 +806,6 @@ impl Environment for SimEnv {
             );
         }
         outcomes
-    }
-
-    fn graph(&self) -> &CompGraph {
-        &self.graph
-    }
-
-    fn cluster(&self) -> &Cluster {
-        &self.cluster
-    }
-
-    fn machine_seconds(&self) -> f64 {
-        self.machine_seconds
-    }
-
-    fn evaluations(&self) -> usize {
-        self.evaluations
     }
 }
 
@@ -698,14 +950,9 @@ mod tests {
 
     #[test]
     fn fingerprint_distinguishes_graphs_and_clusters() {
-        let a = env_fingerprint(
-            &Workload::InceptionV3.build(Profile::Reduced),
-            &Cluster::p100_quad(),
-        );
-        let b = env_fingerprint(
-            &Workload::BertBase.build(Profile::Reduced),
-            &Cluster::p100_quad(),
-        );
+        let a =
+            env_fingerprint(&Workload::InceptionV3.build(Profile::Reduced), &Cluster::p100_quad());
+        let b = env_fingerprint(&Workload::BertBase.build(Profile::Reduced), &Cluster::p100_quad());
         assert_ne!(a, b);
     }
 }

@@ -32,9 +32,7 @@ impl Placement {
 
     /// Uniformly random placement over all cluster devices.
     pub fn random(graph: &CompGraph, cluster: &Cluster, rng: &mut impl Rng) -> Self {
-        Placement(
-            (0..graph.num_nodes()).map(|_| rng.gen_range(0..cluster.num_devices())).collect(),
-        )
+        Placement((0..graph.num_nodes()).map(|_| rng.gen_range(0..cluster.num_devices())).collect())
     }
 
     /// Number of ops.
@@ -59,12 +57,7 @@ impl Placement {
 
     /// Bytes crossing device boundaries.
     pub fn cut_bytes(&self, graph: &CompGraph) -> u64 {
-        graph
-            .edges()
-            .iter()
-            .filter(|e| self.0[e.src] != self.0[e.dst])
-            .map(|e| e.bytes)
-            .sum()
+        graph.edges().iter().filter(|e| self.0[e.src] != self.0[e.dst]).map(|e| e.bytes).sum()
     }
 
     /// Distinct devices actually used.
@@ -86,6 +79,33 @@ impl Placement {
                 self.0[i] = cpu;
                 moved += 1;
             }
+        }
+        moved
+    }
+
+    /// Rewrite assignments on failed devices: GPU-compatible ops move
+    /// round-robin over the surviving GPUs; everything else (and
+    /// everything when no GPU survives) falls back to the CPU. A pure
+    /// function of `(placement, graph, failure mask)` — remapping the
+    /// same placement on the same degraded cluster always produces the
+    /// identical result. Returns the number of ops moved.
+    pub fn remap_failed(&mut self, graph: &CompGraph, cluster: &Cluster) -> usize {
+        if !cluster.has_failures() {
+            return 0;
+        }
+        let live_gpus = cluster.live_gpu_ids();
+        let cpu = cluster.cpu_id();
+        let mut moved = 0;
+        for (i, node) in graph.nodes().iter().enumerate() {
+            if cluster.is_alive(self.0[i]) {
+                continue;
+            }
+            self.0[i] = if node.gpu_compatible && !live_gpus.is_empty() {
+                live_gpus[moved % live_gpus.len()]
+            } else {
+                cpu
+            };
+            moved += 1;
         }
         moved
     }
@@ -172,6 +192,38 @@ mod tests {
         assert!(moved >= 1, "inception has a CPU-only pipeline op");
         let idx = g.nodes().iter().position(|n| !n.gpu_compatible).expect("cpu-only");
         assert_eq!(p.device(idx), c.cpu_id());
+    }
+
+    #[test]
+    fn remap_moves_only_dead_assignments() {
+        let g = graph();
+        let mut c = Cluster::p100_quad();
+        c.fail_device(2);
+        let mut p = Placement::round_robin(&g, &[1, 2, 3, 4]);
+        let before = p.clone();
+        let moved = p.remap_failed(&g, &c);
+        assert!(moved > 0);
+        for i in 0..p.len() {
+            assert!(c.is_alive(p.device(i)), "op {i} still on a dead device");
+            if before.device(i) != 2 {
+                assert_eq!(p.device(i), before.device(i), "op {i} moved needlessly");
+            }
+        }
+        // Healthy cluster: remap is a no-op.
+        let mut q = Placement::round_robin(&g, &[1, 2]);
+        assert_eq!(q.remap_failed(&g, &Cluster::p100_quad()), 0);
+    }
+
+    #[test]
+    fn remap_falls_back_to_cpu_when_no_gpu_survives() {
+        let g = graph();
+        let mut c = Cluster::p100_quad();
+        for d in c.gpu_ids() {
+            c.fail_device(d);
+        }
+        let mut p = Placement::round_robin(&g, &[1, 2, 3, 4]);
+        p.remap_failed(&g, &c);
+        assert_eq!(p.devices_used(), vec![c.cpu_id()]);
     }
 
     #[test]

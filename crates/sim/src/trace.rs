@@ -62,12 +62,8 @@ impl StepTrace {
         if self.makespan_s <= 0.0 {
             return 0.0;
         }
-        let busy: f64 = self
-            .ops
-            .iter()
-            .filter(|o| o.device == device)
-            .map(|o| o.end_s - o.start_s)
-            .sum();
+        let busy: f64 =
+            self.ops.iter().filter(|o| o.device == device).map(|o| o.end_s - o.start_s).sum();
         1.0 - busy / self.makespan_s
     }
 
@@ -194,12 +190,7 @@ pub fn simulate_traced(
                     let dur = op_time(graph.node(node), cluster.device(dev));
                     device_busy[dev] = true;
                     device_busy_s[dev] += dur;
-                    ops_trace.push(OpSpan {
-                        node,
-                        device: dev,
-                        start_s: $now,
-                        end_s: $now + dur,
-                    });
+                    ops_trace.push(OpSpan { node, device: dev, start_s: $now, end_s: $now + dur });
                     seq += 1;
                     events.push(Reverse((Time($now + dur), seq, Ev::OpDone(node))));
                 }

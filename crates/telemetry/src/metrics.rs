@@ -58,12 +58,7 @@ struct HistogramCore {
 impl Histogram {
     /// Record one observation.
     pub fn observe(&self, v: f64) {
-        let idx = self
-            .0
-            .edges
-            .iter()
-            .position(|&e| v <= e)
-            .unwrap_or(self.0.edges.len());
+        let idx = self.0.edges.iter().position(|&e| v <= e).unwrap_or(self.0.edges.len());
         self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
         let mut cur = self.0.sum_bits.load(Ordering::Relaxed);
@@ -120,9 +115,7 @@ fn registries() -> &'static Registries {
 /// Look up (or create) the counter named `name`.
 pub fn counter(name: &str) -> Counter {
     let mut reg = registries().counters.lock().unwrap_or_else(|e| e.into_inner());
-    reg.entry(name.to_string())
-        .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
-        .clone()
+    reg.entry(name.to_string()).or_insert_with(|| Counter(Arc::new(AtomicU64::new(0)))).clone()
 }
 
 /// Set the gauge named `name` to `value` (last write wins).
@@ -175,9 +168,12 @@ pub fn gauge_snapshot() -> Vec<(String, f64)> {
     rows
 }
 
-/// Sorted snapshot of every histogram: `(name, edges, bucket counts,
-/// total count, sum)`.
-pub fn histogram_snapshot() -> Vec<(String, Vec<f64>, Vec<u64>, u64, f64)> {
+/// One histogram snapshot row: `(name, edges, bucket counts, total
+/// count, sum)`.
+pub type HistogramRow = (String, Vec<f64>, Vec<u64>, u64, f64);
+
+/// Sorted snapshot of every histogram.
+pub fn histogram_snapshot() -> Vec<HistogramRow> {
     let reg = registries().histograms.lock().unwrap_or_else(|e| e.into_inner());
     let mut rows: Vec<_> = reg
         .iter()

@@ -137,9 +137,8 @@ fn metric_summary_records() -> Vec<Json> {
     let counters = Json::Obj(
         metrics::counter_snapshot().into_iter().map(|(k, v)| (k, Json::from(v))).collect(),
     );
-    let gauges = Json::Obj(
-        metrics::gauge_snapshot().into_iter().map(|(k, v)| (k, Json::from(v))).collect(),
-    );
+    let gauges =
+        Json::Obj(metrics::gauge_snapshot().into_iter().map(|(k, v)| (k, Json::from(v))).collect());
     let histograms = Json::arr(metrics::histogram_snapshot().into_iter().map(
         |(name, edges, buckets, count, sum)| {
             Json::obj([
@@ -229,8 +228,7 @@ mod tests {
         assert!(uninstall());
 
         let lines = sink.lock().expect("sink").clone();
-        let parsed: Vec<Json> =
-            lines.iter().map(|l| Json::parse(l).expect("valid JSON")).collect();
+        let parsed: Vec<Json> = lines.iter().map(|l| Json::parse(l).expect("valid JSON")).collect();
         let spans_rec =
             parsed.iter().find(|j| j["kind"].as_str() == Some("spans")).expect("spans record");
         assert!(spans_rec["spans"]

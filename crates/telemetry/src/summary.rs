@@ -134,7 +134,90 @@ impl RolloutReport {
     }
 }
 
+/// Fault-injection digest: what the resilience layer absorbed during
+/// the run, recovered from `sim.fault.*` / `train.crash_resume`
+/// counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Permanent device failures fired.
+    pub device_failures: u64,
+    /// Placement remaps performed after a failure.
+    pub remaps: u64,
+    /// Total ops moved off dead devices across all remaps.
+    pub remapped_ops: u64,
+    /// Transient evaluation errors injected.
+    pub transients: u64,
+    /// Extra evaluation attempts spent on retries.
+    pub retries: u64,
+    /// Evaluations that exhausted the retry budget.
+    pub retry_exhausted: u64,
+    /// Straggler slowdowns injected.
+    pub stragglers: u64,
+    /// Stragglers slow enough to abort the evaluation.
+    pub straggler_aborts: u64,
+    /// Agent crashes injected.
+    pub crashes: u64,
+    /// Checkpoint resumes performed after a crash.
+    pub crash_resumes: u64,
+}
+
+impl FaultReport {
+    /// True when the run recorded no fault activity at all.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultReport::default()
+    }
+
+    /// Render as the fault-summary block `metrics summarize` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== fault injection ==\n");
+        let _ = writeln!(
+            out,
+            "device failures: {} ({} remaps, {} ops moved to live devices)",
+            self.device_failures, self.remaps, self.remapped_ops
+        );
+        let _ = writeln!(
+            out,
+            "transient errors: {} ({} retries spent, {} evaluations gave up)",
+            self.transients, self.retries, self.retry_exhausted
+        );
+        let _ = writeln!(
+            out,
+            "stragglers: {} ({} aborted past the cutoff)",
+            self.stragglers, self.straggler_aborts
+        );
+        let _ = writeln!(
+            out,
+            "agent crashes: {} ({} checkpoint resumes)",
+            self.crashes, self.crash_resumes
+        );
+        out
+    }
+}
+
 impl RunSummary {
+    /// Value of a counter by name (0 when the run never touched it).
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Fault-injection digest, if the run recorded any fault activity
+    /// (`sim.fault.*` or `train.crash_resume` counters).
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        let report = FaultReport {
+            device_failures: self.counter("sim.fault.device_failure"),
+            remaps: self.counter("sim.fault.remap"),
+            remapped_ops: self.counter("sim.fault.remap_ops"),
+            transients: self.counter("sim.fault.transient"),
+            retries: self.counter("sim.fault.retry"),
+            retry_exhausted: self.counter("sim.fault.retry_exhausted"),
+            stragglers: self.counter("sim.fault.straggler"),
+            straggler_aborts: self.counter("sim.fault.straggler_abort"),
+            crashes: self.counter("sim.fault.crash"),
+            crash_resumes: self.counter("train.crash_resume"),
+        };
+        (!report.is_empty()).then_some(report)
+    }
+
     /// Rollout-engine digest, if the run recorded any evaluations
     /// (`sim.cache.*` counters or `sim.eval_batch` events).
     pub fn rollout_report(&self) -> Option<RolloutReport> {
@@ -328,15 +411,16 @@ fn render_span_tree(out: &mut String, spans: &[SpanRow], total_self: u64) {
 pub fn summarize(text: &str) -> Result<RunSummary, String> {
     let mut summary = RunSummary::default();
     // (event, field) -> (count, sum, min, max, last)
-    let mut agg: HashMap<(String, String), (u64, f64, f64, f64, f64)> = HashMap::new();
+    // (count, sum, min, max, last) per (event, field).
+    type FieldAgg = (u64, f64, f64, f64, f64);
+    let mut agg: HashMap<(String, String), FieldAgg> = HashMap::new();
 
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let value =
-            Json::parse(line).map_err(|e| format!("line {}: {e:?}", lineno + 1))?;
+        let value = Json::parse(line).map_err(|e| format!("line {}: {e:?}", lineno + 1))?;
         summary.lines += 1;
         match value["kind"].as_str() {
             Some("event") => {
@@ -348,9 +432,13 @@ pub fn summarize(text: &str) -> Result<RunSummary, String> {
                         continue;
                     }
                     let Some(v) = field.as_f64() else { continue };
-                    let entry = agg
-                        .entry((name.clone(), key.clone()))
-                        .or_insert((0, 0.0, f64::INFINITY, f64::NEG_INFINITY, v));
+                    let entry = agg.entry((name.clone(), key.clone())).or_insert((
+                        0,
+                        0.0,
+                        f64::INFINITY,
+                        f64::NEG_INFINITY,
+                        v,
+                    ));
                     entry.0 += 1;
                     entry.1 += v;
                     entry.2 = entry.2.min(v);
@@ -383,8 +471,7 @@ pub fn summarize(text: &str) -> Result<RunSummary, String> {
                 }
             }
             Some("histograms") => {
-                for h in value["histograms"].as_array().map(Vec::as_slice).unwrap_or_default()
-                {
+                for h in value["histograms"].as_array().map(Vec::as_slice).unwrap_or_default() {
                     summary.histograms.push(HistogramRow {
                         name: h["name"].as_str().unwrap_or_default().to_string(),
                         edges: h["edges"]
@@ -515,6 +602,29 @@ mod tests {
     fn rollout_report_absent_without_eval_telemetry() {
         let run = summarize(&sample_run()).expect("parse");
         assert!(run.rollout_report().is_none());
+    }
+
+    #[test]
+    fn fault_report_from_fault_counters() {
+        let run = [
+            r#"{"kind":"counters","counters":{"sim.fault.device_failure":1,"sim.fault.remap":3,"sim.fault.remap_ops":42,"sim.fault.transient":5,"sim.fault.retry":6,"sim.fault.retry_exhausted":1,"sim.fault.straggler":2,"sim.fault.straggler_abort":1,"sim.fault.crash":1,"train.crash_resume":1}}"#,
+        ]
+        .join("\n");
+        let report = summarize(&run).expect("parse").fault_report().expect("report");
+        assert_eq!(report.device_failures, 1);
+        assert_eq!(report.remapped_ops, 42);
+        assert_eq!(report.retries, 6);
+        assert_eq!(report.crash_resumes, 1);
+        let text = report.render();
+        assert!(text.contains("device failures: 1 (3 remaps, 42 ops moved"), "{text}");
+        assert!(text.contains("transient errors: 5 (6 retries spent, 1 evaluations gave up"));
+        assert!(text.contains("agent crashes: 1 (1 checkpoint resumes)"), "{text}");
+    }
+
+    #[test]
+    fn fault_report_absent_for_clean_runs() {
+        let run = summarize(&sample_run()).expect("parse");
+        assert!(run.fault_report().is_none());
     }
 
     #[test]

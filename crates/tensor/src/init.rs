@@ -63,8 +63,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let m = randn(100, 100, 1.0, &mut rng);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
-            / m.len() as f32;
+        let var =
+            m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / m.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

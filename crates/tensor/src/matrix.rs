@@ -68,7 +68,12 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "Matrix::from_rows: row {i} has length {} != {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "Matrix::from_rows: row {i} has length {} != {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
         Matrix { rows: rows.len(), cols, data }
@@ -183,11 +188,7 @@ impl Matrix {
 
     /// Apply `f` elementwise, producing a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Apply `f` elementwise in place.
@@ -322,7 +323,11 @@ impl Matrix {
 
     /// Copy of rows `[start, end)`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "slice_rows [{start},{end}) out of {} rows", self.rows);
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows [{start},{end}) out of {} rows",
+            self.rows
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -349,11 +354,7 @@ impl Matrix {
     /// Maximum absolute difference with another matrix of the same shape.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape());
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 }
 

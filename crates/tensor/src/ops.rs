@@ -134,9 +134,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         });
     } else if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
         let cols = n.max(1);
-        pool::par_chunks_mut(out.as_mut_slice(), cols, |i, out_row| {
-            inner_nn(out_row, a.row(i), b)
-        });
+        pool::par_chunks_mut(out.as_mut_slice(), cols, |i, out_row| inner_nn(out_row, a.row(i), b));
     } else {
         for i in 0..m {
             let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
@@ -253,9 +251,7 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
         }
     };
     if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
-        pool::par_chunks_mut(out.as_mut_slice(), n.max(1), |i, out_row| {
-            compute_row(i, out_row)
-        });
+        pool::par_chunks_mut(out.as_mut_slice(), n.max(1), |i, out_row| compute_row(i, out_row));
     } else {
         for i in 0..m {
             let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
@@ -369,9 +365,7 @@ impl CsrMatrix {
             }
         };
         if rows_big && self.rows > 1 {
-            pool::par_chunks_mut(out.as_mut_slice(), n.max(1), |r, out_row| {
-                compute(r, out_row)
-            });
+            pool::par_chunks_mut(out.as_mut_slice(), n.max(1), |r, out_row| compute(r, out_row));
         } else {
             for r in 0..self.rows {
                 let row = &mut out.as_mut_slice()[r * n..(r + 1) * n];
@@ -472,7 +466,7 @@ mod tests {
         // so the results must match exactly — not just within tolerance.
         let a = Matrix::from_fn(70, 70, |r, c| ((r + 2 * c) as f32 * 0.01).sin());
         let b = Matrix::from_fn(70, 70, |r, c| ((3 * r + c) as f32 * 0.02).cos());
-        assert!(70 * 70 * 70 >= PAR_FLOP_THRESHOLD);
+        const { assert!(70 * 70 * 70 >= PAR_FLOP_THRESHOLD) }
         let fast = matmul(&a, &b);
         let mut seq = Matrix::zeros(70, 70);
         for i in 0..70 {
@@ -488,7 +482,7 @@ mod tests {
         // larger embedding must agree exactly on the shared block.
         let a = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f32 * 0.5);
         let b = Matrix::from_fn(8, 8, |r, c| ((r + c) as f32).cos());
-        assert!(8 * 8 * 8 < PAR_FLOP_THRESHOLD);
+        const { assert!(8 * 8 * 8 < PAR_FLOP_THRESHOLD) }
         let small = matmul(&a, &b);
         let slow = seq_matmul(&a, &b);
         assert!(small.max_abs_diff(&slow) < 1e-5);
@@ -522,7 +516,7 @@ mod tests {
             row[i..80].iter_mut().step_by(3).for_each(|v| *v = 0.0);
         }
         let b = Matrix::from_fn(80, 96, |r, c| ((2 * r + c) as f32 * 0.011).cos());
-        assert!(40 * 80 * 96 >= PAR_FLOP_THRESHOLD);
+        const { assert!(40 * 80 * 96 >= PAR_FLOP_THRESHOLD) }
         let fast = matmul(&a, &b);
         let mut seq = Matrix::zeros(40, 96);
         for i in 0..40 {

@@ -116,7 +116,7 @@ where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     let chunk_len = chunk_len.max(1);
-    let chunks = (data.len() + chunk_len - 1) / chunk_len;
+    let chunks = data.len().div_ceil(chunk_len);
     let p = pool();
     let helpers = p.helpers.min(chunks.saturating_sub(1));
     if helpers == 0 {

@@ -93,11 +93,7 @@ pub fn variance(xs: &[f32]) -> f32 {
 /// Entropy (nats) of a probability row vector. Zero-probability entries
 /// contribute nothing.
 pub fn entropy(probs: &[f32]) -> f32 {
-    probs
-        .iter()
-        .filter(|&&p| p > 0.0)
-        .map(|&p| -p * p.ln())
-        .sum()
+    probs.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
 }
 
 #[cfg(test)]

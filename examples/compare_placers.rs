@@ -26,14 +26,15 @@ fn main() {
     let input = WorkloadInput::from_graph(&graph);
     let cluster = Cluster::p100_quad();
     let budget = 300;
-    println!("Placer comparison on {} ({} ops), {budget} samples each\n", graph.name, graph.num_nodes());
+    println!(
+        "Placer comparison on {} ({} ops), {budget} samples each\n",
+        graph.name,
+        graph.num_nodes()
+    );
 
-    for choice in [
-        PlacerChoice::Seq2Seq,
-        PlacerChoice::TrfXl,
-        PlacerChoice::Segment,
-        PlacerChoice::Mlp,
-    ] {
+    for choice in
+        [PlacerChoice::Seq2Seq, PlacerChoice::TrfXl, PlacerChoice::Segment, PlacerChoice::Mlp]
+    {
         let mut rng = StdRng::seed_from_u64(5);
         let mut agent = Agent::new(
             AgentKind::FixedEncoder(choice),

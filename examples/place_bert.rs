@@ -80,11 +80,7 @@ fn main() {
         best,
         placement.devices_used(),
         env.evaluations()
-            - log
-                .records
-                .iter()
-                .map(|r| (r.valid_fraction * 20.0).round() as usize)
-                .sum::<usize>(),
+            - log.records.iter().map(|r| (r.valid_fraction * 20.0).round() as usize).sum::<usize>(),
         env.evaluations(),
     );
     let truth = env.true_step_time(&placement).expect("valid").makespan_s;

@@ -46,7 +46,10 @@ fn main() {
             }
         }
         let cfg = ChartConfig {
-            title: format!("Fig. 7{} — {workload}: best per-step runtime", (b'a' + fi as u8) as char),
+            title: format!(
+                "Fig. 7{} — {workload}: best per-step runtime",
+                (b'a' + fi as u8) as char
+            ),
             x_label: "placements sampled (training steps)".into(),
             y_label: "best per-step runtime (s)".into(),
             width: 720,

@@ -29,26 +29,16 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
 
     let mut store = ParamStore::new();
-    let encoder = GcnEncoder::new(
-        &mut store,
-        FEATURE_DIM,
-        cfg.encoder_hidden,
-        cfg.encoder_layers,
-        &mut rng,
-    );
+    let encoder =
+        GcnEncoder::new(&mut store, FEATURE_DIM, cfg.encoder_hidden, cfg.encoder_layers, &mut rng);
     let dgi = Dgi::new(&mut store, cfg.encoder_hidden, &mut rng);
 
-    println!("Pre-training on {} ({} ops) for {} iterations…", graph.name, input.num_ops, cfg.dgi_iters);
-    let report = pretrain(
-        &mut store,
-        &encoder,
-        &dgi,
-        &input,
-        cfg.dgi_iters,
-        cfg.dgi_lr,
-        1.0,
-        &mut rng,
+    println!(
+        "Pre-training on {} ({} ops) for {} iterations…",
+        graph.name, input.num_ops, cfg.dgi_iters
     );
+    let report =
+        pretrain(&mut store, &encoder, &dgi, &input, cfg.dgi_iters, cfg.dgi_lr, 1.0, &mut rng);
     for (i, chunk) in report.losses.chunks(cfg.dgi_iters / 10).enumerate() {
         let mean = chunk.iter().sum::<f32>() / chunk.len() as f32;
         println!("  iters {:>4}-{:<4} mean loss {mean:.4}", i * chunk.len(), (i + 1) * chunk.len());
@@ -72,13 +62,7 @@ fn main() {
 }
 
 fn ids_of_kind(graph: &mars::graph::CompGraph, kind: OpKind) -> Vec<usize> {
-    graph
-        .nodes()
-        .iter()
-        .enumerate()
-        .filter(|(_, n)| n.kind == kind)
-        .map(|(i, _)| i)
-        .collect()
+    graph.nodes().iter().enumerate().filter(|(_, n)| n.kind == kind).map(|(i, _)| i).collect()
 }
 
 fn mean_pairwise(reps: &Matrix, a: &[usize], b: &[usize]) -> f32 {

@@ -44,8 +44,13 @@ fn main() {
 
     // 4. Train a small Mars agent: DGI pre-training, then joint PPO.
     let input = WorkloadInput::from_graph(&graph);
-    let mut agent =
-        Agent::new(AgentKind::Mars, MarsConfig::small(), FEATURE_DIM, cluster.num_devices(), &mut rng);
+    let mut agent = Agent::new(
+        AgentKind::Mars,
+        MarsConfig::small(),
+        FEATURE_DIM,
+        cluster.num_devices(),
+        &mut rng,
+    );
     let report = agent.pretrain(&input, &mut rng).expect("Mars has a GCN encoder");
     println!(
         "DGI pre-training: loss {:.3} → best {:.3} at iter {}",
@@ -72,5 +77,7 @@ fn describe(env: &mut SimEnv, p: &Placement) -> String {
         mars::sim::EvalOutcome::Valid { per_step_s } => format!("{per_step_s:.3} s/step"),
         mars::sim::EvalOutcome::Bad { cutoff_s } => format!("aborted (> {cutoff_s:.0} s)"),
         mars::sim::EvalOutcome::Invalid { oom } => format!("invalid: {oom}"),
+        // Only reachable when a fault plan is armed (see DESIGN.md §9).
+        other => format!("fault: {other:?}"),
     }
 }

@@ -27,7 +27,8 @@ diff <(echo "$SERIAL_OUT") <(echo "$ENGINE_OUT") || {
 
 echo "==> telemetry smoke: tiny instrumented training run + summarize"
 TELEMETRY_RUN=$(mktemp /tmp/mars-telemetry-XXXXXX.jsonl)
-trap 'rm -f "$TELEMETRY_RUN"' EXIT
+FAULT_RUN=$(mktemp /tmp/mars-fault-XXXXXX.jsonl)
+trap 'rm -f "$TELEMETRY_RUN" "$FAULT_RUN"' EXIT
 ./target/release/mars-cli train inception --budget 40 --dgi-iters 10 --seed 1 \
     --telemetry "$TELEMETRY_RUN" > /dev/null
 SUMMARY=$(./target/release/mars-cli metrics summarize "$TELEMETRY_RUN")
@@ -38,4 +39,30 @@ echo "$SUMMARY" | grep -q "ppo.update" || {
 echo "$SUMMARY" | grep -q "sim.eval" || {
     echo "telemetry summary has no simulator eval events"; exit 1; }
 
-echo "==> OK: build, tests, bench smoke, engine parity, and telemetry smoke all green"
+echo "==> fault smoke: degraded train, remap telemetry, bit-identical reruns"
+FAULT_ARGS=(train inception --budget 40 --dgi-iters 10 --seed 1
+    --fault-plan "fail:2@10, transient:0.2, straggler:0.1x6")
+FAULT_A=$(./target/release/mars-cli "${FAULT_ARGS[@]}" --telemetry "$FAULT_RUN" \
+    | grep -v "^telemetry written")
+echo "$FAULT_A" | grep -q "cluster degraded: failed devices \[2\]" || {
+    echo "planned device failure did not degrade the cluster"; exit 1; }
+FAULT_SUMMARY=$(./target/release/mars-cli metrics summarize "$FAULT_RUN")
+echo "$FAULT_SUMMARY" | grep -q "fault injection" || {
+    echo "telemetry summary has no fault-injection section"; exit 1; }
+echo "$FAULT_SUMMARY" | grep -q "device failures: 1 (" || {
+    echo "fault summary did not count the device failure"; exit 1; }
+echo "$FAULT_SUMMARY" | grep -Eq "device failures: 1 \([1-9][0-9]* remaps" || {
+    echo "fault summary recorded no placement remaps"; exit 1; }
+# Same seed + same plan must reproduce the run bit for bit, and the
+# rollout engine (threads, cache) must stay invisible under faults.
+FAULT_B=$(./target/release/mars-cli "${FAULT_ARGS[@]}")
+FAULT_C=$(./target/release/mars-cli "${FAULT_ARGS[@]}" --eval-threads 4)
+FAULT_D=$(./target/release/mars-cli "${FAULT_ARGS[@]}" --no-eval-cache)
+diff <(echo "$FAULT_A") <(echo "$FAULT_B") || {
+    echo "faulty rerun was not bit-identical"; exit 1; }
+diff <(echo "$FAULT_A") <(echo "$FAULT_C") || {
+    echo "parallel evaluation changed a faulty run"; exit 1; }
+diff <(echo "$FAULT_A" | grep -v "^eval cache") <(echo "$FAULT_D" | grep -v "^eval cache") || {
+    echo "disabling the eval cache changed a faulty run"; exit 1; }
+
+echo "==> OK: build, tests, bench smoke, engine parity, telemetry and fault smokes all green"

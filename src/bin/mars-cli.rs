@@ -8,6 +8,7 @@
 //! mars-cli dot      <workload> [--max-nodes N]      Graphviz export to stdout
 //! mars-cli evaluate <workload> --placement <name>   measure one placement
 //! mars-cli metrics summarize <run.jsonl>            render a telemetry capture
+//! mars-cli bench-gate --current <b.json> [options]  compare a bench run to baseline
 //!
 //! workloads:  inception | gnmt | bert | vgg | seq2seq | transformer
 //! placements: human | gpu-only | rr2 | rr4 | blocked2 | blocked3 | blocked4 | mincut
@@ -15,13 +16,25 @@
 //!                --seed N   --profile small|full   --save <ckpt-path>
 //!                --telemetry <run.jsonl>   --dgi-iters N
 //!                --eval-threads N   --no-eval-cache
+//!                --fault-plan <spec>   --max-eval-retries N
+//!                --eval-timeout-s S    --auto-checkpoint <ckpt-path>
+//! bench-gate:    --current <bench.json>   --baseline <bench.json>
+//!                --min-ratio R (default 0.5)
 //! ```
 //!
 //! `--telemetry <path>` records a JSONL event stream (per-iteration DGI
 //! loss, per-update PPO diagnostics, per-evaluation simulator gauges,
 //! and a span-tree profile of the hot kernels); inspect it afterwards
 //! with `mars-cli metrics summarize <path>`.
+//!
+//! `--fault-plan` injects deterministic failures into the simulated
+//! cluster (see `mars_sim::FaultPlan::parse` for the grammar):
+//! `fail:2@50` kills device 2 before evaluation 50, `transient:0.1`
+//! draws background transient errors, `straggler:0.05x8` slows 5% of
+//! evaluations 8×, `crash@100` crashes (and resumes) the agent. Same
+//! seed + same plan reproduces the run bit for bit.
 
+use mars::cli::{fail, Flags};
 use mars::core::agent::{Agent, AgentKind, TrainingLog};
 use mars::core::baselines::{gpu_only, human_expert};
 use mars::core::config::MarsConfig;
@@ -30,13 +43,13 @@ use mars::core::workload_input::WorkloadInput;
 use mars::graph::analysis::{stats, to_dot};
 use mars::graph::generators::{Profile, Workload};
 use mars::graph::CompGraph;
+use mars::json::Json;
 use mars::nn::checkpoint;
 use mars::sim::{
-    check_memory, simulate_traced, Cluster, Environment, EvalOutcome, Placement, SimEnv,
+    check_memory, simulate_traced, Cluster, Environment, EvalOutcome, FaultPlan, Placement, SimEnv,
 };
 use mars_rng::rngs::StdRng;
 use mars_rng::SeedableRng;
-use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn parse_workload(s: &str) -> Option<Workload> {
@@ -51,30 +64,6 @@ fn parse_workload(s: &str) -> Option<Workload> {
         "gpt2" | "gpt2_small" => Workload::Gpt2Small,
         _ => return None,
     })
-}
-
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            // A flag followed by another `--flag` (or by nothing) is a
-            // boolean switch, e.g. `--no-eval-cache`.
-            match args.get(i + 1).filter(|v| !v.starts_with("--")) {
-                Some(value) => {
-                    flags.insert(key.to_string(), value.clone());
-                    i += 2;
-                }
-                None => {
-                    flags.insert(key.to_string(), String::new());
-                    i += 1;
-                }
-            }
-        } else {
-            i += 1;
-        }
-    }
-    flags
 }
 
 fn named_placement(
@@ -98,12 +87,15 @@ fn named_placement(
     Some(p)
 }
 
-fn cmd_inspect(workload: Workload, profile: Profile) {
+fn cmd_inspect(workload: Workload, profile: Profile) -> Result<(), String> {
     let graph = workload.build(profile);
     let cluster = Cluster::p100_quad();
     let s = stats(&graph);
     println!("workload {}", graph.name);
-    println!("  nodes {}  edges {}  depth {}  max width {}", s.nodes, s.edges, s.depth, s.max_width);
+    println!(
+        "  nodes {}  edges {}  depth {}  max width {}",
+        s.nodes, s.edges, s.depth, s.max_width
+    );
     println!(
         "  training FLOPs {:.3e}  memory {:.2} GB  mean edge {:.2} MB",
         s.total_flops,
@@ -129,19 +121,16 @@ fn cmd_inspect(workload: Workload, profile: Profile) {
             Err(e) => println!("    {name:<9} {e}"),
         }
     }
+    Ok(())
 }
 
 /// Install a JSONL recorder when `--telemetry <path>` was given.
 /// Returns the path so the caller can report where the capture went.
-fn install_telemetry(flags: &HashMap<String, String>) -> Option<String> {
-    let path = flags.get("telemetry")?;
-    match mars::telemetry::install_file(path) {
-        Ok(()) => Some(path.clone()),
-        Err(e) => {
-            eprintln!("cannot open telemetry sink '{path}': {e}");
-            None
-        }
-    }
+fn install_telemetry(flags: &Flags) -> Result<Option<String>, String> {
+    let Some(path) = flags.string_opt("telemetry")? else { return Ok(None) };
+    mars::telemetry::install_file(&path)
+        .map_err(|e| format!("cannot open telemetry sink '{path}': {e}"))?;
+    Ok(Some(path))
 }
 
 fn finish_telemetry(path: Option<String>) {
@@ -151,45 +140,72 @@ fn finish_telemetry(path: Option<String>) {
     }
 }
 
-fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, String>) {
-    let kind = match flags.get("agent").map(String::as_str) {
-        None | Some("mars") => AgentKind::Mars,
-        Some("mars-nopre") => AgentKind::MarsNoPretrain,
-        Some("grouper") => AgentKind::GrouperPlacer,
-        Some("encoder") => AgentKind::EncoderPlacer,
-        Some(other) => {
-            eprintln!("unknown agent '{other}'");
-            return;
-        }
-    };
-    let budget: usize = flags.get("budget").and_then(|s| s.parse().ok()).unwrap_or(400);
-    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let mut cfg = match flags.get("profile").map(String::as_str) {
-        Some("full") | Some("paper") => MarsConfig::paper(),
+/// Resolve `--profile`, `--dgi-iters`, and the resilience flags
+/// (`--max-eval-retries`, `--eval-timeout-s`, `--auto-checkpoint`)
+/// into a [`MarsConfig`]. Shared by `train` and `pretrain`.
+fn config_from_flags(flags: &Flags) -> Result<MarsConfig, String> {
+    let mut cfg = match flags.one_of("profile", &["small", "full", "paper"], "small")? {
+        "full" | "paper" => MarsConfig::paper(),
         _ => MarsConfig::small(),
     };
-    if let Some(iters) = flags.get("dgi-iters").and_then(|s| s.parse().ok()) {
+    if let Some(iters) = flags.parsed_opt("dgi-iters")? {
         cfg.dgi_iters = iters;
     }
-    if let Some(threads) = flags.get("eval-threads").and_then(|s| s.parse().ok()) {
+    if let Some(threads) = flags.parsed_opt("eval-threads")? {
+        if threads == 0 {
+            return Err("invalid value '0' for --eval-threads (need at least 1)".into());
+        }
         cfg.eval_threads = threads;
     }
-    if flags.contains_key("no-eval-cache") {
+    if flags.switch("no-eval-cache")? {
         cfg.eval_cache = false;
     }
-    let telemetry = install_telemetry(flags);
+    cfg.max_eval_retries = flags.parsed("max-eval-retries", cfg.max_eval_retries)?;
+    cfg.eval_timeout_s = flags.parsed("eval-timeout-s", cfg.eval_timeout_s)?;
+    if cfg.eval_timeout_s <= 0.0 {
+        return Err(format!(
+            "invalid value '{}' for --eval-timeout-s (must be positive)",
+            cfg.eval_timeout_s
+        ));
+    }
+    cfg.auto_checkpoint = flags.string_opt("auto-checkpoint")?;
+    Ok(cfg)
+}
+
+/// Parse and validate `--fault-plan` against the cluster, then install
+/// it (and the retry/timeout knobs from `cfg`) on the environment.
+fn arm_environment(env: &mut SimEnv, cfg: &MarsConfig, flags: &Flags) -> Result<(), String> {
+    env.set_eval_threads(cfg.eval_threads);
+    env.set_cache_enabled(cfg.eval_cache);
+    env.retry.max_retries = cfg.max_eval_retries;
+    env.eval_timeout_s = cfg.eval_timeout_s;
+    if let Some(spec) = flags.string_opt("fault-plan")? {
+        let plan =
+            FaultPlan::parse(&spec).map_err(|e| format!("invalid value for --fault-plan: {e}"))?;
+        env.set_fault_plan(plan).map_err(|e| format!("invalid value for --fault-plan: {e}"))?;
+        println!("fault plan armed: {spec}");
+    }
+    Ok(())
+}
+
+fn cmd_train(workload: Workload, profile: Profile, flags: &Flags) -> Result<(), String> {
+    let kind = match flags.one_of("agent", &["mars", "mars-nopre", "grouper", "encoder"], "mars")? {
+        "mars-nopre" => AgentKind::MarsNoPretrain,
+        "grouper" => AgentKind::GrouperPlacer,
+        "encoder" => AgentKind::EncoderPlacer,
+        _ => AgentKind::Mars,
+    };
+    let budget: usize = flags.parsed("budget", 400)?;
+    let seed: u64 = flags.parsed("seed", 42)?;
+    let cfg = config_from_flags(flags)?;
+    let telemetry = install_telemetry(flags)?;
 
     let graph = workload.build(profile);
     let input = WorkloadInput::from_graph(&graph);
     let cluster = Cluster::p100_quad();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut agent = Agent::new(
-        kind,
-        cfg,
-        mars::graph::features::FEATURE_DIM,
-        cluster.num_devices(),
-        &mut rng,
-    );
+    let mut agent =
+        Agent::new(kind, cfg, mars::graph::features::FEATURE_DIM, cluster.num_devices(), &mut rng);
     if kind == AgentKind::Mars {
         println!("DGI pre-training…");
         if let Some(report) = agent.pretrain(&input, &mut rng) {
@@ -197,10 +213,13 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, Strin
         }
     }
     let mut env = SimEnv::new(graph, cluster, seed);
-    env.set_eval_threads(agent.cfg.eval_threads);
-    env.set_cache_enabled(agent.cfg.eval_cache);
+    arm_environment(&mut env, &agent.cfg, flags)?;
     let mut log = TrainingLog::default();
-    println!("training {} on {} for {budget} placement evaluations…", kind.label(), workload.name());
+    println!(
+        "training {} on {} for {budget} placement evaluations…",
+        kind.label(),
+        workload.name()
+    );
     agent.train(&mut env, &input, budget, &mut rng, &mut log);
     match log.best_reading_s {
         Some(best) => {
@@ -215,6 +234,9 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, Strin
         }
         None => println!("no valid placement found in {} samples", log.total_samples),
     }
+    if env.cluster().has_failures() {
+        println!("cluster degraded: failed devices {:?}", env.cluster().failed_ids());
+    }
     if let Some((hits, misses, evictions)) = env.cache_stats() {
         let total = hits + misses;
         println!(
@@ -222,25 +244,19 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &HashMap<String, Strin
             env.cache_hit_rate().unwrap_or(0.0) * 100.0
         );
     }
-    if let Some(path) = flags.get("save") {
-        match checkpoint::save_file(&agent.store, path) {
-            Ok(()) => println!("checkpoint written to {path}"),
-            Err(e) => eprintln!("checkpoint save failed: {e}"),
-        }
+    if let Some(path) = flags.string_opt("save")? {
+        checkpoint::save_file(&agent.store, &path)
+            .map_err(|e| format!("checkpoint save failed: {e}"))?;
+        println!("checkpoint written to {path}");
     }
     finish_telemetry(telemetry);
+    Ok(())
 }
 
-fn cmd_pretrain(workload: Workload, profile: Profile, flags: &HashMap<String, String>) {
-    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let mut cfg = match flags.get("profile").map(String::as_str) {
-        Some("full") | Some("paper") => MarsConfig::paper(),
-        _ => MarsConfig::small(),
-    };
-    if let Some(iters) = flags.get("dgi-iters").and_then(|s| s.parse().ok()) {
-        cfg.dgi_iters = iters;
-    }
-    let telemetry = install_telemetry(flags);
+fn cmd_pretrain(workload: Workload, profile: Profile, flags: &Flags) -> Result<(), String> {
+    let seed: u64 = flags.parsed("seed", 42)?;
+    let cfg = config_from_flags(flags)?;
+    let telemetry = install_telemetry(flags)?;
     let graph = workload.build(profile);
     let input = WorkloadInput::from_graph(&graph);
     let cluster = Cluster::p100_quad();
@@ -261,65 +277,88 @@ fn cmd_pretrain(workload: Workload, profile: Profile, flags: &HashMap<String, St
         ),
         None => eprintln!("agent has no pre-trainable encoder"),
     }
-    if let Some(path) = flags.get("save") {
-        match checkpoint::save_file(&agent.store, path) {
-            Ok(()) => println!("checkpoint written to {path}"),
-            Err(e) => eprintln!("checkpoint save failed: {e}"),
-        }
+    if let Some(path) = flags.string_opt("save")? {
+        checkpoint::save_file(&agent.store, &path)
+            .map_err(|e| format!("checkpoint save failed: {e}"))?;
+        println!("checkpoint written to {path}");
     }
     finish_telemetry(telemetry);
+    Ok(())
 }
 
-fn cmd_metrics(args: &[String]) -> ExitCode {
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let (Some(sub), Some(path)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: mars-cli metrics summarize <run.jsonl>");
-        return ExitCode::FAILURE;
+        return Err("usage: mars-cli metrics summarize <run.jsonl>".into());
     };
     if sub != "summarize" {
-        eprintln!("unknown metrics subcommand '{sub}' (expected 'summarize')");
-        return ExitCode::FAILURE;
+        return Err(format!("unknown metrics subcommand '{sub}' (expected 'summarize')"));
     }
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read '{path}': {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match mars::telemetry::summarize(&text) {
-        Ok(summary) => {
-            print!("{}", summary.render());
-            let kernel_share = summary.self_time_fraction(&["tensor.", "nn.", "autograd."]);
-            if kernel_share > 0.0 {
-                println!(
-                    "kernel self-time share (tensor/nn/autograd): {:.1}%",
-                    kernel_share * 100.0
-                );
-            }
-            if let Some(report) = summary.rollout_report() {
-                print!("{}", report.render());
-            }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("cannot summarize '{path}': {e}");
-            ExitCode::FAILURE
-        }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let summary =
+        mars::telemetry::summarize(&text).map_err(|e| format!("cannot summarize '{path}': {e}"))?;
+    print!("{}", summary.render());
+    let kernel_share = summary.self_time_fraction(&["tensor.", "nn.", "autograd."]);
+    if kernel_share > 0.0 {
+        println!("kernel self-time share (tensor/nn/autograd): {:.1}%", kernel_share * 100.0);
     }
+    if let Some(report) = summary.rollout_report() {
+        print!("{}", report.render());
+    }
+    if let Some(report) = summary.fault_report() {
+        print!("{}", report.render());
+    }
+    Ok(())
 }
 
-fn cmd_trace(workload: Workload, profile: Profile, flags: &HashMap<String, String>) {
+/// Compare a fresh benchmark JSON against the committed baseline and
+/// fail when end-to-end throughput regressed beyond the tolerance.
+/// Gate metric: rollout speedup (threads+cache vs serial) must stay
+/// within `--min-ratio` of the baseline's speedup.
+fn cmd_bench_gate(flags: &Flags) -> Result<(), String> {
+    let current_path = flags
+        .string_opt("current")?
+        .ok_or("usage: mars-cli bench-gate --current <bench.json> [--baseline <bench.json>]")?;
+    let baseline_path =
+        flags.string_opt("baseline")?.unwrap_or_else(|| "BENCH_e2e.json".to_string());
+    let min_ratio: f64 = flags.parsed("min-ratio", 0.5)?;
+    if !(0.0..=1.0).contains(&min_ratio) {
+        return Err(format!("invalid value '{min_ratio}' for --min-ratio (expected 0..=1)"));
+    }
+    let speedup_of = |path: &str| -> Result<f64, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+        let json = Json::parse(&text).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+        json.get("speedup")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("'{path}' has no numeric 'speedup' field"))
+    };
+    let baseline = speedup_of(&baseline_path)?;
+    let current = speedup_of(&current_path)?;
+    if baseline <= 0.0 {
+        return Err(format!("baseline speedup {baseline} in '{baseline_path}' is not positive"));
+    }
+    let ratio = current / baseline;
+    println!(
+        "bench gate: current speedup {current:.3} vs baseline {baseline:.3} \
+         (ratio {ratio:.3}, floor {min_ratio:.3})"
+    );
+    if ratio < min_ratio {
+        return Err(format!(
+            "benchmark regression: speedup ratio {ratio:.3} fell below the {min_ratio:.3} floor"
+        ));
+    }
+    println!("bench gate passed");
+    Ok(())
+}
+
+fn cmd_trace(workload: Workload, profile: Profile, flags: &Flags) -> Result<(), String> {
     let graph = workload.build(profile);
     let cluster = Cluster::p100_quad();
-    let name = flags.get("placement").map(String::as_str).unwrap_or("blocked3");
+    let name = flags.get("placement").unwrap_or("blocked3");
     let Some(p) = named_placement(name, workload, &graph, &cluster) else {
-        eprintln!("unknown or infeasible placement '{name}'");
-        return;
+        return Err(format!("unknown or infeasible placement '{name}'"));
     };
-    if let Err(e) = check_memory(&graph, &p, &cluster) {
-        eprintln!("placement invalid: {e}");
-        return;
-    }
+    check_memory(&graph, &p, &cluster).map_err(|e| format!("placement invalid: {e}"))?;
     let (report, trace) = simulate_traced(&graph, &p, &cluster);
     println!(
         "{} under '{name}': {:.3} s/step, comm {:.3} s, {} transfers",
@@ -329,61 +368,79 @@ fn cmd_trace(workload: Workload, profile: Profile, flags: &HashMap<String, Strin
     for d in 0..cluster.num_devices() {
         println!("dev{d} idle {:.0}%", trace.idle_fraction(d) * 100.0);
     }
+    Ok(())
 }
 
-fn cmd_evaluate(workload: Workload, profile: Profile, flags: &HashMap<String, String>) {
+fn cmd_evaluate(workload: Workload, profile: Profile, flags: &Flags) -> Result<(), String> {
     let graph = workload.build(profile);
     let cluster = Cluster::p100_quad();
-    let name = flags.get("placement").map(String::as_str).unwrap_or("gpu-only");
+    let name = flags.get("placement").unwrap_or("gpu-only");
     let Some(p) = named_placement(name, workload, &graph, &cluster) else {
-        eprintln!("unknown placement '{name}'");
-        return;
+        return Err(format!("unknown placement '{name}'"));
     };
-    let seed = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed = flags.parsed("seed", 42u64)?;
     let mut env = SimEnv::new(graph, cluster, seed);
+    let cfg = config_from_flags(flags)?;
+    arm_environment(&mut env, &cfg, flags)?;
     match env.evaluate(&p) {
         EvalOutcome::Valid { per_step_s } => {
             println!("{per_step_s:.4} s/step (15-step protocol, 5 warm-up discarded)")
         }
         EvalOutcome::Bad { cutoff_s } => println!("aborted: exceeded {cutoff_s:.0} s cutoff"),
         EvalOutcome::Invalid { oom } => println!("invalid: {oom}"),
+        EvalOutcome::TransientError { attempts, cutoff_s } => {
+            println!("transient error: gave up after {attempts} attempts, read as {cutoff_s:.0} s")
+        }
+        EvalOutcome::Straggler { slowdown, cutoff_s } => {
+            println!("straggler (×{slowdown}): aborted, read as {cutoff_s:.0} s")
+        }
     }
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: mars-cli <inspect|train|pretrain|trace|dot|evaluate> <workload> [--flags]\n       mars-cli metrics summarize <run.jsonl>\n(see --help in the module docs)";
-    if args.first().map(String::as_str) == Some("metrics") {
-        return cmd_metrics(&args[1..]);
+    let usage = "usage: mars-cli <inspect|train|pretrain|trace|dot|evaluate> <workload> [--flags]\n       mars-cli metrics summarize <run.jsonl>\n       mars-cli bench-gate --current <bench.json> [--baseline <bench.json>]\n(see --help in the module docs)";
+    match args.first().map(String::as_str) {
+        Some("metrics") => {
+            return match cmd_metrics(&args[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(e),
+            }
+        }
+        Some("bench-gate") => {
+            return match cmd_bench_gate(&Flags::parse(&args[1..])) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(e),
+            }
+        }
+        _ => {}
     }
     let (Some(cmd), Some(wname)) = (args.first(), args.get(1)) else {
-        eprintln!("{usage}");
-        return ExitCode::FAILURE;
+        return fail(usage);
     };
     let Some(workload) = parse_workload(wname) else {
-        eprintln!("unknown workload '{wname}'");
-        return ExitCode::FAILURE;
+        return fail(format!("unknown workload '{wname}'"));
     };
-    let flags = parse_flags(&args[2..]);
-    let profile = match flags.get("profile").map(String::as_str) {
-        Some("full") | Some("paper") => Profile::Paper,
-        _ => Profile::Reduced,
+    let flags = Flags::parse(&args[2..]);
+    let profile = match flags.one_of("profile", &["small", "full", "paper"], "small") {
+        Ok("full") | Ok("paper") => Profile::Paper,
+        Ok(_) => Profile::Reduced,
+        Err(e) => return fail(e),
     };
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "inspect" => cmd_inspect(workload, profile),
         "train" => cmd_train(workload, profile, &flags),
         "pretrain" => cmd_pretrain(workload, profile, &flags),
         "trace" => cmd_trace(workload, profile, &flags),
         "evaluate" => cmd_evaluate(workload, profile, &flags),
-        "dot" => {
-            let max_nodes =
-                flags.get("max-nodes").and_then(|s| s.parse().ok()).unwrap_or(usize::MAX);
+        "dot" => flags.parsed("max-nodes", usize::MAX).map(|max_nodes| {
             print!("{}", to_dot(&workload.build(profile), max_nodes));
-        }
-        other => {
-            eprintln!("unknown command '{other}'\n{usage}");
-            return ExitCode::FAILURE;
-        }
+        }),
+        other => Err(format!("unknown command '{other}'\n{usage}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
     }
-    ExitCode::SUCCESS
 }

@@ -10,4 +10,5 @@ pub use mars_sim as sim;
 pub use mars_telemetry as telemetry;
 pub use mars_tensor as tensor;
 
+pub mod cli;
 pub mod plot;

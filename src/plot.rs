@@ -53,21 +53,22 @@ const MARGIN_T: f64 = 36.0;
 const MARGIN_B: f64 = 48.0;
 
 fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    if !(hi > lo) || n == 0 {
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) || n == 0 {
         return vec![lo];
     }
     let raw_step = (hi - lo) / n as f64;
     let mag = 10f64.powf(raw_step.log10().floor());
     let norm = raw_step / mag;
-    let step = mag * if norm < 1.5 {
-        1.0
-    } else if norm < 3.0 {
-        2.0
-    } else if norm < 7.0 {
-        5.0
-    } else {
-        10.0
-    };
+    let step = mag
+        * if norm < 1.5 {
+            1.0
+        } else if norm < 3.0 {
+            2.0
+        } else if norm < 7.0 {
+            5.0
+        } else {
+            10.0
+        };
     let start = (lo / step).ceil() * step;
     let mut ticks = Vec::new();
     let mut t = start;
@@ -83,8 +84,7 @@ fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 /// # Panics
 /// If no series contains any point.
 pub fn render(config: &ChartConfig, series: &[Series]) -> String {
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     assert!(!all.is_empty(), "render() needs at least one data point");
 
     let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -162,11 +162,8 @@ pub fn render(config: &ChartConfig, series: &[Series]) -> String {
     };
     for t in y_ticks {
         let y = sy(t);
-        let label = if t.abs() >= 100.0 || t == t.floor() {
-            format!("{t:.0}")
-        } else {
-            format!("{t:.2}")
-        };
+        let label =
+            if t.abs() >= 100.0 || t == t.floor() { format!("{t:.0}") } else { format!("{t:.2}") };
         let _ = writeln!(
             svg,
             r#"<line x1="{}" y1="{y}" x2="{MARGIN_L}" y2="{y}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{label}</text>"#,

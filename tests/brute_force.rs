@@ -54,10 +54,7 @@ fn brute_force_optimum_splits_the_branches() {
     // With two independent branches of heavy compute and cheap
     // communication, the optimum parallelizes: it uses both devices.
     assert_eq!(best.devices_used().len(), 2, "optimum should split branches: {best:?}");
-    assert!(
-        t_best < 0.75 * t_single,
-        "parallel optimum {t_best} vs single-device {t_single}"
-    );
+    assert!(t_best < 0.75 * t_single, "parallel optimum {t_best} vs single-device {t_single}");
 }
 
 #[test]
@@ -79,8 +76,7 @@ fn brute_force_optimum_colocates_when_comm_dominates() {
 fn exhaustive_search_confirms_simulator_bounds() {
     let g = diamond();
     let c = two_gpu_cluster();
-    let serial: f64 =
-        g.nodes().iter().map(|n| mars::sim::cost::op_time(n, c.device(0))).sum();
+    let serial: f64 = g.nodes().iter().map(|n| mars::sim::cost::op_time(n, c.device(0))).sum();
     let n = g.num_nodes();
     for code in 0..(2u32.pow(n as u32)) {
         let assign: Vec<usize> = (0..n).map(|i| ((code >> i) & 1) as usize).collect();

@@ -43,7 +43,8 @@ fn dot_emits_graphviz() {
 
 #[test]
 fn evaluate_measures_placement() {
-    let out = cli().args(["evaluate", "inception", "--placement", "gpu-only"]).output().expect("run");
+    let out =
+        cli().args(["evaluate", "inception", "--placement", "gpu-only"]).output().expect("run");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("s/step"), "{text}");
@@ -62,6 +63,126 @@ fn missing_args_print_usage() {
     let out = cli().output().expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn malformed_numeric_flag_is_rejected() {
+    let out = cli().args(["train", "inception", "--budget", "lots"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid value 'lots' for --budget"), "{err}");
+}
+
+#[test]
+fn zero_eval_threads_is_rejected() {
+    let out = cli().args(["train", "inception", "--eval-threads", "0"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--eval-threads"), "{err}");
+}
+
+#[test]
+fn switch_with_value_is_rejected() {
+    let out = cli().args(["train", "inception", "--no-eval-cache", "yes"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--no-eval-cache") && err.contains("takes no value"), "{err}");
+}
+
+#[test]
+fn unknown_agent_lists_the_choices() {
+    let out = cli().args(["train", "inception", "--agent", "zeus"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("'zeus'") && err.contains("mars"), "{err}");
+}
+
+#[test]
+fn malformed_fault_plan_is_rejected() {
+    let out = cli().args(["evaluate", "inception", "--fault-plan", "bogus"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--fault-plan"), "{err}");
+}
+
+#[test]
+fn fault_plan_straggler_aborts_evaluation() {
+    let out = cli()
+        .args([
+            "evaluate",
+            "inception",
+            "--placement",
+            "gpu-only",
+            "--fault-plan",
+            "straggler:100000@0",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("straggler"), "{text}");
+}
+
+#[test]
+fn train_with_device_failure_reports_degraded_cluster() {
+    let out = cli()
+        .args([
+            "train",
+            "inception",
+            "--agent",
+            "mars-nopre",
+            "--budget",
+            "40",
+            "--seed",
+            "7",
+            "--fault-plan",
+            "fail:2@10",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fault plan armed"), "{text}");
+    assert!(text.contains("cluster degraded: failed devices [2]"), "{text}");
+}
+
+#[test]
+fn bench_gate_passes_against_itself() {
+    let out = cli()
+        .args(["bench-gate", "--current", "BENCH_e2e.json", "--baseline", "BENCH_e2e.json"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bench gate passed"), "{text}");
+    assert!(text.contains("ratio 1.000"), "{text}");
+}
+
+#[test]
+fn bench_gate_fails_on_regression() {
+    let dir = std::env::temp_dir().join("mars-cli-bench-gate");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let bad = dir.join("regressed.json");
+    std::fs::write(&bad, r#"{"speedup": 0.01}"#).expect("write");
+    let out = cli()
+        .args(["bench-gate", "--current", bad.to_str().expect("utf8"), "--min-ratio", "0.5"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success(), "a 100x regression must fail the gate");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("benchmark regression"), "{err}");
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn bench_gate_rejects_malformed_ratio() {
+    let out = cli()
+        .args(["bench-gate", "--current", "BENCH_e2e.json", "--min-ratio", "high"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid value 'high' for --min-ratio"), "{err}");
 }
 
 #[test]

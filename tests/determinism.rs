@@ -53,7 +53,10 @@ fn run(seed: u64, samples: usize) -> (Vec<f32>, TrainingLog) {
 /// The deterministic portion of a training trace, with floats reduced
 /// to their bit patterns so equality is exact (wall-clock fields are
 /// intentionally excluded).
-fn trace_bits(log: &TrainingLog) -> Vec<(usize, Option<u64>, Option<u64>, u64, u64, u64)> {
+/// One record's observable bits: (round, best, last, reward, entropy, loss).
+type TraceRow = (usize, Option<u64>, Option<u64>, u64, u64, u64);
+
+fn trace_bits(log: &TrainingLog) -> Vec<TraceRow> {
     log.records
         .iter()
         .map(|r| {
@@ -86,10 +89,7 @@ fn same_seed_runs_are_byte_identical() {
 
     // Final placement and its reading.
     assert_eq!(log_a.best_placement, log_b.best_placement);
-    assert_eq!(
-        log_a.best_reading_s.map(f64::to_bits),
-        log_b.best_reading_s.map(f64::to_bits)
-    );
+    assert_eq!(log_a.best_reading_s.map(f64::to_bits), log_b.best_reading_s.map(f64::to_bits));
 }
 
 #[test]
@@ -111,10 +111,7 @@ fn parallel_eval_is_bit_identical_to_serial() {
             "training trace diverged with threads={threads} cache={cache}"
         );
         assert_eq!(log_ref.best_placement, log.best_placement);
-        assert_eq!(
-            log_ref.best_reading_s.map(f64::to_bits),
-            log.best_reading_s.map(f64::to_bits)
-        );
+        assert_eq!(log_ref.best_reading_s.map(f64::to_bits), log.best_reading_s.map(f64::to_bits));
     }
 }
 

@@ -64,10 +64,8 @@ fn human_expert_gnmt_ordering_holds_at_paper_granularity() {
     let c = Cluster::p100_quad();
     let g = Workload::Gnmt4.build(Profile::Paper);
     let env = SimEnv::new(g.clone(), c.clone(), 0);
-    let human = env
-        .true_step_time(&human_expert(Workload::Gnmt4, &g, &c))
-        .expect("valid")
-        .makespan_s;
+    let human =
+        env.true_step_time(&human_expert(Workload::Gnmt4, &g, &c)).expect("valid").makespan_s;
     let mut rr = Placement::round_robin(&g, &[1, 2, 3, 4]);
     rr.enforce_compatibility(&g, &c);
     let pipelined = env.true_step_time(&rr).expect("valid").makespan_s;

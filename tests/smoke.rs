@@ -25,8 +25,7 @@ fn tiny_pipeline_produces_finite_losses_and_valid_placement() {
     let input = WorkloadInput::from_graph(&graph);
     let cluster = Cluster::p100_quad();
     let mut rng = StdRng::seed_from_u64(7);
-    let mut agent =
-        Agent::new(AgentKind::Mars, cfg, FEATURE_DIM, cluster.num_devices(), &mut rng);
+    let mut agent = Agent::new(AgentKind::Mars, cfg, FEATURE_DIM, cluster.num_devices(), &mut rng);
 
     // DGI pre-training: every contrastive loss must be finite, and the
     // best loss must actually come from the curve.

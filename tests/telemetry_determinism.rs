@@ -39,7 +39,10 @@ fn run(seed: u64, samples: usize) -> (Vec<f32>, TrainingLog) {
 
 /// The deterministic portion of a training trace, floats as bits
 /// (wall-clock fields excluded).
-fn trace_bits(log: &TrainingLog) -> Vec<(usize, Option<u64>, Option<u64>, u64, u64, u64)> {
+/// One record's observable bits: (round, best, last, reward, entropy, loss).
+type TraceRow = (usize, Option<u64>, Option<u64>, u64, u64, u64);
+
+fn trace_bits(log: &TrainingLog) -> Vec<TraceRow> {
     log.records
         .iter()
         .map(|r| {
@@ -85,8 +88,5 @@ fn telemetry_does_not_perturb_training() {
     }
     assert_eq!(trace_bits(&log_off), trace_bits(&log_on));
     assert_eq!(log_off.best_placement, log_on.best_placement);
-    assert_eq!(
-        log_off.best_reading_s.map(f64::to_bits),
-        log_on.best_reading_s.map(f64::to_bits)
-    );
+    assert_eq!(log_off.best_reading_s.map(f64::to_bits), log_on.best_reading_s.map(f64::to_bits));
 }
