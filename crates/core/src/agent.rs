@@ -377,8 +377,11 @@ impl Agent {
             // Draw the whole round up front (the agent RNG stream is
             // identical to the old one-at-a-time loop), then hand the
             // placements to the environment as one batch so it can
-            // evaluate them concurrently / from its memo cache.
-            // Outcomes come back in sample order.
+            // evaluate them concurrently, from its memo cache, or via
+            // an installed `EvalBackend` (e.g. a `mars-net` worker
+            // fleet). Outcomes come back in sample order and backends
+            // only run the pure compute phase, so where the work ran
+            // is invisible in the trace.
             let sampled: Vec<_> = (0..round).map(|_| sample_actions(&probs, rng)).collect();
             let placements: Vec<Placement> =
                 sampled.iter().map(|(actions, _)| Placement(actions.clone())).collect();

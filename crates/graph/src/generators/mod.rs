@@ -38,6 +38,26 @@ pub enum Profile {
     Reduced,
 }
 
+impl Profile {
+    /// Canonical lowercase name (`"paper"` / `"reduced"`), stable for
+    /// wire protocols and config files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Paper => "paper",
+            Profile::Reduced => "reduced",
+        }
+    }
+
+    /// Parse a canonical name back into a profile.
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s {
+            "paper" => Some(Profile::Paper),
+            "reduced" => Some(Profile::Reduced),
+            _ => None,
+        }
+    }
+}
+
 /// The workloads used in the paper's evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Workload {
@@ -71,6 +91,24 @@ impl Workload {
         Workload::Resnet50,
         Workload::Gpt2Small,
     ];
+
+    /// Parse a workload from its canonical name or the short aliases
+    /// the CLI accepts (`"inception"`, `"gnmt"`, …). The single
+    /// name→workload mapping shared by the CLI and the fleet wire
+    /// protocol.
+    pub fn parse(s: &str) -> Option<Workload> {
+        Some(match s {
+            "inception" | "inception_v3" => Workload::InceptionV3,
+            "gnmt" | "gnmt4" => Workload::Gnmt4,
+            "bert" | "bert_base" => Workload::BertBase,
+            "vgg" | "vgg16" => Workload::Vgg16,
+            "seq2seq" => Workload::Seq2Seq,
+            "transformer" => Workload::Transformer,
+            "resnet" | "resnet50" => Workload::Resnet50,
+            "gpt2" | "gpt2_small" => Workload::Gpt2Small,
+            _ => return None,
+        })
+    }
 
     /// Canonical name.
     pub fn name(self) -> &'static str {

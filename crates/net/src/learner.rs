@@ -1,0 +1,451 @@
+//! The learner side of the fleet: an [`EvalBackend`] that shards each
+//! round's compute jobs across remote worker processes.
+//!
+//! # Commit-order discipline (why this is bit-deterministic)
+//!
+//! The learner keeps everything order-sensitive local: the PPO agent
+//! samples every placement serially from its own RNG stream, and
+//! `SimEnv` normalizes, caches, applies commit faults, and commits
+//! outcomes in sample order — exactly as in-process. What ships to a
+//! worker is only the *pure* compute phase, a function of
+//! `(graph, cluster, env seed, placement)` with no hidden state.
+//! Results are slotted back by placement index, never by arrival
+//! order, so worker count, shard boundaries, scheduling, and even
+//! worker restarts cannot reorder a single observable effect.
+//!
+//! # Failure handling
+//!
+//! A worker that disconnects (or corrupts a frame) mid-unit is dropped
+//! from the fleet and its shard is re-dispatched to the survivors;
+//! with no survivors the learner computes the remainder locally.
+//! Because the computation is pure, the retry reproduces the lost
+//! results bit for bit — a disconnect costs wall-clock, never trace
+//! fidelity.
+
+use crate::msg::{EnvSetup, Msg, PROTOCOL_VERSION};
+use crate::transport::{recv_msg, send_msg, Addr, Conn, Listener};
+use mars_sim::{Environment, EvalBackend, EvalComputation, Placement, SimEnv};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long the learner waits for a worker to finish one unit before
+/// declaring it lost. Generous: a unit is at most one round's shard.
+const UNIT_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// How long `spawn` waits for its own child processes to dial in.
+const SPAWN_ACCEPT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long `listen` waits for externally started workers.
+const LISTEN_ACCEPT_TIMEOUT: Duration = Duration::from_secs(600);
+
+struct WorkerLink {
+    conn: Conn,
+    id: u32,
+}
+
+/// A fleet of rollout workers behind the [`EvalBackend`] interface.
+///
+/// Construction: [`FleetBackend::spawn`] (fork N worker processes over
+/// a private socket), [`FleetBackend::listen`] (wait for N external
+/// workers on a given address), or [`FleetBackend::over_conns`]
+/// (adopt already-connected transports — how tests and the bench run
+/// workers as in-process threads). Dropping the backend shuts the
+/// fleet down: workers get a `Shutdown` message, spawned children are
+/// reaped, and a bound Unix socket file is removed.
+pub struct FleetBackend {
+    workers: Vec<WorkerLink>,
+    next_unit: u64,
+    children: Vec<Child>,
+    socket_path: Option<PathBuf>,
+    transport: String,
+}
+
+impl FleetBackend {
+    /// Adopt pre-connected worker transports: handshake each
+    /// connection (expect `Hello`, answer `Welcome` with `setup`).
+    pub fn over_conns(conns: Vec<Conn>, setup: &EnvSetup) -> Result<FleetBackend, String> {
+        if conns.is_empty() {
+            return Err("a fleet needs at least one worker connection".into());
+        }
+        let mut workers = Vec::with_capacity(conns.len());
+        for (i, mut conn) in conns.into_iter().enumerate() {
+            let id = i as u32;
+            handshake(&mut conn, id, setup).map_err(|e| format!("worker {id}: {e}"))?;
+            workers.push(WorkerLink { conn, id });
+        }
+        mars_telemetry::counter("net.workers_connected").add(workers.len() as u64);
+        Ok(FleetBackend {
+            workers,
+            next_unit: 0,
+            children: Vec::new(),
+            socket_path: None,
+            transport: "adopted connections".into(),
+        })
+    }
+
+    /// Spawn `n` worker processes running `program args… --connect
+    /// <private address>` and adopt them. The private rendezvous is a
+    /// Unix socket in the temp directory where available, loopback TCP
+    /// otherwise. Children write to the learner's stderr but their
+    /// stdout is discarded (the learner's stdout is the user's trace).
+    pub fn spawn(
+        n: usize,
+        setup: &EnvSetup,
+        program: &Path,
+        args: &[&str],
+    ) -> Result<FleetBackend, String> {
+        if n == 0 {
+            return Err("a fleet needs at least one worker".into());
+        }
+        let (listener, addr, socket_path) = private_listener()?;
+        let mut children: Vec<Child> = Vec::with_capacity(n);
+        let spawn_all = || -> Result<Vec<Child>, String> {
+            (0..n)
+                .map(|_| {
+                    Command::new(program)
+                        .args(args)
+                        .arg("--connect")
+                        .arg(addr.to_string())
+                        .stdout(Stdio::null())
+                        .spawn()
+                        .map_err(|e| format!("cannot spawn worker '{}': {e}", program.display()))
+                })
+                .collect()
+        };
+        match spawn_all() {
+            Ok(c) => children = c,
+            Err(e) => {
+                cleanup(&mut children, &socket_path);
+                return Err(e);
+            }
+        }
+        let fleet = accept_fleet(&listener, n, SPAWN_ACCEPT_TIMEOUT, setup);
+        match fleet {
+            Ok(mut fleet) => {
+                fleet.children = children;
+                fleet.socket_path = socket_path;
+                fleet.transport = addr.to_string();
+                Ok(fleet)
+            }
+            Err(e) => {
+                cleanup(&mut children, &socket_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// Bind `addr` and wait for `n` externally started workers
+    /// (`mars-cli train <workload> --connect ADDR`) to dial in.
+    pub fn listen(addr: &Addr, n: usize, setup: &EnvSetup) -> Result<FleetBackend, String> {
+        if n == 0 {
+            return Err("a fleet needs at least one worker".into());
+        }
+        let listener = Listener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let mut fleet = accept_fleet(&listener, n, LISTEN_ACCEPT_TIMEOUT, setup)?;
+        fleet.socket_path = addr.unix_path().cloned();
+        fleet.transport = addr.to_string();
+        Ok(fleet)
+    }
+
+    /// Live worker count (shrinks as workers are lost).
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Human-readable transport description for status lines.
+    pub fn transport(&self) -> &str {
+        &self.transport
+    }
+
+    /// Split `pending` into contiguous, balanced shards — one per live
+    /// worker, earlier workers taking the remainder.
+    fn shards(pending: &[usize], workers: usize) -> Vec<Vec<usize>> {
+        let base = pending.len() / workers;
+        let extra = pending.len() % workers;
+        let mut out = Vec::with_capacity(workers);
+        let mut at = 0;
+        for w in 0..workers {
+            let take = base + usize::from(w < extra);
+            out.push(pending[at..at + take].to_vec());
+            at += take;
+        }
+        out
+    }
+}
+
+impl EvalBackend for FleetBackend {
+    fn compute_batch(
+        &mut self,
+        env: &SimEnv,
+        placements: &[&Placement],
+    ) -> Vec<(EvalComputation, f64)> {
+        let _span = mars_telemetry::span("net.fleet.compute_batch");
+        let mut results: Vec<Option<(EvalComputation, f64)>> = vec![None; placements.len()];
+        let mut pending: Vec<usize> = (0..placements.len()).collect();
+        let failed = env.cluster().failed_ids();
+
+        while !pending.is_empty() && !self.workers.is_empty() {
+            let shards = Self::shards(&pending, self.workers.len());
+            // Dispatch every shard before collecting any result, so
+            // workers compute concurrently.
+            let mut inflight: Vec<(usize, u64, Vec<usize>, Instant)> = Vec::new();
+            let mut lost: Vec<usize> = Vec::new();
+            let mut requeued: Vec<usize> = Vec::new();
+            for (w, shard) in shards.into_iter().enumerate() {
+                if shard.is_empty() {
+                    continue;
+                }
+                let unit = self.next_unit;
+                self.next_unit += 1;
+                let msg = Msg::Work {
+                    unit,
+                    failed_devices: failed.clone(),
+                    placements: shard.iter().map(|&i| placements[i].0.clone()).collect(),
+                };
+                match send_msg(&mut self.workers[w].conn, &msg) {
+                    Ok(()) => inflight.push((w, unit, shard, Instant::now())),
+                    Err(e) => {
+                        report_lost(self.workers[w].id, shard.len(), &e);
+                        lost.push(w);
+                        requeued.extend(shard);
+                    }
+                }
+            }
+            for (w, unit, shard, t0) in inflight {
+                match collect_unit(&mut self.workers[w].conn, unit, shard.len()) {
+                    Ok(comps) => {
+                        let latency = t0.elapsed().as_secs_f64();
+                        unit_telemetry(self.workers[w].id, shard.len(), latency);
+                        for (k, &i) in shard.iter().enumerate() {
+                            results[i] = Some(comps[k].clone());
+                        }
+                    }
+                    Err(e) => {
+                        report_lost(self.workers[w].id, shard.len(), &e);
+                        lost.push(w);
+                        requeued.extend(shard);
+                    }
+                }
+            }
+            lost.sort_unstable();
+            lost.dedup();
+            for w in lost.into_iter().rev() {
+                self.workers.remove(w);
+            }
+            pending = requeued;
+        }
+
+        // No workers left: the learner is its own fleet of one. The
+        // computation is pure, so this fallback is bit-identical.
+        for i in pending {
+            let t0 = Instant::now();
+            let comp = env.compute(placements[i]);
+            results[i] = Some((comp, t0.elapsed().as_secs_f64()));
+        }
+        results.into_iter().map(|r| r.expect("every placement computed")).collect()
+    }
+
+    fn label(&self) -> String {
+        format!("fleet:{}", self.workers.len())
+    }
+}
+
+impl Drop for FleetBackend {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            let _ = send_msg(&mut w.conn, &Msg::Shutdown);
+        }
+        // Dropping the connections closes them; workers also exit on
+        // the EOF if the Shutdown frame was lost.
+        self.workers.clear();
+        reap(&mut self.children);
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Expect `Hello`, verify the protocol version, answer `Welcome`.
+fn handshake(conn: &mut Conn, worker_id: u32, setup: &EnvSetup) -> Result<(), String> {
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+    match recv_msg(conn)? {
+        Some(Msg::Hello { version }) if version == PROTOCOL_VERSION => {}
+        Some(Msg::Hello { version }) => {
+            let refusal =
+                format!("protocol version mismatch: learner {PROTOCOL_VERSION}, worker {version}");
+            let _ = send_msg(conn, &Msg::Error { message: refusal.clone() });
+            return Err(refusal);
+        }
+        other => return Err(format!("expected hello, got {other:?}")),
+    }
+    send_msg(conn, &Msg::Welcome { version: PROTOCOL_VERSION, worker_id, setup: setup.clone() })?;
+    let _ = conn.set_read_timeout(Some(UNIT_TIMEOUT));
+    Ok(())
+}
+
+fn accept_fleet(
+    listener: &Listener,
+    n: usize,
+    timeout: Duration,
+    setup: &EnvSetup,
+) -> Result<FleetBackend, String> {
+    let deadline = Instant::now() + timeout;
+    let mut conns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let left = deadline.saturating_duration_since(Instant::now());
+        let conn =
+            listener.accept_timeout(left).map_err(|e| format!("worker never connected: {e}"))?;
+        conns.push(conn);
+    }
+    FleetBackend::over_conns(conns, setup)
+}
+
+/// Read messages until `unit`'s results arrive; anything else on the
+/// wire at this point is a protocol violation (the worker is lost).
+fn collect_unit(
+    conn: &mut Conn,
+    unit: u64,
+    expected: usize,
+) -> Result<Vec<(EvalComputation, f64)>, String> {
+    match recv_msg(conn)? {
+        Some(Msg::Results { unit: got, comps }) if got == unit => {
+            if comps.len() != expected {
+                return Err(format!(
+                    "unit {unit}: worker returned {} results for {expected} placements",
+                    comps.len()
+                ));
+            }
+            Ok(comps)
+        }
+        Some(Msg::Results { unit: got, .. }) => {
+            Err(format!("unit {unit}: out-of-order answer for unit {got}"))
+        }
+        Some(Msg::Error { message }) => Err(format!("worker error: {message}")),
+        Some(other) => Err(format!("unit {unit}: unexpected message {other:?}")),
+        None => Err(format!("unit {unit}: worker hung up")),
+    }
+}
+
+fn report_lost(worker_id: u32, shard_len: usize, err: &str) {
+    mars_telemetry::counter("net.worker_lost").inc();
+    mars_telemetry::counter("net.units_retried").add(shard_len as u64);
+    if mars_telemetry::active() {
+        mars_telemetry::event(
+            "net.worker_lost",
+            &[
+                ("worker", (worker_id as f64).into()),
+                ("requeued", (shard_len as f64).into()),
+                ("error", err.into()),
+            ],
+        );
+    }
+    eprintln!("fleet: worker {worker_id} lost ({err}); re-dispatching {shard_len} placements");
+}
+
+fn unit_telemetry(worker_id: u32, size: usize, latency_s: f64) {
+    mars_telemetry::counter("net.units_completed").inc();
+    mars_telemetry::gauge("net.unit_latency_s", latency_s);
+    if mars_telemetry::active() {
+        mars_telemetry::event(
+            "net.unit",
+            &[
+                ("worker", (worker_id as f64).into()),
+                ("placements", (size as f64).into()),
+                ("latency_s", latency_s.into()),
+            ],
+        );
+    }
+}
+
+/// A listener on a private rendezvous address for spawned workers:
+/// a fresh Unix socket path under the temp dir where available,
+/// loopback TCP (kernel-assigned port) otherwise. Returns the
+/// listener, the dial address, and the socket file to unlink on drop.
+fn private_listener() -> Result<(Listener, Addr, Option<PathBuf>), String> {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    #[cfg(unix)]
+    {
+        let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("mars-fleet-{}-{nonce}.sock", std::process::id()));
+        let addr = Addr::Unix(path.clone());
+        let listener = Listener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        Ok((listener, addr, Some(path)))
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = &NONCE;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| format!("cannot bind loopback: {e}"))?;
+        let addr = Addr::Tcp(
+            listener.local_addr().map_err(|e| format!("no local addr: {e}"))?.to_string(),
+        );
+        Ok((Listener::Tcp(listener), addr, None))
+    }
+}
+
+fn cleanup(children: &mut Vec<Child>, socket_path: &Option<PathBuf>) {
+    for c in children.iter_mut() {
+        let _ = c.kill();
+    }
+    reap(children);
+    if let Some(path) = socket_path {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Wait for children with a deadline; anything still alive after it is
+/// killed (a worker that ignores both `Shutdown` and EOF is wedged).
+fn reap(children: &mut Vec<Child>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for c in children.iter_mut() {
+        loop {
+            match c.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                    break;
+                }
+            }
+        }
+    }
+    children.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_contiguous_and_balanced() {
+        let pending: Vec<usize> = (0..10).collect();
+        let shards = FleetBackend::shards(&pending, 3);
+        assert_eq!(shards, vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]);
+        let shards = FleetBackend::shards(&pending, 4);
+        assert_eq!(shards.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+        let one = FleetBackend::shards(&pending[..1], 4);
+        assert_eq!(one.iter().map(Vec::len).sum::<usize>(), 1);
+        assert_eq!(one[0], vec![0]);
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let (mut learner_end, mut worker_end) = Conn::pair().expect("pair");
+        let t = std::thread::spawn(move || {
+            send_msg(&mut worker_end, &Msg::Hello { version: PROTOCOL_VERSION + 1 })
+                .expect("send hello");
+            recv_msg(&mut worker_end)
+        });
+        let setup = crate::worker::tests_setup();
+        let err = handshake(&mut learner_end, 0, &setup).expect_err("must refuse");
+        assert!(err.contains("version mismatch"), "{err}");
+        let refusal = t.join().expect("worker thread").expect("recv");
+        assert!(matches!(refusal, Some(Msg::Error { .. })), "{refusal:?}");
+    }
+}

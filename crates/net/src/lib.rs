@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Distributed actor–learner fleet with a bit-deterministic wire
+//! protocol (std-only; see DESIGN.md §"Fleet wire protocol").
+//!
+//! Layers, bottom up:
+//!
+//! * [`frame`] — length-prefixed frames: a 16-byte header (magic,
+//!   payload length, FNV-1a checksum) in front of an opaque payload.
+//!   Truncated, oversized, and corrupt frames are rejected as typed
+//!   errors, never panics.
+//! * [`msg`] — the message vocabulary (`Hello`/`Welcome`/`Work`/
+//!   `Results`/`Shutdown`/`Error`) as mars-json payloads. Every float
+//!   and 64-bit integer crosses the wire as the hex string of its raw
+//!   bits, so results decode bit-exactly — including NaN payloads.
+//! * [`transport`] — one address grammar (`host:port` or
+//!   `unix:<path>`), with [`transport::Conn`] unifying TCP and Unix
+//!   streams and `send_msg`/`recv_msg` bumping the `net.*` telemetry
+//!   counters.
+//! * [`worker`] — the pure evaluation server a
+//!   `train … --connect ADDR` process runs.
+//! * [`learner`] — [`learner::FleetBackend`], the
+//!   [`mars_sim::EvalBackend`] that shards compute across workers
+//!   while all sampling, caching, fault firing, and commits stay
+//!   local and serial. Worker count is invisible in the trace.
+
+pub mod frame;
+pub mod learner;
+pub mod msg;
+pub mod transport;
+pub mod worker;
+
+pub use frame::{Decoder, FrameError, HEADER_LEN, MAX_PAYLOAD};
+pub use learner::FleetBackend;
+pub use msg::{EnvSetup, Msg, PROTOCOL_VERSION};
+pub use transport::{recv_msg, send_msg, Addr, Conn, Listener};

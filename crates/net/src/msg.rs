@@ -1,0 +1,468 @@
+//! Fleet protocol messages: typed views over mars-json payloads.
+//!
+//! # Bit-exact floats on the wire
+//!
+//! mars-json prints finite `f64`s with shortest-roundtrip precision
+//! but maps NaN/Inf to `null` — and evaluation results legitimately
+//! carry NaN (`makespan_s`/`comm_s` of an OOM placement). Every float
+//! and every 64-bit integer on the wire is therefore encoded as a
+//! 16-digit hex string of its raw bits (`f64::to_bits`), making the
+//! protocol bit-transparent by construction: what the worker computed
+//! is what the learner commits, NaN payloads included.
+//!
+//! # Message flow
+//!
+//! ```text
+//! worker                      learner
+//!   | -- Hello{version} -------> |
+//!   | <- Welcome{id, setup} ---- |   (env built from EnvSetup)
+//!   | <- Work{unit, failed, ps}- |   (repeated)
+//!   | -- Results{unit, comps} -> |
+//!   | <- Shutdown -------------- |
+//! ```
+
+use mars_json::Json;
+use mars_sim::{EvalComputation, EvalOutcome, OomError};
+
+/// Protocol version; bumped on any wire-visible change. A learner and
+/// worker with different versions refuse to pair.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Encode an `f64` as its raw bits in hex (bit-exact, NaN-safe).
+pub fn f64_to_wire(x: f64) -> Json {
+    Json::from(format!("{:016x}", x.to_bits()))
+}
+
+/// Decode an `f64` from its hex bit pattern.
+pub fn f64_from_wire(j: Option<&Json>, field: &str) -> Result<f64, String> {
+    u64_from_wire(j, field).map(f64::from_bits)
+}
+
+/// Encode a `u64` as a hex string (JSON numbers are f64s and cannot
+/// carry all 64 bits).
+pub fn u64_to_wire(x: u64) -> Json {
+    Json::from(format!("{x:016x}"))
+}
+
+/// Decode a `u64` from its hex string.
+pub fn u64_from_wire(j: Option<&Json>, field: &str) -> Result<u64, String> {
+    let s =
+        j.and_then(Json::as_str).ok_or_else(|| format!("missing or non-string '{field}' field"))?;
+    u64::from_str_radix(s, 16).map_err(|_| format!("malformed hex bits '{s}' in '{field}'"))
+}
+
+fn usize_field(j: &Json, field: &str) -> Result<usize, String> {
+    j.get(field)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| format!("missing or non-numeric '{field}' field"))
+}
+
+/// Everything a worker needs to rebuild the learner's environment so
+/// that its pure `SimEnv::compute` is bit-identical to the learner's:
+/// workload + profile (graph), seed (measurement noise), fault plan
+/// (validated, never fired worker-side — commit faults are applied at
+/// the learner's commit point), and the measurement-protocol knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnvSetup {
+    /// Canonical workload name (`mars_graph::generators::Workload::name`).
+    pub workload: String,
+    /// Graph profile: `"paper"` or `"reduced"`.
+    pub profile: String,
+    /// Environment seed (noise streams derive from it).
+    pub seed: u64,
+    /// Fault-plan spec string (empty = no plan).
+    pub fault_plan: String,
+    /// Per-step cutoff marking placements bad.
+    pub bad_cutoff_s: f64,
+    /// Reading assigned to invalid (OOM) placements.
+    pub invalid_penalty_s: f64,
+    /// Relative measurement-noise standard deviation.
+    pub noise_sigma: f64,
+    /// Steps per evaluation (warm-up included).
+    pub steps_per_eval: usize,
+    /// Warm-up steps discarded.
+    pub warmup_steps: usize,
+}
+
+impl EnvSetup {
+    /// JSON encoding.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(self.workload.as_str())),
+            ("profile", Json::from(self.profile.as_str())),
+            ("seed", u64_to_wire(self.seed)),
+            ("fault_plan", Json::from(self.fault_plan.as_str())),
+            ("bad_cutoff_s", f64_to_wire(self.bad_cutoff_s)),
+            ("invalid_penalty_s", f64_to_wire(self.invalid_penalty_s)),
+            ("noise_sigma", f64_to_wire(self.noise_sigma)),
+            ("steps_per_eval", Json::from(self.steps_per_eval as f64)),
+            ("warmup_steps", Json::from(self.warmup_steps as f64)),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(j: &Json) -> Result<EnvSetup, String> {
+        let text = |field: &str| -> Result<String, String> {
+            j.get(field)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string '{field}' field"))
+        };
+        Ok(EnvSetup {
+            workload: text("workload")?,
+            profile: text("profile")?,
+            seed: u64_from_wire(j.get("seed"), "seed")?,
+            fault_plan: text("fault_plan")?,
+            bad_cutoff_s: f64_from_wire(j.get("bad_cutoff_s"), "bad_cutoff_s")?,
+            invalid_penalty_s: f64_from_wire(j.get("invalid_penalty_s"), "invalid_penalty_s")?,
+            noise_sigma: f64_from_wire(j.get("noise_sigma"), "noise_sigma")?,
+            steps_per_eval: usize_field(j, "steps_per_eval")?,
+            warmup_steps: usize_field(j, "warmup_steps")?,
+        })
+    }
+}
+
+fn outcome_to_json(o: &EvalOutcome) -> Json {
+    match o {
+        EvalOutcome::Valid { per_step_s } => {
+            Json::obj([("kind", Json::from("valid")), ("per_step_s", f64_to_wire(*per_step_s))])
+        }
+        EvalOutcome::Bad { cutoff_s } => {
+            Json::obj([("kind", Json::from("bad")), ("cutoff_s", f64_to_wire(*cutoff_s))])
+        }
+        EvalOutcome::Invalid { oom } => Json::obj([
+            ("kind", Json::from("invalid")),
+            ("device", Json::from(oom.device as f64)),
+            ("required_bytes", u64_to_wire(oom.required_bytes)),
+            ("capacity_bytes", u64_to_wire(oom.capacity_bytes)),
+        ]),
+        EvalOutcome::TransientError { attempts, cutoff_s } => Json::obj([
+            ("kind", Json::from("transient_error")),
+            ("attempts", Json::from(*attempts as f64)),
+            ("cutoff_s", f64_to_wire(*cutoff_s)),
+        ]),
+        EvalOutcome::Straggler { slowdown, cutoff_s } => Json::obj([
+            ("kind", Json::from("straggler")),
+            ("slowdown", f64_to_wire(*slowdown)),
+            ("cutoff_s", f64_to_wire(*cutoff_s)),
+        ]),
+    }
+}
+
+fn outcome_from_json(j: &Json) -> Result<EvalOutcome, String> {
+    match j.get("kind").and_then(Json::as_str) {
+        Some("valid") => {
+            Ok(EvalOutcome::Valid { per_step_s: f64_from_wire(j.get("per_step_s"), "per_step_s")? })
+        }
+        Some("bad") => {
+            Ok(EvalOutcome::Bad { cutoff_s: f64_from_wire(j.get("cutoff_s"), "cutoff_s")? })
+        }
+        Some("invalid") => Ok(EvalOutcome::Invalid {
+            oom: OomError {
+                device: usize_field(j, "device")?,
+                required_bytes: u64_from_wire(j.get("required_bytes"), "required_bytes")?,
+                capacity_bytes: u64_from_wire(j.get("capacity_bytes"), "capacity_bytes")?,
+            },
+        }),
+        Some("transient_error") => Ok(EvalOutcome::TransientError {
+            attempts: usize_field(j, "attempts")? as u32,
+            cutoff_s: f64_from_wire(j.get("cutoff_s"), "cutoff_s")?,
+        }),
+        Some("straggler") => Ok(EvalOutcome::Straggler {
+            slowdown: f64_from_wire(j.get("slowdown"), "slowdown")?,
+            cutoff_s: f64_from_wire(j.get("cutoff_s"), "cutoff_s")?,
+        }),
+        other => Err(format!("unknown outcome kind {other:?}")),
+    }
+}
+
+/// Encode one evaluation result (computation + the worker's compute
+/// wall-seconds, telemetry only).
+pub fn comp_to_json(comp: &EvalComputation, wall_s: f64) -> Json {
+    Json::obj([
+        ("outcome", outcome_to_json(&comp.outcome)),
+        ("machine_s", f64_to_wire(comp.machine_s)),
+        ("makespan_s", f64_to_wire(comp.makespan_s)),
+        ("comm_s", f64_to_wire(comp.comm_s)),
+        ("num_transfers", Json::from(comp.num_transfers as f64)),
+        ("peak_mem_utilization", f64_to_wire(comp.peak_mem_utilization)),
+        ("wall_s", f64_to_wire(wall_s)),
+    ])
+}
+
+/// Decode one evaluation result.
+pub fn comp_from_json(j: &Json) -> Result<(EvalComputation, f64), String> {
+    let outcome = outcome_from_json(j.get("outcome").ok_or("missing 'outcome' field in result")?)?;
+    Ok((
+        EvalComputation {
+            outcome,
+            machine_s: f64_from_wire(j.get("machine_s"), "machine_s")?,
+            makespan_s: f64_from_wire(j.get("makespan_s"), "makespan_s")?,
+            comm_s: f64_from_wire(j.get("comm_s"), "comm_s")?,
+            num_transfers: usize_field(j, "num_transfers")?,
+            peak_mem_utilization: f64_from_wire(
+                j.get("peak_mem_utilization"),
+                "peak_mem_utilization",
+            )?,
+        },
+        f64_from_wire(j.get("wall_s"), "wall_s")?,
+    ))
+}
+
+/// One fleet protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Worker → learner greeting.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Learner → worker: accepted; build this environment.
+    Welcome {
+        /// The learner's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// This worker's id (telemetry labels only).
+        worker_id: u32,
+        /// Environment recipe.
+        setup: EnvSetup,
+    },
+    /// Learner → worker: one work unit of enforced placements to
+    /// compute. `failed_devices` mirrors the learner's degraded
+    /// cluster so the worker's environment fingerprint stays in sync.
+    Work {
+        /// Monotonic unit id; echoed back in [`Msg::Results`].
+        unit: u64,
+        /// Devices failed on the learner's cluster so far.
+        failed_devices: Vec<usize>,
+        /// Compatibility-enforced, failure-remapped placements.
+        placements: Vec<Vec<usize>>,
+    },
+    /// Worker → learner: the unit's computations, in placement order.
+    Results {
+        /// The unit being answered.
+        unit: u64,
+        /// One `(computation, compute_wall_s)` per placement.
+        comps: Vec<(EvalComputation, f64)>,
+    },
+    /// Learner → worker: drain and exit cleanly.
+    Shutdown,
+    /// Either direction: fatal protocol-level failure.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Msg {
+    /// JSON encoding (the frame payload).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Msg::Hello { version } => {
+                Json::obj([("type", Json::from("hello")), ("version", Json::from(*version as f64))])
+            }
+            Msg::Welcome { version, worker_id, setup } => Json::obj([
+                ("type", Json::from("welcome")),
+                ("version", Json::from(*version as f64)),
+                ("worker_id", Json::from(*worker_id as f64)),
+                ("setup", setup.to_json()),
+            ]),
+            Msg::Work { unit, failed_devices, placements } => Json::obj([
+                ("type", Json::from("work")),
+                ("unit", u64_to_wire(*unit)),
+                ("failed_devices", Json::arr(failed_devices.iter().map(|&d| Json::from(d as f64)))),
+                (
+                    "placements",
+                    Json::arr(
+                        placements
+                            .iter()
+                            .map(|p| Json::arr(p.iter().map(|&d| Json::from(d as f64)))),
+                    ),
+                ),
+            ]),
+            Msg::Results { unit, comps } => Json::obj([
+                ("type", Json::from("results")),
+                ("unit", u64_to_wire(*unit)),
+                ("comps", Json::arr(comps.iter().map(|(c, w)| comp_to_json(c, *w)))),
+            ]),
+            Msg::Shutdown => Json::obj([("type", Json::from("shutdown"))]),
+            Msg::Error { message } => Json::obj([
+                ("type", Json::from("error")),
+                ("message", Json::from(message.as_str())),
+            ]),
+        }
+    }
+
+    /// Decode a frame payload.
+    pub fn from_json(j: &Json) -> Result<Msg, String> {
+        let usize_list = |j: &Json, field: &str| -> Result<Vec<usize>, String> {
+            j.as_array()
+                .ok_or_else(|| format!("'{field}' is not an array"))?
+                .iter()
+                .map(|d| d.as_usize().ok_or_else(|| format!("non-integer entry in '{field}'")))
+                .collect()
+        };
+        match j.get("type").and_then(Json::as_str) {
+            Some("hello") => Ok(Msg::Hello { version: usize_field(j, "version")? as u32 }),
+            Some("welcome") => Ok(Msg::Welcome {
+                version: usize_field(j, "version")? as u32,
+                worker_id: usize_field(j, "worker_id")? as u32,
+                setup: EnvSetup::from_json(j.get("setup").ok_or("welcome has no 'setup'")?)?,
+            }),
+            Some("work") => Ok(Msg::Work {
+                unit: u64_from_wire(j.get("unit"), "unit")?,
+                failed_devices: usize_list(
+                    j.get("failed_devices").ok_or("work has no 'failed_devices'")?,
+                    "failed_devices",
+                )?,
+                placements: j
+                    .get("placements")
+                    .and_then(Json::as_array)
+                    .ok_or("work has no 'placements' array")?
+                    .iter()
+                    .map(|p| usize_list(p, "placements"))
+                    .collect::<Result<_, _>>()?,
+            }),
+            Some("results") => Ok(Msg::Results {
+                unit: u64_from_wire(j.get("unit"), "unit")?,
+                comps: j
+                    .get("comps")
+                    .and_then(Json::as_array)
+                    .ok_or("results has no 'comps' array")?
+                    .iter()
+                    .map(comp_from_json)
+                    .collect::<Result<_, _>>()?,
+            }),
+            Some("shutdown") => Ok(Msg::Shutdown),
+            Some("error") => Ok(Msg::Error {
+                message: j
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("(no message)")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown message type {other:?}")),
+        }
+    }
+
+    /// Serialize to the frame payload bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_json().to_string().into_bytes()
+    }
+
+    /// Parse from frame payload bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Msg, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("non-UTF-8 payload: {e}"))?;
+        let json = Json::parse(text).map_err(|e| format!("malformed payload JSON: {e}"))?;
+        Msg::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Msg) {
+        let bytes = msg.to_bytes();
+        let back = Msg::from_bytes(&bytes).expect("decodes");
+        assert_eq!(msg, back);
+    }
+
+    fn setup() -> EnvSetup {
+        EnvSetup {
+            workload: "inception_v3".into(),
+            profile: "reduced".into(),
+            seed: u64::MAX - 3, // beyond f64's exact-integer range
+            fault_plan: "fail:2@10, transient:0.25".into(),
+            bad_cutoff_s: 20.0,
+            invalid_penalty_s: 100.0,
+            noise_sigma: 0.03,
+            steps_per_eval: 15,
+            warmup_steps: 5,
+        }
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Msg::Hello { version: PROTOCOL_VERSION });
+        roundtrip(Msg::Welcome { version: PROTOCOL_VERSION, worker_id: 3, setup: setup() });
+        roundtrip(Msg::Work {
+            unit: 7,
+            failed_devices: vec![2],
+            placements: vec![vec![0, 1, 2, 3], vec![4, 4, 4]],
+        });
+        roundtrip(Msg::Shutdown);
+        roundtrip(Msg::Error { message: "boom".into() });
+    }
+
+    #[test]
+    fn results_roundtrip_bit_exactly_including_nan() {
+        let comps = vec![
+            (
+                EvalComputation {
+                    outcome: EvalOutcome::Valid { per_step_s: 0.1 + 0.2 },
+                    machine_s: 12.345678901234567,
+                    makespan_s: 0.30000000000000004,
+                    comm_s: 1e-300,
+                    num_transfers: 42,
+                    peak_mem_utilization: 0.9999999999999999,
+                },
+                0.001,
+            ),
+            (
+                EvalComputation {
+                    outcome: EvalOutcome::Invalid {
+                        oom: OomError {
+                            device: 1,
+                            required_bytes: u64::MAX - 1,
+                            capacity_bytes: 17_179_869_184,
+                        },
+                    },
+                    machine_s: 5.0,
+                    makespan_s: f64::NAN,
+                    comm_s: f64::NAN,
+                    num_transfers: 0,
+                    peak_mem_utilization: 1.25,
+                },
+                0.002,
+            ),
+        ];
+        let msg = Msg::Results { unit: 9, comps: comps.clone() };
+        let back = Msg::from_bytes(&msg.to_bytes()).expect("decodes");
+        let Msg::Results { unit, comps: got } = back else { panic!("wrong type") };
+        assert_eq!(unit, 9);
+        assert_eq!(got.len(), comps.len());
+        for ((c, w), (gc, gw)) in comps.iter().zip(&got) {
+            assert_eq!(c.machine_s.to_bits(), gc.machine_s.to_bits());
+            assert_eq!(c.makespan_s.to_bits(), gc.makespan_s.to_bits(), "NaN must survive");
+            assert_eq!(c.comm_s.to_bits(), gc.comm_s.to_bits());
+            assert_eq!(c.num_transfers, gc.num_transfers);
+            assert_eq!(c.peak_mem_utilization.to_bits(), gc.peak_mem_utilization.to_bits());
+            assert_eq!(w.to_bits(), gw.to_bits());
+            match (&c.outcome, &gc.outcome) {
+                (EvalOutcome::Valid { per_step_s: a }, EvalOutcome::Valid { per_step_s: b }) => {
+                    assert_eq!(a.to_bits(), b.to_bits())
+                }
+                (EvalOutcome::Invalid { oom: a }, EvalOutcome::Invalid { oom: b }) => {
+                    assert_eq!(a, b)
+                }
+                (a, b) => panic!("outcome kind changed: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn setup_roundtrips_with_full_seed_precision() {
+        let s = setup();
+        let back = EnvSetup::from_json(&s.to_json()).expect("decodes");
+        assert_eq!(s, back);
+        assert_eq!(back.seed, u64::MAX - 3, "seed must not pass through f64");
+    }
+
+    #[test]
+    fn malformed_payloads_error_cleanly() {
+        assert!(Msg::from_bytes(b"not json").is_err());
+        assert!(Msg::from_bytes(b"{\"type\":\"warp\"}").is_err());
+        assert!(Msg::from_bytes(b"{\"no_type\":1}").is_err());
+        assert!(Msg::from_bytes(&[0xff, 0xfe]).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! The worker side of the fleet: a pure evaluation server.
+//!
+//! A worker rebuilds the learner's environment from the `Welcome`
+//! handshake, then answers `Work` units by computing each placement
+//! with [`SimEnv::compute`] — the pure phase only. It never samples,
+//! never normalizes, never touches the cache, and never fires fault
+//! plans: everything order-sensitive stays at the learner, which is
+//! what makes worker count invisible in the trace.
+
+use crate::msg::{EnvSetup, Msg, PROTOCOL_VERSION};
+use crate::transport::{recv_msg, send_msg, Addr, Conn};
+use mars_graph::generators::{Profile, Workload};
+use mars_sim::{Cluster, FaultPlan, Placement, SimEnv};
+use std::time::Instant;
+
+impl EnvSetup {
+    /// Rebuild the learner's environment. The graph, cluster, seed,
+    /// and measurement knobs fully determine `SimEnv::compute`, so a
+    /// worker built from the same setup computes bit-identical
+    /// results. The fault plan is installed only to validate it — the
+    /// worker's copy never fires (boundary faults arrive as the
+    /// `failed_devices` mask on each work unit; commit faults are
+    /// applied at the learner's commit point).
+    pub fn build_env(&self) -> Result<SimEnv, String> {
+        let workload = Workload::parse(&self.workload)
+            .ok_or_else(|| format!("unknown workload '{}'", self.workload))?;
+        let profile = Profile::parse(&self.profile)
+            .ok_or_else(|| format!("unknown profile '{}'", self.profile))?;
+        let mut env = SimEnv::new(workload.build(profile), Cluster::p100_quad(), self.seed);
+        env.bad_cutoff_s = self.bad_cutoff_s;
+        env.invalid_penalty_s = self.invalid_penalty_s;
+        env.noise_sigma = self.noise_sigma;
+        env.steps_per_eval = self.steps_per_eval;
+        env.warmup_steps = self.warmup_steps;
+        if !self.fault_plan.is_empty() {
+            let plan = FaultPlan::parse(&self.fault_plan)
+                .map_err(|e| format!("bad fault plan '{}': {e}", self.fault_plan))?;
+            env.set_fault_plan(plan)?;
+        }
+        Ok(env)
+    }
+}
+
+/// Connect to a learner at `addr` and serve work units until it hangs
+/// up or sends `Shutdown`. This is the whole lifetime of a
+/// `train … --connect ADDR` process.
+pub fn run(addr: &Addr) -> Result<(), String> {
+    let conn = Conn::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    serve(conn, None)
+}
+
+/// Serve one learner connection. `unit_limit` is a test hook: after
+/// answering that many units the worker drops the connection without
+/// replying, simulating a mid-run crash (the determinism tests assert
+/// the learner retries cleanly).
+pub fn serve(mut conn: Conn, unit_limit: Option<u64>) -> Result<(), String> {
+    send_msg(&mut conn, &Msg::Hello { version: PROTOCOL_VERSION })?;
+    let (worker_id, setup) = match recv_msg(&mut conn)? {
+        Some(Msg::Welcome { version, worker_id, setup }) => {
+            if version != PROTOCOL_VERSION {
+                return Err(format!(
+                    "protocol version mismatch: worker {PROTOCOL_VERSION}, learner {version}"
+                ));
+            }
+            (worker_id, setup)
+        }
+        Some(Msg::Error { message }) => return Err(format!("learner refused: {message}")),
+        other => return Err(format!("expected welcome, got {other:?}")),
+    };
+    let mut env = setup.build_env()?;
+    let _span = mars_telemetry::span("net.worker.serve");
+    let mut served: u64 = 0;
+    loop {
+        match recv_msg(&mut conn)? {
+            None | Some(Msg::Shutdown) => return Ok(()),
+            Some(Msg::Work { unit, failed_devices, placements }) => {
+                if unit_limit.is_some_and(|limit| served >= limit) {
+                    // Test hook: vanish mid-run without answering.
+                    conn.shutdown();
+                    return Ok(());
+                }
+                served += 1;
+                env.sync_failures(&failed_devices);
+                let comps: Vec<_> = placements
+                    .into_iter()
+                    .map(|p| {
+                        let t0 = Instant::now();
+                        let comp = env.compute(&Placement(p));
+                        (comp, t0.elapsed().as_secs_f64())
+                    })
+                    .collect();
+                mars_telemetry::counter("net.worker.units_served").inc();
+                mars_telemetry::counter("net.worker.placements_computed").add(comps.len() as u64);
+                send_msg(&mut conn, &Msg::Results { unit, comps })?;
+            }
+            Some(other) => {
+                let message = format!("worker {worker_id}: unexpected message {other:?}");
+                let _ = send_msg(&mut conn, &Msg::Error { message: message.clone() });
+                return Err(message);
+            }
+        }
+    }
+}
+
+/// A small reduced-profile setup shared by this crate's tests.
+#[cfg(test)]
+pub(crate) fn tests_setup() -> EnvSetup {
+    EnvSetup {
+        workload: "inception_v3".into(),
+        profile: "reduced".into(),
+        seed: 42,
+        fault_plan: String::new(),
+        bad_cutoff_s: 20.0,
+        invalid_penalty_s: 100.0,
+        noise_sigma: 0.03,
+        steps_per_eval: 15,
+        warmup_steps: 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::FleetBackend;
+    use mars_sim::{Environment, EvalBackend};
+
+    #[test]
+    fn build_env_rejects_unknown_names() {
+        let mut setup = tests_setup();
+        setup.workload = "alexnet".into();
+        let Err(e) = setup.build_env() else { panic!("unknown workload must be rejected") };
+        assert!(e.contains("alexnet"), "{e}");
+        let mut setup = tests_setup();
+        setup.profile = "huge".into();
+        let Err(e) = setup.build_env() else { panic!("unknown profile must be rejected") };
+        assert!(e.contains("huge"), "{e}");
+        let mut setup = tests_setup();
+        setup.fault_plan = "meteor:9".into();
+        let Err(e) = setup.build_env() else { panic!("bad plan must be rejected") };
+        assert!(e.contains("meteor"), "{e}");
+    }
+
+    /// End-to-end over an in-process pair: a fleet of two worker
+    /// threads must return exactly what the local pure compute does.
+    #[test]
+    fn fleet_results_match_local_compute() {
+        let setup = tests_setup();
+        let env = setup.build_env().expect("env");
+        let mut conns = Vec::new();
+        let mut threads = Vec::new();
+        for _ in 0..2 {
+            let (learner_end, worker_end) = Conn::pair().expect("pair");
+            conns.push(learner_end);
+            threads.push(std::thread::spawn(move || serve(worker_end, None)));
+        }
+        let mut backend = FleetBackend::over_conns(conns, &setup).expect("fleet");
+        assert_eq!(backend.num_workers(), 2);
+        assert_eq!(backend.label(), "fleet:2");
+
+        let n = env.graph().num_nodes();
+        let placements: Vec<Placement> =
+            (0..5).map(|k| Placement((0..n).map(|i| (i + k) % 5).collect())).collect();
+        let refs: Vec<&Placement> = placements.iter().collect();
+        let local: Vec<_> = refs.iter().map(|p| env.compute(p)).collect();
+        let fleet = backend.compute_batch(&env, &refs);
+        drop(backend); // shut workers down before joining
+        for t in threads {
+            t.join().expect("worker thread").expect("worker exits cleanly");
+        }
+        assert_eq!(fleet.len(), local.len());
+        for ((got, _wall), want) in fleet.iter().zip(&local) {
+            assert_eq!(got, want, "fleet result diverged from local compute");
+        }
+    }
+
+    /// A worker that vanishes mid-run is retried, not trusted: the
+    /// surviving worker (or the learner itself) recomputes the shard
+    /// and the results still match local compute exactly.
+    #[test]
+    fn lost_worker_shard_is_recomputed_identically() {
+        let setup = tests_setup();
+        let env = setup.build_env().expect("env");
+        let mut conns = Vec::new();
+        let mut threads = Vec::new();
+        for limit in [Some(0), None] {
+            let (learner_end, worker_end) = Conn::pair().expect("pair");
+            conns.push(learner_end);
+            threads.push(std::thread::spawn(move || serve(worker_end, limit)));
+        }
+        let lost_before = mars_telemetry::counter("net.worker_lost").get();
+        let mut backend = FleetBackend::over_conns(conns, &setup).expect("fleet");
+
+        let n = env.graph().num_nodes();
+        let placements: Vec<Placement> =
+            (0..4).map(|k| Placement((0..n).map(|i| (i * k) % 5).collect())).collect();
+        let refs: Vec<&Placement> = placements.iter().collect();
+        let local: Vec<_> = refs.iter().map(|p| env.compute(p)).collect();
+        let fleet = backend.compute_batch(&env, &refs);
+        assert_eq!(backend.num_workers(), 1, "crashed worker must be dropped");
+        assert!(
+            mars_telemetry::counter("net.worker_lost").get() > lost_before,
+            "loss must be counted"
+        );
+        drop(backend);
+        for t in threads {
+            t.join().expect("worker thread").expect("worker exits cleanly");
+        }
+        for ((got, _wall), want) in fleet.iter().zip(&local) {
+            assert_eq!(got, want, "retry diverged from local compute");
+        }
+    }
+}

@@ -25,6 +25,29 @@ ENGINE_OUT=$(./target/release/mars-cli train inception --budget 40 --dgi-iters 1
 diff <(echo "$SERIAL_OUT") <(echo "$ENGINE_OUT") || {
     echo "parallel evaluation changed training output"; exit 1; }
 
+echo "==> fleet smoke: learner + 2 spawned workers must print identically to in-process"
+FLEET_OUT=$(./target/release/mars-cli train inception --budget 40 --dgi-iters 10 --seed 1 \
+    --workers 2)
+echo "$FLEET_OUT" | grep -q "^fleet: 2 worker(s) connected" || {
+    echo "fleet run did not report its workers"; exit 1; }
+diff <(echo "$FLEET_OUT" | grep -v "^fleet") <(echo "$SERIAL_OUT") || {
+    echo "distributed evaluation changed training output"; exit 1; }
+
+echo "==> fleet smoke: 2 external workers over a named unix socket"
+FLEET_SOCK=$(mktemp -u /tmp/mars-fleet-XXXXXX.sock)
+./target/release/mars-cli train inception --budget 40 --dgi-iters 10 --seed 1 \
+    --workers 2 --listen "unix:$FLEET_SOCK" > /tmp/mars-fleet-listen.$$ 2>&1 &
+FLEET_PID=$!
+for _ in $(seq 1 100); do [ -S "$FLEET_SOCK" ] && break; sleep 0.1; done
+[ -S "$FLEET_SOCK" ] || { echo "learner never bound $FLEET_SOCK"; exit 1; }
+./target/release/mars-cli train inception --connect "unix:$FLEET_SOCK" &
+./target/release/mars-cli train inception --connect "unix:$FLEET_SOCK" &
+wait "$FLEET_PID" || { echo "fleet learner failed"; cat /tmp/mars-fleet-listen.$$; exit 1; }
+wait
+diff <(grep -v "^fleet" /tmp/mars-fleet-listen.$$) <(echo "$SERIAL_OUT") || {
+    echo "listen-mode fleet changed training output"; exit 1; }
+rm -f /tmp/mars-fleet-listen.$$
+
 echo "==> telemetry smoke: tiny instrumented training run + summarize"
 TELEMETRY_RUN=$(mktemp /tmp/mars-telemetry-XXXXXX.jsonl)
 FAULT_RUN=$(mktemp /tmp/mars-fault-XXXXXX.jsonl)
@@ -65,4 +88,4 @@ diff <(echo "$FAULT_A") <(echo "$FAULT_C") || {
 diff <(echo "$FAULT_A" | grep -v "^eval cache") <(echo "$FAULT_D" | grep -v "^eval cache") || {
     echo "disabling the eval cache changed a faulty run"; exit 1; }
 
-echo "==> OK: build, tests, bench smoke, engine parity, telemetry and fault smokes all green"
+echo "==> OK: build, tests, bench smoke, engine parity, fleet, telemetry and fault smokes all green"

@@ -18,6 +18,11 @@
 //!                --eval-threads N   --no-eval-cache
 //!                --fault-plan <spec>   --max-eval-retries N
 //!                --eval-timeout-s S    --auto-checkpoint <ckpt-path>
+//! fleet options: --workers N            spawn N local rollout workers
+//!                --workers N --listen ADDR   wait for N external workers
+//!                --connect ADDR         run as a rollout worker
+//!                (ADDR is host:port or unix:<path>; worker count
+//!                 never changes the training trace — see DESIGN.md)
 //! bench-gate:    --current <bench.json>   --baseline <bench.json>
 //!                --min-ratio R (default 0.5)
 //! ```
@@ -34,7 +39,7 @@
 //! evaluations 8×, `crash@100` crashes (and resumes) the agent. Same
 //! seed + same plan reproduces the run bit for bit.
 
-use mars::cli::{fail, Flags};
+use mars::cli::{fail, Flags, FleetMode};
 use mars::core::agent::{Agent, AgentKind, TrainingLog};
 use mars::core::baselines::{gpu_only, human_expert};
 use mars::core::config::MarsConfig;
@@ -44,6 +49,7 @@ use mars::graph::analysis::{stats, to_dot};
 use mars::graph::generators::{Profile, Workload};
 use mars::graph::CompGraph;
 use mars::json::Json;
+use mars::net::{EnvSetup, FleetBackend};
 use mars::nn::checkpoint;
 use mars::sim::{
     check_memory, simulate_traced, Cluster, Environment, EvalOutcome, FaultPlan, Placement, SimEnv,
@@ -51,20 +57,6 @@ use mars::sim::{
 use mars_rng::rngs::StdRng;
 use mars_rng::SeedableRng;
 use std::process::ExitCode;
-
-fn parse_workload(s: &str) -> Option<Workload> {
-    Some(match s {
-        "inception" | "inception_v3" => Workload::InceptionV3,
-        "gnmt" | "gnmt4" => Workload::Gnmt4,
-        "bert" | "bert_base" => Workload::BertBase,
-        "vgg" | "vgg16" => Workload::Vgg16,
-        "seq2seq" => Workload::Seq2Seq,
-        "transformer" => Workload::Transformer,
-        "resnet" | "resnet50" => Workload::Resnet50,
-        "gpt2" | "gpt2_small" => Workload::Gpt2Small,
-        _ => return None,
-    })
-}
 
 fn named_placement(
     name: &str,
@@ -188,7 +180,53 @@ fn arm_environment(env: &mut SimEnv, cfg: &MarsConfig, flags: &Flags) -> Result<
     Ok(())
 }
 
+/// Build the fleet handshake payload describing `env`, and install the
+/// matching [`FleetBackend`] for `Spawn`/`Listen` modes. Workers
+/// rebuild the environment from this setup, so it must be assembled
+/// *after* `arm_environment` finalized the measurement knobs.
+fn install_fleet(
+    env: &mut SimEnv,
+    mode: &FleetMode,
+    workload: Workload,
+    profile: Profile,
+    flags: &Flags,
+) -> Result<(), String> {
+    let setup = EnvSetup {
+        workload: workload.name().into(),
+        profile: profile.name().into(),
+        seed: env.seed(),
+        fault_plan: flags.string_opt("fault-plan")?.unwrap_or_default(),
+        bad_cutoff_s: env.bad_cutoff_s,
+        invalid_penalty_s: env.invalid_penalty_s,
+        noise_sigma: env.noise_sigma,
+        steps_per_eval: env.steps_per_eval,
+        warmup_steps: env.warmup_steps,
+    };
+    let backend = match mode {
+        FleetMode::InProcess | FleetMode::Connect { .. } => return Ok(()),
+        FleetMode::Spawn { workers } => {
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot locate the worker executable: {e}"))?;
+            FleetBackend::spawn(*workers, &setup, &exe, &["train", workload.name()])?
+        }
+        FleetMode::Listen { workers, addr } => {
+            println!("fleet: waiting for {workers} worker(s) on {addr}…");
+            FleetBackend::listen(addr, *workers, &setup)?
+        }
+    };
+    println!("fleet: {} worker(s) connected over {}", backend.num_workers(), backend.transport());
+    env.set_backend(Some(Box::new(backend)));
+    Ok(())
+}
+
 fn cmd_train(workload: Workload, profile: Profile, flags: &Flags) -> Result<(), String> {
+    let fleet_mode = FleetMode::from_flags(flags)?;
+    if let FleetMode::Connect { addr } = &fleet_mode {
+        // Worker process: serve the learner at `addr` until it hangs
+        // up. Everything else on the command line is the learner's
+        // business — the environment arrives in the Welcome handshake.
+        return mars::net::worker::run(addr);
+    }
     let kind = match flags.one_of("agent", &["mars", "mars-nopre", "grouper", "encoder"], "mars")? {
         "mars-nopre" => AgentKind::MarsNoPretrain,
         "grouper" => AgentKind::GrouperPlacer,
@@ -197,7 +235,8 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &Flags) -> Result<(), 
     };
     let budget: usize = flags.parsed("budget", 400)?;
     let seed: u64 = flags.parsed("seed", 42)?;
-    let cfg = config_from_flags(flags)?;
+    let mut cfg = config_from_flags(flags)?;
+    cfg.workers = fleet_mode.workers();
     let telemetry = install_telemetry(flags)?;
 
     let graph = workload.build(profile);
@@ -214,6 +253,7 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &Flags) -> Result<(), 
     }
     let mut env = SimEnv::new(graph, cluster, seed);
     arm_environment(&mut env, &agent.cfg, flags)?;
+    install_fleet(&mut env, &fleet_mode, workload, profile, flags)?;
     let mut log = TrainingLog::default();
     println!(
         "training {} on {} for {budget} placement evaluations…",
@@ -221,6 +261,9 @@ fn cmd_train(workload: Workload, profile: Profile, flags: &Flags) -> Result<(), 
         workload.name()
     );
     agent.train(&mut env, &input, budget, &mut rng, &mut log);
+    // Shut the fleet down (workers get Shutdown, children are reaped)
+    // before the summary prints, so worker stderr cannot interleave.
+    env.set_backend(None);
     match log.best_reading_s {
         Some(best) => {
             let p = log.best_placement.as_ref().expect("placement recorded");
@@ -328,6 +371,17 @@ fn cmd_bench_gate(flags: &Flags) -> Result<(), String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
         let json = Json::parse(&text).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+        // An empty run is a broken run: a bench JSON that carries no
+        // samples must fail the gate loudly, not pass it vacuously
+        // (and certainly not panic on an index).
+        match json.get("benchmarks").and_then(Json::as_array) {
+            Some(samples) if !samples.is_empty() => {}
+            _ => {
+                return Err(format!(
+                    "'{path}' has no benchmark samples (missing or empty 'benchmarks' array)"
+                ))
+            }
+        }
         json.get("speedup")
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("'{path}' has no numeric 'speedup' field"))
@@ -419,7 +473,7 @@ fn main() -> ExitCode {
     let (Some(cmd), Some(wname)) = (args.first(), args.get(1)) else {
         return fail(usage);
     };
-    let Some(workload) = parse_workload(wname) else {
+    let Some(workload) = Workload::parse(wname) else {
         return fail(format!("unknown workload '{wname}'"));
     };
     let flags = Flags::parse(&args[2..]);

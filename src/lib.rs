@@ -4,6 +4,7 @@ pub use mars_autograd as autograd;
 pub use mars_core as core;
 pub use mars_graph as graph;
 pub use mars_json as json;
+pub use mars_net as net;
 pub use mars_nn as nn;
 pub use mars_rng as rng;
 pub use mars_sim as sim;

@@ -163,7 +163,11 @@ fn bench_gate_fails_on_regression() {
     let dir = std::env::temp_dir().join("mars-cli-bench-gate");
     std::fs::create_dir_all(&dir).expect("tmpdir");
     let bad = dir.join("regressed.json");
-    std::fs::write(&bad, r#"{"speedup": 0.01}"#).expect("write");
+    std::fs::write(
+        &bad,
+        r#"{"benchmarks": [{"name": "rollout_e2e/serial_nocache", "iters": 1}], "speedup": 0.01}"#,
+    )
+    .expect("write");
     let out = cli()
         .args(["bench-gate", "--current", bad.to_str().expect("utf8"), "--min-ratio", "0.5"])
         .output()
@@ -172,6 +176,79 @@ fn bench_gate_fails_on_regression() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("benchmark regression"), "{err}");
     let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn bench_gate_rejects_empty_or_missing_samples() {
+    // A bench JSON with no samples must fail the gate with a clear
+    // error — not pass vacuously, not panic on an index.
+    let dir = std::env::temp_dir().join("mars-cli-bench-gate");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    for (name, body) in [
+        ("empty-samples.json", r#"{"benchmarks": [], "speedup": 1.5}"#),
+        ("no-samples.json", r#"{"speedup": 1.5}"#),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, body).expect("write");
+        let out = cli()
+            .args(["bench-gate", "--current", path.to_str().expect("utf8")])
+            .output()
+            .expect("run");
+        assert!(!out.status.success(), "{name} must fail the gate");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("no benchmark samples"), "{name}: {err}");
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn fleet_flag_combinations_are_validated() {
+    for (args, needle) in [
+        (vec!["train", "inception", "--workers", "0"], "--workers"),
+        (vec!["train", "inception", "--workers", "two"], "--workers"),
+        (vec!["train", "inception", "--listen", "unix:/tmp/x.sock"], "--listen"),
+        (
+            vec![
+                "train",
+                "inception",
+                "--listen",
+                "unix:/tmp/a.sock",
+                "--connect",
+                "unix:/tmp/b.sock",
+            ],
+            "mutually exclusive",
+        ),
+        (vec!["train", "inception", "--workers", "2", "--connect", "h:1"], "--connect"),
+        (vec!["train", "inception", "--connect", "not-an-address"], "'not-an-address'"),
+        (vec!["train", "inception", "--workers", "2", "--listen", "host:99999"], "--listen"),
+    ] {
+        let out = cli().args(&args).output().expect("run");
+        assert!(!out.status.success(), "{args:?} must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{args:?}: expected '{needle}' in: {err}");
+    }
+}
+
+#[test]
+fn fleet_train_matches_in_process_byte_for_byte() {
+    // The real thing: `--workers 2` spawns two worker processes over a
+    // private socket, and the training output — the user-visible trace
+    // — must be identical to the in-process run except for the fleet
+    // status lines.
+    let base = ["train", "inception", "--budget", "40", "--dgi-iters", "10", "--seed", "1"];
+    let inproc = cli().args(base).output().expect("run");
+    assert!(inproc.status.success(), "{}", String::from_utf8_lossy(&inproc.stderr));
+    let fleet = cli().args(base).args(["--workers", "2"]).output().expect("run");
+    assert!(fleet.status.success(), "{}", String::from_utf8_lossy(&fleet.stderr));
+    let fleet_text = String::from_utf8_lossy(&fleet.stdout);
+    assert!(fleet_text.contains("fleet: 2 worker(s) connected"), "{fleet_text}");
+    let stripped: String =
+        fleet_text.lines().filter(|l| !l.starts_with("fleet")).map(|l| format!("{l}\n")).collect();
+    assert_eq!(
+        stripped,
+        String::from_utf8_lossy(&inproc.stdout),
+        "fleet run diverged from in-process"
+    );
 }
 
 #[test]

@@ -1,0 +1,186 @@
+//! Fleet determinism: distributing rollout evaluation over the wire
+//! protocol is an engine change, and engine changes may only move
+//! wall-clock. The training trace — every PPO update record, float by
+//! float, bit by bit — must be identical across {in-process,
+//! 1 worker, 4 workers}, with and without a fault plan, and a worker
+//! that crashes mid-run must surface as a clean retry rather than a
+//! divergent trace.
+//!
+//! Workers here are in-process threads serving real fleet connections
+//! (`Conn::pair()` — a Unix socketpair), so the full frame/message
+//! path is exercised without subprocess overhead. `tests/cli.rs`
+//! covers the spawned-process path end to end.
+
+use mars::core::agent::{Agent, AgentKind, TrainingLog};
+use mars::core::config::MarsConfig;
+use mars::core::workload_input::WorkloadInput;
+use mars::graph::features::FEATURE_DIM;
+use mars::net::{worker, Conn, EnvSetup, FleetBackend};
+use mars::sim::{Cluster, Environment, FaultPlan};
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
+use std::thread::JoinHandle;
+
+fn tiny_cfg() -> MarsConfig {
+    let mut c = MarsConfig::small();
+    c.encoder_hidden = 16;
+    c.placer_hidden = 16;
+    c.attn_dim = 8;
+    c.segment_size = 24;
+    c.dgi_iters = 10;
+    c
+}
+
+const SEED: u64 = 42;
+const SAMPLES: usize = 48;
+const PLAN: &str = "fail:2@10, transient:0.25, straggler:0.15x6";
+
+/// The fleet shape of one run: worker thread count, with each worker
+/// optionally crashing (dropping its connection without replying)
+/// after serving that many units.
+struct Fleet {
+    unit_limits: Vec<Option<u64>>,
+}
+
+impl Fleet {
+    fn of(workers: usize) -> Fleet {
+        Fleet { unit_limits: vec![None; workers] }
+    }
+}
+
+fn setup_for(plan_spec: Option<&str>) -> EnvSetup {
+    EnvSetup {
+        workload: "inception_v3".into(),
+        profile: "reduced".into(),
+        seed: SEED,
+        fault_plan: plan_spec.unwrap_or_default().into(),
+        bad_cutoff_s: 20.0,
+        invalid_penalty_s: 100.0,
+        noise_sigma: 0.03,
+        steps_per_eval: 15,
+        warmup_steps: 5,
+    }
+}
+
+/// Pre-train + PPO-train with evaluation optionally sharded over a
+/// fleet of worker threads. Returns the training log and the devices
+/// left dead at the end.
+fn run(plan_spec: Option<&str>, fleet: Option<Fleet>) -> (TrainingLog, Vec<usize>) {
+    let setup = setup_for(plan_spec);
+    let mut env = setup.build_env().expect("env builds");
+    // The learner fires the plan; the Welcome copy is validation-only.
+    if let Some(spec) = plan_spec {
+        env.set_fault_plan(FaultPlan::parse(spec).expect("plan parses")).expect("plan installs");
+    }
+    let mut threads: Vec<JoinHandle<Result<(), String>>> = Vec::new();
+    if let Some(fleet) = fleet {
+        let mut conns = Vec::new();
+        for limit in fleet.unit_limits {
+            let (learner_end, worker_end) = Conn::pair().expect("socketpair");
+            conns.push(learner_end);
+            threads.push(std::thread::spawn(move || worker::serve(worker_end, limit)));
+        }
+        let backend = FleetBackend::over_conns(conns, &setup).expect("fleet handshake");
+        env.set_backend(Some(Box::new(backend)));
+    }
+
+    let graph = env.graph().clone();
+    let input = WorkloadInput::from_graph(&graph);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut agent = Agent::new(
+        AgentKind::Mars,
+        tiny_cfg(),
+        FEATURE_DIM,
+        Cluster::p100_quad().num_devices(),
+        &mut rng,
+    );
+    agent.pretrain(&input, &mut rng).expect("Mars agent pre-trains");
+    let mut log = TrainingLog::default();
+    agent.train(&mut env, &input, SAMPLES, &mut rng, &mut log);
+
+    let failed = env.cluster().failed_ids();
+    env.set_backend(None); // shut the fleet down so workers see Shutdown/EOF
+    for t in threads {
+        t.join().expect("worker thread").expect("worker exits cleanly");
+    }
+    (log, failed)
+}
+
+/// The deterministic portion of a training trace, floats as bits
+/// (wall-clock fields excluded; simulated machine time included).
+type TraceRow = (usize, Option<u64>, Option<u64>, u64, u64, u64);
+
+fn trace_bits(log: &TrainingLog) -> Vec<TraceRow> {
+    log.records
+        .iter()
+        .map(|r| {
+            (
+                r.samples_so_far,
+                r.mean_valid_reading_s.map(f64::to_bits),
+                r.best_so_far_s.map(f64::to_bits),
+                r.valid_fraction.to_bits(),
+                r.machine_s.to_bits(),
+                r.policy_entropy.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn assert_same_trace(
+    reference: &(TrainingLog, Vec<usize>),
+    got: &(TrainingLog, Vec<usize>),
+    label: &str,
+) {
+    assert_eq!(trace_bits(&reference.0), trace_bits(&got.0), "trace diverged: {label}");
+    assert_eq!(
+        reference.0.best_placement, got.0.best_placement,
+        "best placement diverged: {label}"
+    );
+    assert_eq!(
+        reference.0.best_reading_s.map(f64::to_bits),
+        got.0.best_reading_s.map(f64::to_bits),
+        "best reading diverged: {label}"
+    );
+    assert_eq!(reference.1, got.1, "degraded cluster diverged: {label}");
+}
+
+#[test]
+fn fleet_runs_are_bit_identical_to_in_process() {
+    let reference = run(None, None);
+    for workers in [1, 4] {
+        let got = run(None, Some(Fleet::of(workers)));
+        assert_same_trace(&reference, &got, &format!("{workers} workers, no plan"));
+    }
+}
+
+#[test]
+fn faulty_fleet_runs_are_bit_identical_to_in_process() {
+    let reference = run(Some(PLAN), None);
+    assert_eq!(reference.1, vec![2], "the planned device failure fired");
+    for workers in [1, 4] {
+        let got = run(Some(PLAN), Some(Fleet::of(workers)));
+        assert_same_trace(&reference, &got, &format!("{workers} workers, plan armed"));
+    }
+}
+
+#[test]
+fn mid_run_worker_crash_is_a_clean_retry_not_a_divergence() {
+    let reference = run(Some(PLAN), None);
+    // Two workers; one vanishes after its first unit, mid-training.
+    let lost_before = mars::telemetry::counter("net.worker_lost").get();
+    let crashy = Fleet { unit_limits: vec![Some(1), None] };
+    let got = run(Some(PLAN), Some(crashy));
+    assert!(
+        mars::telemetry::counter("net.worker_lost").get() > lost_before,
+        "the crash must be observed and counted as a lost worker"
+    );
+    assert_same_trace(&reference, &got, "worker crashed after unit 1");
+
+    // Even losing EVERY worker mid-run only falls back to local
+    // compute — the trace still cannot move.
+    let lost_before = mars::telemetry::counter("net.worker_lost").get();
+    let all_crash = Fleet { unit_limits: vec![Some(1), Some(2)] };
+    let got = run(Some(PLAN), Some(all_crash));
+    assert!(mars::telemetry::counter("net.worker_lost").get() >= lost_before + 2);
+    assert_same_trace(&reference, &got, "all workers crashed");
+}
