@@ -22,8 +22,9 @@
 //! results bit for bit — a disconnect costs wall-clock, never trace
 //! fidelity.
 
-use crate::msg::{EnvSetup, Msg, PROTOCOL_VERSION};
+use crate::msg::{EnvSetup, Msg, WorkerTelemetry, PROTOCOL_VERSION};
 use crate::transport::{recv_msg, send_msg, Addr, Conn, Listener};
+use mars_json::Json;
 use mars_sim::{Environment, EvalBackend, EvalComputation, Placement, SimEnv};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -280,7 +281,18 @@ fn handshake(conn: &mut Conn, worker_id: u32, setup: &EnvSetup) -> Result<(), St
         }
         other => return Err(format!("expected hello, got {other:?}")),
     }
-    send_msg(conn, &Msg::Welcome { version: PROTOCOL_VERSION, worker_id, setup: setup.clone() })?;
+    send_msg(
+        conn,
+        &Msg::Welcome {
+            version: PROTOCOL_VERSION,
+            worker_id,
+            // Ask workers to ship telemetry only when there is a
+            // recorder to merge it into — otherwise the frames would
+            // be paid for and dropped.
+            telemetry: mars_telemetry::active(),
+            setup: setup.clone(),
+        },
+    )?;
     let _ = conn.set_read_timeout(Some(UNIT_TIMEOUT));
     Ok(())
 }
@@ -302,30 +314,106 @@ fn accept_fleet(
     FleetBackend::over_conns(conns, setup)
 }
 
-/// Read messages until `unit`'s results arrive; anything else on the
-/// wire at this point is a protocol violation (the worker is lost).
+/// Read messages until `unit`'s results arrive, merging any telemetry
+/// frames riding ahead of them; anything else on the wire at this
+/// point is a protocol violation (the worker is lost).
 fn collect_unit(
     conn: &mut Conn,
     unit: u64,
     expected: usize,
 ) -> Result<Vec<(EvalComputation, f64)>, String> {
-    match recv_msg(conn)? {
-        Some(Msg::Results { unit: got, comps }) if got == unit => {
-            if comps.len() != expected {
-                return Err(format!(
-                    "unit {unit}: worker returned {} results for {expected} placements",
-                    comps.len()
-                ));
+    loop {
+        match recv_msg(conn)? {
+            Some(Msg::Telemetry { worker_id, stats }) => {
+                merge_worker_telemetry(worker_id, &stats);
             }
-            Ok(comps)
+            Some(Msg::Results { unit: got, comps }) if got == unit => {
+                if comps.len() != expected {
+                    return Err(format!(
+                        "unit {unit}: worker returned {} results for {expected} placements",
+                        comps.len()
+                    ));
+                }
+                return Ok(comps);
+            }
+            Some(Msg::Results { unit: got, .. }) => {
+                return Err(format!("unit {unit}: out-of-order answer for unit {got}"));
+            }
+            Some(Msg::Error { message }) => return Err(format!("worker error: {message}")),
+            Some(other) => return Err(format!("unit {unit}: unexpected message {other:?}")),
+            None => return Err(format!("unit {unit}: worker hung up")),
         }
-        Some(Msg::Results { unit: got, .. }) => {
-            Err(format!("unit {unit}: out-of-order answer for unit {got}"))
-        }
-        Some(Msg::Error { message }) => Err(format!("worker error: {message}")),
-        Some(other) => Err(format!("unit {unit}: unexpected message {other:?}")),
-        None => Err(format!("unit {unit}: worker hung up")),
     }
+}
+
+/// Fold one worker's telemetry frame into the learner's recorder, so a
+/// single run file describes the whole fleet. Three record families:
+/// the worker's events re-emitted under the learner's sequence (tagged
+/// `worker=<id>`), its cumulative span/counter snapshots appended as
+/// `worker_spans` / `worker_counters` records (latest per worker wins
+/// at summarize time), and a `fleet.health` heartbeat derived from the
+/// frame's wall/compute/idle accounting. Telemetry only — nothing here
+/// feeds back into training state.
+fn merge_worker_telemetry(worker_id: u32, stats: &WorkerTelemetry) {
+    if !mars_telemetry::active() {
+        return;
+    }
+    let wid = worker_id as f64;
+    for ev in &stats.events {
+        let Some(name) = ev.get("name").and_then(Json::as_str) else { continue };
+        let mut fields: Vec<(&str, Json)> = vec![("worker", wid.into())];
+        if let Some(pairs) = ev.as_object() {
+            for (k, v) in pairs {
+                if !matches!(k.as_str(), "kind" | "seq" | "name" | "worker") {
+                    fields.push((k.as_str(), v.clone()));
+                }
+            }
+        }
+        mars_telemetry::event(name, &fields);
+    }
+    mars_telemetry::append_record(&Json::obj([
+        ("kind", Json::from("worker_spans")),
+        ("worker", Json::from(wid)),
+        (
+            "spans",
+            Json::arr(stats.spans.iter().map(|s| {
+                Json::obj([
+                    ("path", Json::from(s.path.as_str())),
+                    ("count", Json::from(s.count as f64)),
+                    ("total_ns", Json::from(s.total_ns as f64)),
+                    ("self_ns", Json::from(s.self_ns as f64)),
+                ])
+            })),
+        ),
+    ]));
+    mars_telemetry::append_record(&Json::obj([
+        ("kind", Json::from("worker_counters")),
+        ("worker", Json::from(wid)),
+        (
+            "counters",
+            Json::Obj(
+                stats.counters.iter().map(|(k, v)| (k.clone(), Json::from(*v as f64))).collect(),
+            ),
+        ),
+    ]));
+    let placements = stats
+        .counters
+        .iter()
+        .find(|(k, _)| k == "net.worker.placements_computed")
+        .map_or(0, |(_, v)| *v);
+    mars_telemetry::event(
+        "fleet.health",
+        &[
+            ("worker", wid.into()),
+            ("unit", (stats.unit as f64).into()),
+            ("units", (stats.units_served as f64).into()),
+            ("placements", (placements as f64).into()),
+            ("shard", (stats.shard as f64).into()),
+            ("wall_s", stats.wall_s.into()),
+            ("compute_s", stats.compute_s.into()),
+            ("idle_s", stats.idle_s.into()),
+        ],
+    );
 }
 
 fn report_lost(worker_id: u32, shard_len: usize, err: &str) {
@@ -344,9 +432,14 @@ fn report_lost(worker_id: u32, shard_len: usize, err: &str) {
     eprintln!("fleet: worker {worker_id} lost ({err}); re-dispatching {shard_len} placements");
 }
 
+/// Round-trip-time histogram edges: log-spaced 1ms – 10s, upper
+/// bounds inclusive, everything slower in the overflow bucket.
+const RTT_EDGES: [f64; 9] = [0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0];
+
 fn unit_telemetry(worker_id: u32, size: usize, latency_s: f64) {
     mars_telemetry::counter("net.units_completed").inc();
     mars_telemetry::gauge("net.unit_latency_s", latency_s);
+    mars_telemetry::histogram("net.rtt_s", &RTT_EDGES).observe(latency_s);
     if mars_telemetry::active() {
         mars_telemetry::event(
             "net.unit",

@@ -9,19 +9,24 @@
 //!   Truncated, oversized, and corrupt frames are rejected as typed
 //!   errors, never panics.
 //! * [`msg`] — the message vocabulary (`Hello`/`Welcome`/`Work`/
-//!   `Results`/`Shutdown`/`Error`) as mars-json payloads. Every float
-//!   and 64-bit integer crosses the wire as the hex string of its raw
-//!   bits, so results decode bit-exactly — including NaN payloads.
+//!   `Results`/`Telemetry`/`Shutdown`/`Error`) as mars-json payloads.
+//!   Every float and 64-bit integer crosses the wire as the hex
+//!   string of its raw bits, so results decode bit-exactly —
+//!   including NaN payloads.
 //! * [`transport`] — one address grammar (`host:port` or
 //!   `unix:<path>`), with [`transport::Conn`] unifying TCP and Unix
 //!   streams and `send_msg`/`recv_msg` bumping the `net.*` telemetry
 //!   counters.
 //! * [`worker`] — the pure evaluation server a
-//!   `train … --connect ADDR` process runs.
+//!   `train … --connect ADDR` process runs. When the learner records
+//!   telemetry, the worker ships span/counter snapshots, events, and
+//!   a health heartbeat ahead of each `Results` frame.
 //! * [`learner`] — [`learner::FleetBackend`], the
 //!   [`mars_sim::EvalBackend`] that shards compute across workers
 //!   while all sampling, caching, fault firing, and commits stay
-//!   local and serial. Worker count is invisible in the trace.
+//!   local and serial. Worker count is invisible in the trace. Worker
+//!   telemetry frames are merged into the learner's single run JSONL,
+//!   tagged by worker id.
 
 pub mod frame;
 pub mod learner;

@@ -17,16 +17,27 @@
 //!   | -- Hello{version} -------> |
 //!   | <- Welcome{id, setup} ---- |   (env built from EnvSetup)
 //!   | <- Work{unit, failed, ps}- |   (repeated)
+//!   | -- Telemetry{stats} -----> |   (only when the learner records)
 //!   | -- Results{unit, comps} -> |
 //!   | <- Shutdown -------------- |
 //! ```
+//!
+//! Telemetry frames are advisory: a worker sends one immediately
+//! before each `Results` frame when (and only when) the `Welcome`
+//! carried `telemetry: true`. They ship the worker's cumulative span
+//! and counter snapshots, a health heartbeat (wall/compute/idle
+//! time, queue depth), and any structured events recorded since the
+//! previous frame — everything the learner needs to merge the whole
+//! fleet into one run JSONL. Results framing is unchanged, so
+//! telemetry can never perturb the training trace.
 
 use mars_json::Json;
 use mars_sim::{EvalComputation, EvalOutcome, OomError};
 
 /// Protocol version; bumped on any wire-visible change. A learner and
 /// worker with different versions refuse to pair.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2: `Welcome.telemetry` flag + the `Telemetry` message.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Encode an `f64` as its raw bits in hex (bit-exact, NaN-safe).
 pub fn f64_to_wire(x: f64) -> Json {
@@ -118,6 +129,118 @@ impl EnvSetup {
             noise_sigma: f64_from_wire(j.get("noise_sigma"), "noise_sigma")?,
             steps_per_eval: usize_field(j, "steps_per_eval")?,
             warmup_steps: usize_field(j, "warmup_steps")?,
+        })
+    }
+}
+
+/// One aggregated span path in a worker's shipped snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSpan {
+    /// `/`-joined call path.
+    pub path: String,
+    /// Times entered.
+    pub count: u64,
+    /// Wall nanoseconds, children included.
+    pub total_ns: u64,
+    /// Wall nanoseconds minus child-span time.
+    pub self_ns: u64,
+}
+
+/// A worker's telemetry payload: cumulative span/counter snapshots, a
+/// health heartbeat, and the events recorded since the last frame.
+/// Snapshots are cumulative so frames are idempotent — the learner
+/// keeps the latest per worker, and a lost frame only costs
+/// granularity, never correctness.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerTelemetry {
+    /// The work unit this frame rode along with (span context).
+    pub unit: u64,
+    /// Work units served so far.
+    pub units_served: u64,
+    /// Placements in the unit just computed (queue depth at dispatch).
+    pub shard: usize,
+    /// Wall-clock seconds since the worker started serving.
+    pub wall_s: f64,
+    /// Cumulative pure-compute seconds across all units.
+    pub compute_s: f64,
+    /// Cumulative seconds spent waiting for work.
+    pub idle_s: f64,
+    /// Cumulative span snapshot (sorted by path).
+    pub spans: Vec<WireSpan>,
+    /// Cumulative counter snapshot (sorted by name).
+    pub counters: Vec<(String, u64)>,
+    /// Event records (already JSONL objects) drained since the last
+    /// frame. Telemetry-only values, so plain JSON numbers are fine
+    /// here — no raw-bits encoding needed.
+    pub events: Vec<Json>,
+}
+
+impl WorkerTelemetry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("unit", u64_to_wire(self.unit)),
+            ("units_served", u64_to_wire(self.units_served)),
+            ("shard", Json::from(self.shard as f64)),
+            ("wall_s", f64_to_wire(self.wall_s)),
+            ("compute_s", f64_to_wire(self.compute_s)),
+            ("idle_s", f64_to_wire(self.idle_s)),
+            (
+                "spans",
+                Json::arr(self.spans.iter().map(|s| {
+                    Json::obj([
+                        ("path", Json::from(s.path.as_str())),
+                        ("count", u64_to_wire(s.count)),
+                        ("total_ns", u64_to_wire(s.total_ns)),
+                        ("self_ns", u64_to_wire(s.self_ns)),
+                    ])
+                })),
+            ),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters.iter().map(|(k, v)| (k.clone(), u64_to_wire(*v))).collect(),
+                ),
+            ),
+            ("events", Json::arr(self.events.iter().cloned())),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<WorkerTelemetry, String> {
+        let spans = j
+            .get("spans")
+            .and_then(Json::as_array)
+            .ok_or("telemetry has no 'spans' array")?
+            .iter()
+            .map(|s| {
+                Ok(WireSpan {
+                    path: s
+                        .get("path")
+                        .and_then(Json::as_str)
+                        .ok_or("span row has no 'path'")?
+                        .to_string(),
+                    count: u64_from_wire(s.get("count"), "count")?,
+                    total_ns: u64_from_wire(s.get("total_ns"), "total_ns")?,
+                    self_ns: u64_from_wire(s.get("self_ns"), "self_ns")?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let counters = j
+            .get("counters")
+            .and_then(Json::as_object)
+            .ok_or("telemetry has no 'counters' object")?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), u64_from_wire(Some(v), k)?)))
+            .collect::<Result<_, String>>()?;
+        Ok(WorkerTelemetry {
+            unit: u64_from_wire(j.get("unit"), "unit")?,
+            units_served: u64_from_wire(j.get("units_served"), "units_served")?,
+            shard: usize_field(j, "shard")?,
+            wall_s: f64_from_wire(j.get("wall_s"), "wall_s")?,
+            compute_s: f64_from_wire(j.get("compute_s"), "compute_s")?,
+            idle_s: f64_from_wire(j.get("idle_s"), "idle_s")?,
+            spans,
+            counters,
+            events: j.get("events").and_then(Json::as_array).cloned().unwrap_or_default(),
         })
     }
 }
@@ -223,6 +346,10 @@ pub enum Msg {
         version: u32,
         /// This worker's id (telemetry labels only).
         worker_id: u32,
+        /// Whether the learner is recording: `true` asks the worker to
+        /// collect spans/counters/events and ship [`Msg::Telemetry`]
+        /// frames alongside its results.
+        telemetry: bool,
         /// Environment recipe.
         setup: EnvSetup,
     },
@@ -244,6 +371,15 @@ pub enum Msg {
         /// One `(computation, compute_wall_s)` per placement.
         comps: Vec<(EvalComputation, f64)>,
     },
+    /// Worker → learner: observability payload, sent immediately
+    /// before each `Results` frame when the learner asked for it.
+    /// Purely advisory — never touches the training trace.
+    Telemetry {
+        /// Sender's worker id.
+        worker_id: u32,
+        /// Span/counter snapshots, health stats, drained events.
+        stats: WorkerTelemetry,
+    },
     /// Learner → worker: drain and exit cleanly.
     Shutdown,
     /// Either direction: fatal protocol-level failure.
@@ -260,10 +396,11 @@ impl Msg {
             Msg::Hello { version } => {
                 Json::obj([("type", Json::from("hello")), ("version", Json::from(*version as f64))])
             }
-            Msg::Welcome { version, worker_id, setup } => Json::obj([
+            Msg::Welcome { version, worker_id, telemetry, setup } => Json::obj([
                 ("type", Json::from("welcome")),
                 ("version", Json::from(*version as f64)),
                 ("worker_id", Json::from(*worker_id as f64)),
+                ("telemetry", Json::from(*telemetry)),
                 ("setup", setup.to_json()),
             ]),
             Msg::Work { unit, failed_devices, placements } => Json::obj([
@@ -283,6 +420,11 @@ impl Msg {
                 ("type", Json::from("results")),
                 ("unit", u64_to_wire(*unit)),
                 ("comps", Json::arr(comps.iter().map(|(c, w)| comp_to_json(c, *w)))),
+            ]),
+            Msg::Telemetry { worker_id, stats } => Json::obj([
+                ("type", Json::from("telemetry")),
+                ("worker_id", Json::from(*worker_id as f64)),
+                ("stats", stats.to_json()),
             ]),
             Msg::Shutdown => Json::obj([("type", Json::from("shutdown"))]),
             Msg::Error { message } => Json::obj([
@@ -306,6 +448,7 @@ impl Msg {
             Some("welcome") => Ok(Msg::Welcome {
                 version: usize_field(j, "version")? as u32,
                 worker_id: usize_field(j, "worker_id")? as u32,
+                telemetry: j.get("telemetry").and_then(Json::as_bool).unwrap_or(false),
                 setup: EnvSetup::from_json(j.get("setup").ok_or("welcome has no 'setup'")?)?,
             }),
             Some("work") => Ok(Msg::Work {
@@ -331,6 +474,12 @@ impl Msg {
                     .iter()
                     .map(comp_from_json)
                     .collect::<Result<_, _>>()?,
+            }),
+            Some("telemetry") => Ok(Msg::Telemetry {
+                worker_id: usize_field(j, "worker_id")? as u32,
+                stats: WorkerTelemetry::from_json(
+                    j.get("stats").ok_or("telemetry has no 'stats'")?,
+                )?,
             }),
             Some("shutdown") => Ok(Msg::Shutdown),
             Some("error") => Ok(Msg::Error {
@@ -384,7 +533,14 @@ mod tests {
     #[test]
     fn all_messages_roundtrip() {
         roundtrip(Msg::Hello { version: PROTOCOL_VERSION });
-        roundtrip(Msg::Welcome { version: PROTOCOL_VERSION, worker_id: 3, setup: setup() });
+        for telemetry in [false, true] {
+            roundtrip(Msg::Welcome {
+                version: PROTOCOL_VERSION,
+                worker_id: 3,
+                telemetry,
+                setup: setup(),
+            });
+        }
         roundtrip(Msg::Work {
             unit: 7,
             failed_devices: vec![2],
@@ -392,6 +548,67 @@ mod tests {
         });
         roundtrip(Msg::Shutdown);
         roundtrip(Msg::Error { message: "boom".into() });
+    }
+
+    #[test]
+    fn telemetry_roundtrips_with_full_precision() {
+        let stats = WorkerTelemetry {
+            unit: u64::MAX - 9, // beyond f64's exact-integer range
+            units_served: 12,
+            shard: 20,
+            wall_s: 0.1 + 0.2,
+            compute_s: 1e-300,
+            idle_s: 7.25,
+            spans: vec![
+                WireSpan {
+                    path: "net.worker.unit".into(),
+                    count: 12,
+                    total_ns: u64::MAX - 1,
+                    self_ns: 1_000,
+                },
+                WireSpan {
+                    path: "net.worker.unit/sim.measure.compute".into(),
+                    count: 240,
+                    total_ns: 900,
+                    self_ns: 900,
+                },
+            ],
+            counters: vec![
+                ("net.worker.placements_computed".into(), u64::MAX - 7),
+                ("net.worker.units_served".into(), 12),
+            ],
+            events: vec![Json::obj([
+                ("kind", Json::from("event")),
+                ("name", Json::from("net.worker.unit")),
+                ("compute_s", Json::from(0.125)),
+            ])],
+        };
+        let msg = Msg::Telemetry { worker_id: 5, stats: stats.clone() };
+        let back = Msg::from_bytes(&msg.to_bytes()).expect("decodes");
+        let Msg::Telemetry { worker_id, stats: got } = back else { panic!("wrong type") };
+        assert_eq!(worker_id, 5);
+        assert_eq!(got.unit, u64::MAX - 9, "unit must not pass through f64");
+        assert_eq!(got.wall_s.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(got.compute_s.to_bits(), 1e-300f64.to_bits());
+        assert_eq!(got, stats);
+
+        // A telemetry frame missing its snapshots is malformed.
+        assert!(Msg::from_bytes(br#"{"type":"telemetry","worker_id":1,"stats":{}}"#).is_err());
+    }
+
+    /// The v1→v2 additions are additive: a v2 decoder still reads a
+    /// welcome without the `telemetry` flag (defaults to off), because
+    /// mixed-version pairs only discover the mismatch *after* the
+    /// welcome decodes.
+    #[test]
+    fn welcome_without_telemetry_flag_defaults_to_off() {
+        let mut msg =
+            Msg::Welcome { version: 1, worker_id: 0, telemetry: true, setup: setup() }.to_json();
+        let Json::Obj(pairs) = &mut msg else { panic!("welcome is an object") };
+        pairs.retain(|(k, _)| k != "telemetry");
+        let back = Msg::from_json(&msg).expect("decodes");
+        let Msg::Welcome { telemetry, .. } = back else { panic!("wrong type") };
+        assert!(!telemetry, "absent flag must read as disabled");
     }
 
     #[test]

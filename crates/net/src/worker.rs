@@ -7,9 +7,10 @@
 //! plans: everything order-sensitive stays at the learner, which is
 //! what makes worker count invisible in the trace.
 
-use crate::msg::{EnvSetup, Msg, PROTOCOL_VERSION};
+use crate::msg::{EnvSetup, Msg, WireSpan, WorkerTelemetry, PROTOCOL_VERSION};
 use crate::transport::{recv_msg, send_msg, Addr, Conn};
 use mars_graph::generators::{Profile, Workload};
+use mars_json::Json;
 use mars_sim::{Cluster, FaultPlan, Placement, SimEnv};
 use std::time::Instant;
 
@@ -55,42 +56,68 @@ pub fn run(addr: &Addr) -> Result<(), String> {
 /// the learner retries cleanly).
 pub fn serve(mut conn: Conn, unit_limit: Option<u64>) -> Result<(), String> {
     send_msg(&mut conn, &Msg::Hello { version: PROTOCOL_VERSION })?;
-    let (worker_id, setup) = match recv_msg(&mut conn)? {
-        Some(Msg::Welcome { version, worker_id, setup }) => {
+    let (worker_id, telemetry_wanted, setup) = match recv_msg(&mut conn)? {
+        Some(Msg::Welcome { version, worker_id, telemetry, setup }) => {
             if version != PROTOCOL_VERSION {
                 return Err(format!(
                     "protocol version mismatch: worker {PROTOCOL_VERSION}, learner {version}"
                 ));
             }
-            (worker_id, setup)
+            (worker_id, telemetry, setup)
         }
         Some(Msg::Error { message }) => return Err(format!("learner refused: {message}")),
         other => return Err(format!("expected welcome, got {other:?}")),
     };
     let mut env = setup.build_env()?;
-    let _span = mars_telemetry::span("net.worker.serve");
+    // Collect only in a process of our own: in-process worker threads
+    // (tests, benches) share the learner's global registries, and
+    // installing a recorder here would reset them out from under it.
+    let mut collector = (telemetry_wanted && !mars_telemetry::active()).then(Collector::install);
     let mut served: u64 = 0;
+    let mut compute_s = 0.0f64;
+    let mut idle_s = 0.0f64;
     loop {
+        let wait0 = Instant::now();
         match recv_msg(&mut conn)? {
             None | Some(Msg::Shutdown) => return Ok(()),
             Some(Msg::Work { unit, failed_devices, placements }) => {
+                idle_s += wait0.elapsed().as_secs_f64();
                 if unit_limit.is_some_and(|limit| served >= limit) {
                     // Test hook: vanish mid-run without answering.
                     conn.shutdown();
                     return Ok(());
                 }
                 served += 1;
-                env.sync_failures(&failed_devices);
-                let comps: Vec<_> = placements
-                    .into_iter()
-                    .map(|p| {
-                        let t0 = Instant::now();
-                        let comp = env.compute(&Placement(p));
-                        (comp, t0.elapsed().as_secs_f64())
-                    })
-                    .collect();
+                let shard = placements.len();
+                let unit_t0 = Instant::now();
+                let comps: Vec<_> = {
+                    let _span = mars_telemetry::span("net.worker.unit");
+                    env.sync_failures(&failed_devices);
+                    placements
+                        .into_iter()
+                        .map(|p| {
+                            let t0 = Instant::now();
+                            let comp = env.compute(&Placement(p));
+                            (comp, t0.elapsed().as_secs_f64())
+                        })
+                        .collect()
+                };
+                let unit_compute_s = unit_t0.elapsed().as_secs_f64();
+                compute_s += unit_compute_s;
                 mars_telemetry::counter("net.worker.units_served").inc();
                 mars_telemetry::counter("net.worker.placements_computed").add(comps.len() as u64);
+                if let Some(c) = &mut collector {
+                    mars_telemetry::event(
+                        "net.worker.unit",
+                        &[
+                            ("unit", (unit as f64).into()),
+                            ("placements", (shard as f64).into()),
+                            ("compute_s", unit_compute_s.into()),
+                        ],
+                    );
+                    let stats = c.frame(unit, served, shard, compute_s, idle_s);
+                    send_msg(&mut conn, &Msg::Telemetry { worker_id, stats })?;
+                }
                 send_msg(&mut conn, &Msg::Results { unit, comps })?;
             }
             Some(other) => {
@@ -99,6 +126,68 @@ pub fn serve(mut conn: Conn, unit_limit: Option<u64>) -> Result<(), String> {
                 return Err(message);
             }
         }
+    }
+}
+
+/// Worker-side telemetry collection: an in-memory recorder capturing
+/// this process's events, drained into one [`WorkerTelemetry`] frame
+/// per work unit. Span and counter snapshots are shipped cumulative
+/// (idempotent — the learner keeps the latest), events incrementally.
+/// RAII: dropping the collector uninstalls the recorder, so every
+/// `serve` exit path (shutdown, protocol error, crash hook) cleans up.
+struct Collector {
+    sink: mars_telemetry::MemorySink,
+    drained: usize,
+    started: Instant,
+}
+
+impl Collector {
+    fn install() -> Collector {
+        Collector { sink: mars_telemetry::install_memory(), drained: 0, started: Instant::now() }
+    }
+
+    /// Build the telemetry frame riding along with `unit`'s results.
+    fn frame(
+        &mut self,
+        unit: u64,
+        units_served: u64,
+        shard: usize,
+        compute_s: f64,
+        idle_s: f64,
+    ) -> WorkerTelemetry {
+        let lines = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        let events = lines[self.drained..]
+            .iter()
+            .filter_map(|l| Json::parse(l).ok())
+            .filter(|j| j.get("kind").and_then(Json::as_str) == Some("event"))
+            .collect();
+        self.drained = lines.len();
+        drop(lines);
+        WorkerTelemetry {
+            unit,
+            units_served,
+            shard,
+            wall_s: self.started.elapsed().as_secs_f64(),
+            compute_s,
+            idle_s,
+            spans: mars_telemetry::spans::snapshot()
+                .into_iter()
+                .map(|(path, s)| WireSpan {
+                    path,
+                    count: s.count,
+                    total_ns: s.total_ns,
+                    self_ns: s.self_ns,
+                })
+                .collect(),
+            counters: mars_telemetry::metrics::counter_snapshot(),
+            events,
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        mars_telemetry::uninstall();
     }
 }
 

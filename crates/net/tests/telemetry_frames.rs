@@ -1,0 +1,159 @@
+//! Worker telemetry frame path, end to end over an in-process pair.
+//!
+//! These tests drive the learner side of the protocol by hand so they
+//! can pin the exact frame sequence: when the `Welcome` carries
+//! `telemetry: true` and the serving process has no recorder of its
+//! own, every `Results` frame is preceded by one `Telemetry` frame
+//! with cumulative span/counter snapshots and the events drained
+//! since the previous frame.
+//!
+//! They live in their own integration-test binary because the worker
+//! installs (and uninstalls) the process-global memory recorder;
+//! sharing a process with other recorder-using tests would race.
+
+use mars_net::msg::{EnvSetup, Msg, PROTOCOL_VERSION};
+use mars_net::transport::{recv_msg, send_msg, Conn};
+use mars_net::worker::serve;
+use mars_sim::Environment;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the tests: both flip process-global recorder state.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn setup() -> EnvSetup {
+    EnvSetup {
+        workload: "inception_v3".into(),
+        profile: "reduced".into(),
+        seed: 42,
+        fault_plan: String::new(),
+        bad_cutoff_s: 20.0,
+        invalid_penalty_s: 100.0,
+        noise_sigma: 0.03,
+        steps_per_eval: 15,
+        warmup_steps: 5,
+    }
+}
+
+/// Placements of the right length for the reduced inception graph.
+fn placements(count: usize) -> Vec<Vec<usize>> {
+    let n = setup().build_env().expect("env").graph().num_nodes();
+    (0..count).map(|k| (0..n).map(|i| (i + k) % 5).collect()).collect()
+}
+
+fn handshake(learner: &mut Conn, telemetry: bool) {
+    let hello = recv_msg(learner).expect("recv hello").expect("hello frame");
+    assert!(matches!(hello, Msg::Hello { version: PROTOCOL_VERSION }), "{hello:?}");
+    send_msg(
+        learner,
+        &Msg::Welcome { version: PROTOCOL_VERSION, worker_id: 7, telemetry, setup: setup() },
+    )
+    .expect("send welcome");
+}
+
+#[test]
+fn telemetry_frames_precede_results_and_snapshots_are_cumulative() {
+    let _guard = lock();
+    let (mut learner, worker_end) = Conn::pair().expect("pair");
+    let t = std::thread::spawn(move || serve(worker_end, None));
+    handshake(&mut learner, true);
+
+    let span_count = |stats: &mars_net::msg::WorkerTelemetry, path: &str| {
+        stats.spans.iter().find(|s| s.path == path).map(|s| s.count)
+    };
+    let counter = |stats: &mars_net::msg::WorkerTelemetry, name: &str| {
+        stats.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    };
+
+    // Unit 1, two placements.
+    send_msg(
+        &mut learner,
+        &Msg::Work { unit: 1, failed_devices: vec![], placements: placements(2) },
+    )
+    .expect("send work");
+    let Some(Msg::Telemetry { worker_id: 7, stats }) = recv_msg(&mut learner).expect("recv") else {
+        panic!("first frame after work must be telemetry");
+    };
+    assert_eq!((stats.unit, stats.units_served, stats.shard), (1, 1, 2));
+    assert_eq!(span_count(&stats, "net.worker.unit"), Some(1));
+    assert_eq!(span_count(&stats, "net.worker.unit/sim.measure.compute"), Some(2));
+    assert_eq!(counter(&stats, "net.worker.units_served"), Some(1));
+    assert_eq!(counter(&stats, "net.worker.placements_computed"), Some(2));
+    assert_eq!(stats.events.len(), 1, "{:?}", stats.events);
+    assert_eq!(
+        stats.events[0].get("name").and_then(mars_json::Json::as_str),
+        Some("net.worker.unit")
+    );
+    let Some(Msg::Results { unit: 1, comps }) = recv_msg(&mut learner).expect("recv") else {
+        panic!("results must follow telemetry");
+    };
+    assert_eq!(comps.len(), 2);
+
+    // Unit 2, three placements: snapshots grow, events are only the new ones.
+    send_msg(
+        &mut learner,
+        &Msg::Work { unit: 2, failed_devices: vec![], placements: placements(3) },
+    )
+    .expect("send work");
+    let Some(Msg::Telemetry { stats, .. }) = recv_msg(&mut learner).expect("recv") else {
+        panic!("second unit must ship telemetry too");
+    };
+    assert_eq!((stats.unit, stats.units_served, stats.shard), (2, 2, 3));
+    assert_eq!(span_count(&stats, "net.worker.unit"), Some(2), "spans are cumulative");
+    assert_eq!(span_count(&stats, "net.worker.unit/sim.measure.compute"), Some(5));
+    assert_eq!(counter(&stats, "net.worker.placements_computed"), Some(5));
+    assert_eq!(stats.events.len(), 1, "events ship incrementally: {:?}", stats.events);
+    assert!(stats.wall_s >= stats.compute_s, "wall clock includes compute");
+    let Some(Msg::Results { unit: 2, .. }) = recv_msg(&mut learner).expect("recv") else {
+        panic!("results must follow telemetry");
+    };
+
+    send_msg(&mut learner, &Msg::Shutdown).expect("send shutdown");
+    t.join().expect("worker thread").expect("worker exits cleanly");
+    assert!(!mars_telemetry::active(), "worker must uninstall its recorder on exit");
+}
+
+/// A worker sharing its process with an active recorder (in-process
+/// worker threads during instrumented runs) must not install its own
+/// — that would reset the learner's registries — and therefore ships
+/// no frames.
+#[test]
+fn worker_in_a_recording_process_stays_silent() {
+    let _guard = lock();
+    let _sink = mars_telemetry::install_memory();
+    let (mut learner, worker_end) = Conn::pair().expect("pair");
+    let t = std::thread::spawn(move || serve(worker_end, None));
+    handshake(&mut learner, true);
+    send_msg(
+        &mut learner,
+        &Msg::Work { unit: 1, failed_devices: vec![], placements: placements(1) },
+    )
+    .expect("send work");
+    let first = recv_msg(&mut learner).expect("recv").expect("frame");
+    assert!(matches!(first, Msg::Results { unit: 1, .. }), "expected bare results, got {first:?}");
+    send_msg(&mut learner, &Msg::Shutdown).expect("send shutdown");
+    t.join().expect("worker thread").expect("worker exits cleanly");
+    assert!(mars_telemetry::active(), "the test's recorder must survive the worker");
+    mars_telemetry::uninstall();
+}
+
+/// With `telemetry: false` in the welcome the worker ships nothing,
+/// whatever its process state.
+#[test]
+fn telemetry_off_means_no_frames() {
+    let _guard = lock();
+    let (mut learner, worker_end) = Conn::pair().expect("pair");
+    let t = std::thread::spawn(move || serve(worker_end, None));
+    handshake(&mut learner, false);
+    send_msg(
+        &mut learner,
+        &Msg::Work { unit: 1, failed_devices: vec![], placements: placements(1) },
+    )
+    .expect("send work");
+    let first = recv_msg(&mut learner).expect("recv").expect("frame");
+    assert!(matches!(first, Msg::Results { unit: 1, .. }), "expected bare results, got {first:?}");
+    send_msg(&mut learner, &Msg::Shutdown).expect("send shutdown");
+    t.join().expect("worker thread").expect("worker exits cleanly");
+}

@@ -545,6 +545,7 @@ impl SimEnv {
     /// identically configured environment (this is what fleet workers
     /// call; see [`EvalBackend`]).
     pub fn compute(&self, enforced: &Placement) -> EvalComputation {
+        let _span = mars_telemetry::span("sim.measure.compute");
         let report = match check_memory(&self.graph, enforced, &self.cluster) {
             Err(oom) => {
                 // Startup + failure still costs machine time.

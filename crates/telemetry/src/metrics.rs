@@ -259,6 +259,57 @@ mod tests {
         let _ = histogram("test.metrics.bad-edges", &[2.0, 1.0]);
     }
 
+    /// Boundary values land deterministically: an observation exactly
+    /// on an edge belongs to that edge's bucket (inclusive upper
+    /// bound), the next representable float above it overflows into
+    /// the following bucket, and the extremes (0, -0, negatives, MAX,
+    /// +inf) all have a well-defined home.
+    #[test]
+    fn histogram_boundary_values_bucket_exactly() {
+        let h = histogram("test.metrics.boundary", &[0.0, 1.0, 10.0]);
+        h.observe(0.0); // exactly on the first edge → bucket 0
+        h.observe(-0.0); // -0 == 0 → bucket 0
+        h.observe(-1.5); // below every edge → bucket 0
+        h.observe(f64::MIN_POSITIVE); // just above 0 → bucket 1
+        h.observe(1.0); // exactly on edge 1 → bucket 1
+        h.observe(1.0 + f64::EPSILON); // nextafter(1) → bucket 2
+        h.observe(10.0); // last finite edge → bucket 2
+        h.observe(f64::MAX); // → overflow
+        h.observe(f64::INFINITY); // → overflow
+        assert_eq!(h.bucket_counts(), vec![3, 2, 2, 2]);
+        assert_eq!(h.count(), 9);
+        // NaN compares false against every edge → overflow bucket,
+        // never a panic or a lost observation.
+        h.observe(f64::NAN);
+        assert_eq!(h.bucket_counts(), vec![3, 2, 2, 3]);
+        assert_eq!(h.count(), 10);
+    }
+
+    /// Concurrent observers must keep count, bucket totals, and the
+    /// CAS-looped sum exact — bucket sums equal the total count, and
+    /// the f64 sum is order-independent because every observation is
+    /// identical.
+    #[test]
+    fn concurrent_histogram_observations_are_lossless() {
+        let h = histogram("test.metrics.hist-concurrent", &[0.5, 1.5]);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        h.observe(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("observer thread");
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.bucket_counts(), vec![0, 4000, 0]);
+        assert_eq!(h.sum(), 4000.0, "CAS loop must not lose additions");
+    }
+
     #[test]
     fn snapshots_contain_registered_names() {
         counter("test.metrics.snap").add(7);

@@ -10,11 +10,20 @@
 //!   tree (`"kind": "spans"`), counter totals (`"kind": "counters"`),
 //!   last gauge readings (`"kind": "gauges"`), and histogram buckets
 //!   (`"kind": "histograms"`).
+//! * **merged records** — appended live via [`append_record`]: the
+//!   fleet learner folds worker-shipped snapshots into the run as
+//!   `"kind": "worker_spans"` / `"kind": "worker_counters"` records
+//!   (last snapshot per worker wins at summarize time).
 //!
 //! Installing a recorder resets the span and metric registries and
 //! enables span collection, so every run's file is self-contained.
 //! With no recorder installed, [`event`] returns after one relaxed
 //! atomic load — instrumentation can stay in place permanently.
+//!
+//! File sinks flush after every record: events are low-rate (per
+//! update / per evaluation round, never per kernel), and a line-
+//! complete file is what lets `mars-cli metrics tail --follow` watch
+//! a run live.
 
 use crate::{metrics, spans};
 use mars_json::Json;
@@ -37,8 +46,10 @@ impl Sink {
         match self {
             Sink::File(w) => {
                 // Recording must never abort training; a full disk just
-                // loses telemetry.
+                // loses telemetry. Flush per record so a live tail (or
+                // a post-crash summarize) sees every complete line.
                 let _ = writeln!(w, "{line}");
+                let _ = w.flush();
             }
             Sink::Memory(buf) => {
                 buf.lock().unwrap_or_else(|e| e.into_inner()).push(line.to_string());
@@ -113,6 +124,19 @@ pub fn event(name: &str, fields: &[(&str, Json)]) {
     }
     let line = Json::Obj(pairs).to_string();
     rec.sink.write_line(&line);
+}
+
+/// Append one pre-encoded record verbatim (no `seq` assigned). The
+/// fleet learner uses this to merge worker-shipped span/counter
+/// snapshots (`"kind": "worker_spans"` / `"kind": "worker_counters"`)
+/// into the single run file. No-op without an installed recorder.
+pub fn append_record(record: &Json) {
+    if !active() {
+        return;
+    }
+    let mut slot = slot().lock().unwrap_or_else(|e| e.into_inner());
+    let Some(rec) = slot.as_mut() else { return };
+    rec.sink.write_line(&record.to_string());
 }
 
 fn span_summary_record() -> Json {
@@ -269,6 +293,68 @@ mod tests {
             .find(|j| j["kind"].as_str() == Some("counters"))
             .expect("counters record");
         assert!(counters["counters"]["test.recorder.reset"].is_null());
+    }
+
+    #[test]
+    fn append_record_passes_records_through_verbatim() {
+        let _serial = test_lock();
+        let rec = Json::obj([
+            ("kind", Json::from("worker_spans")),
+            ("worker", Json::from(3u64)),
+            ("spans", Json::arr([Json::obj([("path", Json::from("net.worker.unit"))])])),
+        ]);
+        // Without a recorder: silently dropped.
+        append_record(&rec);
+        let sink = install_memory();
+        append_record(&rec);
+        assert!(uninstall());
+        let lines = sink.lock().expect("sink").clone();
+        let back = Json::parse(&lines[0]).expect("valid JSON");
+        assert_eq!(back, rec, "record must land byte-equivalent, with no seq added");
+    }
+
+    /// Many threads hammering `event` concurrently must interleave
+    /// whole lines: exactly one line per event, every line valid JSON,
+    /// and the seq numbers a contiguous 1..=N permutation.
+    #[test]
+    fn concurrent_writers_interleave_whole_lines_with_exact_seqs() {
+        let _serial = test_lock();
+        const THREADS: usize = 8;
+        const EVENTS: usize = 250;
+        let sink = install_memory();
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..EVENTS {
+                        event(
+                            "test.recorder.contend",
+                            &[("t", Json::from(t as u64)), ("i", Json::from(i as u64))],
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("writer thread");
+        }
+        assert!(uninstall());
+        let lines = sink.lock().expect("sink").clone();
+        let events: Vec<Json> = lines
+            .iter()
+            .map(|l| Json::parse(l).expect("every line parses — no torn interleaving"))
+            .filter(|j| j["kind"].as_str() == Some("event"))
+            .collect();
+        assert_eq!(events.len(), THREADS * EVENTS, "exactly one line per event");
+        let mut seqs: Vec<u64> =
+            events.iter().map(|j| j["seq"].as_u64().expect("seq present")).collect();
+        seqs.sort_unstable();
+        let want: Vec<u64> = (1..=(THREADS * EVENTS) as u64).collect();
+        assert_eq!(seqs, want, "seqs must be a contiguous permutation — no losses, no dups");
+        // Per-thread payloads all arrived.
+        for t in 0..THREADS as u64 {
+            let n = events.iter().filter(|j| j["t"].as_u64() == Some(t)).count();
+            assert_eq!(n, EVENTS, "thread {t} lost events");
+        }
     }
 
     #[test]

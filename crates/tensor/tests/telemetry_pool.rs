@@ -2,7 +2,7 @@
 //! atomic counter must see every increment exactly once, no matter how
 //! the chunks are distributed across pool workers.
 
-use mars_tensor::pool::par_chunks_mut;
+use mars_tensor::pool::{par_chunks_mut, par_tasks};
 
 #[test]
 fn counter_increments_from_pool_workers_are_exact() {
@@ -32,4 +32,30 @@ fn element_counts_from_pool_workers_are_exact() {
     });
 
     assert_eq!(counter.get() - before, total);
+}
+
+/// Histogram observations under `par_tasks` contention: the
+/// CAS-summed `sum` and the per-bucket atomics must account for every
+/// observation exactly, with each value in its own bucket.
+#[test]
+fn histogram_observations_under_par_tasks_are_exact() {
+    const TASKS: usize = 1_000;
+    let edges = [10.0, 100.0, 1_000.0];
+    let hist = mars_telemetry::histogram("test.pool.tasks_hist", &edges);
+    let (count0, buckets0, sum0) = (hist.count(), hist.bucket_counts(), hist.sum());
+
+    // Task i observes i as f64: 0..=10 land in bucket 0, 11..=100 in
+    // bucket 1, 101..=1000 in bucket 2. Integer-valued partial sums
+    // stay below 2^53, so every CAS addition is exact in any order
+    // and the total must come out to exactly Σ i.
+    par_tasks(TASKS + 1, 8, |i| {
+        mars_telemetry::histogram("test.pool.tasks_hist", &edges).observe(i as f64);
+    });
+
+    assert_eq!(hist.count() - count0, (TASKS + 1) as u64);
+    let delta: Vec<u64> =
+        hist.bucket_counts().iter().zip(&buckets0).map(|(b, b0)| b - b0).collect();
+    assert_eq!(delta, vec![11, 90, 900, 0], "bucket totals under contention");
+    let expected: f64 = (0..=TASKS).map(|i| i as f64).sum();
+    assert_eq!((hist.sum() - sum0).to_bits(), expected.to_bits(), "summed total is lossless");
 }

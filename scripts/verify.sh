@@ -26,12 +26,31 @@ diff <(echo "$SERIAL_OUT") <(echo "$ENGINE_OUT") || {
     echo "parallel evaluation changed training output"; exit 1; }
 
 echo "==> fleet smoke: learner + 2 spawned workers must print identically to in-process"
+# The merged trace lands in target/experiments/ so CI can upload it as
+# an artifact; recording it must not change the training output.
+mkdir -p target/experiments
+FLEET_TRACE=target/experiments/fleet_run.jsonl
 FLEET_OUT=$(./target/release/mars-cli train inception --budget 40 --dgi-iters 10 --seed 1 \
-    --workers 2)
+    --workers 2 --telemetry "$FLEET_TRACE")
 echo "$FLEET_OUT" | grep -q "^fleet: 2 worker(s) connected" || {
     echo "fleet run did not report its workers"; exit 1; }
-diff <(echo "$FLEET_OUT" | grep -v "^fleet") <(echo "$SERIAL_OUT") || {
+diff <(echo "$FLEET_OUT" | grep -v "^fleet\|^telemetry written") <(echo "$SERIAL_OUT") || {
     echo "distributed evaluation changed training output"; exit 1; }
+
+echo "==> fleet observability: summarize, flame, and tail over the merged trace"
+FLEET_SUMMARY=$(./target/release/mars-cli metrics summarize "$FLEET_TRACE")
+echo "$FLEET_SUMMARY" | grep -q "== worker 0 span tree" || {
+    echo "fleet summary has no per-worker span tree"; exit 1; }
+echo "$FLEET_SUMMARY" | grep -q "workers: 2 connected" || {
+    echo "fleet summary has no fleet health table"; exit 1; }
+echo "$FLEET_SUMMARY" | grep -q "frames" || {
+    echo "fleet summary has no wire counters"; exit 1; }
+./target/release/mars-cli metrics flame "$FLEET_TRACE" 2>/dev/null | grep -q "^learner;" || {
+    echo "flame export has no learner stacks"; exit 1; }
+./target/release/mars-cli metrics flame "$FLEET_TRACE" 2>/dev/null | grep -q "^worker:0;" || {
+    echo "flame export has no worker stacks"; exit 1; }
+./target/release/mars-cli metrics tail "$FLEET_TRACE" --lines 0 | grep -q "run complete" || {
+    echo "tail did not reach the end-of-run marker"; exit 1; }
 
 echo "==> fleet smoke: 2 external workers over a named unix socket"
 FLEET_SOCK=$(mktemp -u /tmp/mars-fleet-XXXXXX.sock)
@@ -88,4 +107,4 @@ diff <(echo "$FAULT_A") <(echo "$FAULT_C") || {
 diff <(echo "$FAULT_A" | grep -v "^eval cache") <(echo "$FAULT_D" | grep -v "^eval cache") || {
     echo "disabling the eval cache changed a faulty run"; exit 1; }
 
-echo "==> OK: build, tests, bench smoke, engine parity, fleet, telemetry and fault smokes all green"
+echo "==> OK: build, tests, bench smoke, engine parity, fleet, observability and fault smokes all green"

@@ -8,6 +8,8 @@
 //! mars-cli dot      <workload> [--max-nodes N]      Graphviz export to stdout
 //! mars-cli evaluate <workload> --placement <name>   measure one placement
 //! mars-cli metrics summarize <run.jsonl>            render a telemetry capture
+//! mars-cli metrics tail <run.jsonl> [options]       one line per record, live with --follow
+//! mars-cli metrics flame <run.jsonl>                collapsed stacks for flamegraph tools
 //! mars-cli bench-gate --current <b.json> [options]  compare a bench run to baseline
 //!
 //! workloads:  inception | gnmt | bert | vgg | seq2seq | transformer
@@ -23,6 +25,7 @@
 //!                --connect ADDR         run as a rollout worker
 //!                (ADDR is host:port or unix:<path>; worker count
 //!                 never changes the training trace — see DESIGN.md)
+//! metrics tail:  --lines N (default 20, 0 = all)   --follow
 //! bench-gate:    --current <bench.json>   --baseline <bench.json>
 //!                --min-ratio R (default 0.5)
 //! ```
@@ -30,7 +33,14 @@
 //! `--telemetry <path>` records a JSONL event stream (per-iteration DGI
 //! loss, per-update PPO diagnostics, per-evaluation simulator gauges,
 //! and a span-tree profile of the hot kernels); inspect it afterwards
-//! with `mars-cli metrics summarize <path>`.
+//! with `mars-cli metrics summarize <path>`. In a fleet run the same
+//! file also carries each worker's shipped spans, counters, and health
+//! heartbeats, so the summary covers the whole fleet. `metrics tail
+//! --follow` renders records live as the run writes them (it exits
+//! when the end-of-run summary records appear); `metrics flame` folds
+//! span self-times into collapsed-stack lines (one process prefix per
+//! learner/worker) ready for `flamegraph.pl` or inferno, and prints a
+//! per-process kernel profile on stderr so stdout stays pipeable.
 //!
 //! `--fault-plan` injects deterministic failures into the simulated
 //! cluster (see `mars_sim::FaultPlan::parse` for the grammar):
@@ -330,15 +340,26 @@ fn cmd_pretrain(workload: Workload, profile: Profile, flags: &Flags) -> Result<(
 }
 
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
-    let (Some(sub), Some(path)) = (args.first(), args.get(1)) else {
-        return Err("usage: mars-cli metrics summarize <run.jsonl>".into());
-    };
-    if sub != "summarize" {
-        return Err(format!("unknown metrics subcommand '{sub}' (expected 'summarize')"));
+    let usage = "usage: mars-cli metrics <summarize|tail|flame> <run.jsonl> \
+                 [--lines N] [--follow]";
+    let (Some(sub), Some(path)) = (args.first(), args.get(1)) else { return Err(usage.into()) };
+    match sub.as_str() {
+        "summarize" => cmd_metrics_summarize(path),
+        "tail" => cmd_metrics_tail(path, &Flags::parse(&args[2..])),
+        "flame" => cmd_metrics_flame(path),
+        other => Err(format!(
+            "unknown metrics subcommand '{other}' (expected summarize, tail, or flame)"
+        )),
     }
+}
+
+fn load_summary(path: &str) -> Result<mars::telemetry::RunSummary, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
-    let summary =
-        mars::telemetry::summarize(&text).map_err(|e| format!("cannot summarize '{path}': {e}"))?;
+    mars::telemetry::summarize(&text).map_err(|e| format!("cannot summarize '{path}': {e}"))
+}
+
+fn cmd_metrics_summarize(path: &str) -> Result<(), String> {
+    let summary = load_summary(path)?;
     print!("{}", summary.render());
     let kernel_share = summary.self_time_fraction(&["tensor.", "nn.", "autograd."]);
     if kernel_share > 0.0 {
@@ -350,13 +371,162 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     if let Some(report) = summary.fault_report() {
         print!("{}", report.render());
     }
+    if let Some(report) = summary.fleet_report() {
+        print!("{}", report.render());
+    }
     Ok(())
+}
+
+/// Fold span self-times into collapsed-stack lines
+/// (`process;frame;frame value`), the input format of `flamegraph.pl`
+/// and inferno. Stacks go to stdout (pipeable); the per-process
+/// kernel profile goes to stderr.
+fn cmd_metrics_flame(path: &str) -> Result<(), String> {
+    let summary = load_summary(path)?;
+    let stacks = summary.collapsed_stacks();
+    if stacks.is_empty() {
+        return Err(format!(
+            "'{path}' has no span data to fold (was the run recorded with --telemetry?)"
+        ));
+    }
+    print!("{stacks}");
+    for (process, rows) in summary.process_profiles() {
+        let total: u64 = rows.iter().map(|(_, us)| *us).sum::<u64>().max(1);
+        let top: Vec<String> = rows
+            .iter()
+            .take(5)
+            .map(|(leaf, us)| format!("{leaf} {:.1}%", *us as f64 * 100.0 / total as f64))
+            .collect();
+        eprintln!("{process}: {}", top.join(", "));
+    }
+    Ok(())
+}
+
+/// Render one line per record, oldest first. `--lines N` bounds the
+/// initial backlog (0 = all); `--follow` then polls the file and
+/// renders records as the run appends them, tolerating a torn final
+/// line, until the end-of-run summary records appear.
+fn cmd_metrics_tail(path: &str, flags: &Flags) -> Result<(), String> {
+    let follow = flags.switch("follow")?;
+    let backlog: usize = flags.parsed("lines", 20)?;
+    let read = |from: u64| -> Result<String, String> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = std::fs::File::open(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+        f.seek(SeekFrom::Start(from)).map_err(|e| format!("cannot seek '{path}': {e}"))?;
+        let mut text = String::new();
+        f.read_to_string(&mut text).map_err(|e| format!("cannot read '{path}': {e}"))?;
+        Ok(text)
+    };
+    // Only consume up to the last newline: the writer flushes whole
+    // lines, but we may race the OS mid-append.
+    let complete_prefix = |text: &str| text.rfind('\n').map_or(0, |at| at + 1);
+
+    let text = read(0)?;
+    let mut consumed = complete_prefix(&text) as u64;
+    let lines: Vec<&str> = text[..consumed as usize].lines().collect();
+    let skip = if backlog == 0 { 0 } else { lines.len().saturating_sub(backlog) };
+    let mut complete = false;
+    for line in &lines[skip..] {
+        complete |= print_tail_line(line);
+    }
+    if !follow || complete {
+        return Ok(());
+    }
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let fresh = read(consumed)?;
+        let upto = complete_prefix(&fresh);
+        for line in fresh[..upto].lines() {
+            if print_tail_line(line) {
+                return Ok(());
+            }
+        }
+        consumed += upto as u64;
+    }
+}
+
+/// Print one record; `true` once the run is complete (the recorder
+/// writes its `histograms` summary last, at uninstall).
+fn print_tail_line(line: &str) -> bool {
+    let Ok(j) = Json::parse(line) else { return false };
+    println!("{}", mars::telemetry::summary::tail_line(&j));
+    j.get("kind").and_then(Json::as_str) == Some("histograms")
+}
+
+/// One parsed bench-JSON file: its aggregate speedup plus per-arm
+/// medians.
+#[derive(Debug)]
+struct BenchRun {
+    speedup: f64,
+    arms: Vec<(String, f64)>,
+}
+
+fn parse_bench_run(path: &str, text: &str) -> Result<BenchRun, String> {
+    let json = Json::parse(text).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+    // An empty run is a broken run: a bench JSON that carries no
+    // samples must fail the gate loudly, not pass it vacuously
+    // (and certainly not panic on an index).
+    let samples = match json.get("benchmarks").and_then(Json::as_array) {
+        Some(samples) if !samples.is_empty() => samples,
+        _ => {
+            return Err(format!(
+                "'{path}' has no benchmark samples (missing or empty 'benchmarks' array)"
+            ))
+        }
+    };
+    let arms = samples
+        .iter()
+        .map(|s| {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("'{path}' has a benchmark sample without a 'name'"))?;
+            let median = s
+                .get("median_ns")
+                .and_then(Json::as_f64)
+                .filter(|m| *m > 0.0)
+                .ok_or_else(|| format!("'{path}': arm '{name}' has no positive 'median_ns'"))?;
+            Ok((name.to_string(), median))
+        })
+        .collect::<Result<_, String>>()?;
+    let speedup = json
+        .get("speedup")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("'{path}' has no numeric 'speedup' field"))?;
+    Ok(BenchRun { speedup, arms })
+}
+
+/// Per-arm regression ratios between two bench runs. Raw medians are
+/// not comparable across runs (a smoke run uses fewer rounds than the
+/// committed baseline), so each arm is first normalized to its own
+/// file's serial arm — speedup(arm) = serial_median / arm_median —
+/// and the ratio compares those speedups. Arms missing from either
+/// file, and the serial arm itself (its ratio is 1 by construction),
+/// are skipped.
+fn bench_arm_ratios(current: &BenchRun, baseline: &BenchRun) -> Vec<(String, f64)> {
+    let serial =
+        |run: &BenchRun| run.arms.iter().find(|(name, _)| name.contains("serial")).map(|(_, m)| *m);
+    let (Some(serial_cur), Some(serial_base)) = (serial(current), serial(baseline)) else {
+        return Vec::new();
+    };
+    current
+        .arms
+        .iter()
+        .filter(|(name, _)| !name.contains("serial"))
+        .filter_map(|(name, median_cur)| {
+            let (_, median_base) = baseline.arms.iter().find(|(n, _)| n == name)?;
+            let ratio = (serial_cur / median_cur) / (serial_base / median_base);
+            Some((name.clone(), ratio))
+        })
+        .collect()
 }
 
 /// Compare a fresh benchmark JSON against the committed baseline and
 /// fail when end-to-end throughput regressed beyond the tolerance.
-/// Gate metric: rollout speedup (threads+cache vs serial) must stay
-/// within `--min-ratio` of the baseline's speedup.
+/// Two checks, both against `--min-ratio`: the aggregate rollout
+/// speedup (threads+cache vs serial), and each individual arm's
+/// serial-normalized speedup — so a failure names the arm that
+/// regressed, not just the blended number.
 fn cmd_bench_gate(flags: &Flags) -> Result<(), String> {
     let current_path = flags
         .string_opt("current")?
@@ -367,35 +537,34 @@ fn cmd_bench_gate(flags: &Flags) -> Result<(), String> {
     if !(0.0..=1.0).contains(&min_ratio) {
         return Err(format!("invalid value '{min_ratio}' for --min-ratio (expected 0..=1)"));
     }
-    let speedup_of = |path: &str| -> Result<f64, String> {
+    let load = |path: &str| -> Result<BenchRun, String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
-        let json = Json::parse(&text).map_err(|e| format!("cannot parse '{path}': {e}"))?;
-        // An empty run is a broken run: a bench JSON that carries no
-        // samples must fail the gate loudly, not pass it vacuously
-        // (and certainly not panic on an index).
-        match json.get("benchmarks").and_then(Json::as_array) {
-            Some(samples) if !samples.is_empty() => {}
-            _ => {
-                return Err(format!(
-                    "'{path}' has no benchmark samples (missing or empty 'benchmarks' array)"
-                ))
-            }
-        }
-        json.get("speedup")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("'{path}' has no numeric 'speedup' field"))
+        parse_bench_run(path, &text)
     };
-    let baseline = speedup_of(&baseline_path)?;
-    let current = speedup_of(&current_path)?;
-    if baseline <= 0.0 {
-        return Err(format!("baseline speedup {baseline} in '{baseline_path}' is not positive"));
+    let baseline = load(&baseline_path)?;
+    let current = load(&current_path)?;
+    if baseline.speedup <= 0.0 {
+        return Err(format!(
+            "baseline speedup {} in '{baseline_path}' is not positive",
+            baseline.speedup
+        ));
     }
-    let ratio = current / baseline;
+    let ratio = current.speedup / baseline.speedup;
     println!(
-        "bench gate: current speedup {current:.3} vs baseline {baseline:.3} \
-         (ratio {ratio:.3}, floor {min_ratio:.3})"
+        "bench gate: current speedup {:.3} vs baseline {:.3} (ratio {ratio:.3}, floor \
+         {min_ratio:.3})",
+        current.speedup, baseline.speedup
     );
+    for (arm, arm_ratio) in bench_arm_ratios(&current, &baseline) {
+        println!("bench gate: arm '{arm}' serial-normalized ratio {arm_ratio:.3}");
+        if arm_ratio < min_ratio {
+            return Err(format!(
+                "benchmark regression in arm '{arm}': serial-normalized speedup ratio \
+                 {arm_ratio:.3} fell below the {min_ratio:.3} floor"
+            ));
+        }
+    }
     if ratio < min_ratio {
         return Err(format!(
             "benchmark regression: speedup ratio {ratio:.3} fell below the {min_ratio:.3} floor"
@@ -496,5 +665,64 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(serial_ns: f64, threads_ns: f64, fleet_ns: f64) -> String {
+        format!(
+            r#"{{"benchmarks":[
+                {{"name":"rollout_e2e/serial_nocache","iters":6,"median_ns":{serial_ns}}},
+                {{"name":"rollout_e2e/threads4_cache","iters":6,"median_ns":{threads_ns}}},
+                {{"name":"rollout_e2e/fleet2_unix","iters":6,"median_ns":{fleet_ns}}}],
+                "speedup":{}}}"#,
+            serial_ns / threads_ns
+        )
+    }
+
+    #[test]
+    fn arm_ratios_are_serial_normalized_and_skip_serial() {
+        // The current run is uniformly 10× faster in wall-clock than
+        // the baseline (fewer rounds), but every arm kept its speedup
+        // over serial — so every normalized ratio is exactly 1.
+        let baseline = parse_bench_run("b", &bench_json(1000.0, 500.0, 800.0)).expect("baseline");
+        let current = parse_bench_run("c", &bench_json(100.0, 50.0, 80.0)).expect("current");
+        let ratios = bench_arm_ratios(&current, &baseline);
+        assert_eq!(ratios.len(), 2, "serial arm must be skipped: {ratios:?}");
+        for (arm, ratio) in &ratios {
+            assert!((ratio - 1.0).abs() < 1e-12, "{arm}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn regressed_arm_is_named() {
+        let baseline = parse_bench_run("b", &bench_json(1000.0, 500.0, 800.0)).expect("baseline");
+        // The fleet arm got slower than serial; the threads arm held.
+        let current = parse_bench_run("c", &bench_json(1000.0, 500.0, 4000.0)).expect("current");
+        let ratios = bench_arm_ratios(&current, &baseline);
+        let fleet =
+            ratios.iter().find(|(arm, _)| arm.contains("fleet")).expect("fleet arm compared");
+        assert!(fleet.1 < 0.5, "fleet regression must show: {ratios:?}");
+        let threads = ratios.iter().find(|(arm, _)| arm.contains("threads")).expect("threads arm");
+        assert!((threads.1 - 1.0).abs() < 1e-12, "healthy arm must not trip: {ratios:?}");
+    }
+
+    #[test]
+    fn missing_serial_arm_disables_per_arm_checks() {
+        let no_serial = r#"{"benchmarks":[{"name":"only_arm","median_ns":10.0}],"speedup":1.0}"#;
+        let run = parse_bench_run("p", no_serial).expect("parses");
+        assert!(bench_arm_ratios(&run, &run).is_empty());
+    }
+
+    #[test]
+    fn malformed_bench_files_are_rejected() {
+        let e = parse_bench_run("p", r#"{"benchmarks":[],"speedup":1.0}"#).expect_err("empty");
+        assert!(e.contains("no benchmark samples"), "{e}");
+        let e = parse_bench_run("p", r#"{"benchmarks":[{"name":"a","median_ns":0}],"speedup":1}"#)
+            .expect_err("zero median");
+        assert!(e.contains("'a'"), "{e}");
     }
 }

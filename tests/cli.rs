@@ -165,7 +165,7 @@ fn bench_gate_fails_on_regression() {
     let bad = dir.join("regressed.json");
     std::fs::write(
         &bad,
-        r#"{"benchmarks": [{"name": "rollout_e2e/serial_nocache", "iters": 1}], "speedup": 0.01}"#,
+        r#"{"benchmarks": [{"name": "rollout_e2e/serial_nocache", "iters": 1, "median_ns": 133000000}], "speedup": 0.01}"#,
     )
     .expect("write");
     let out = cli()
@@ -249,6 +249,130 @@ fn fleet_train_matches_in_process_byte_for_byte() {
         String::from_utf8_lossy(&inproc.stdout),
         "fleet run diverged from in-process"
     );
+}
+
+#[test]
+fn fleet_telemetry_merges_into_one_observable_run_file() {
+    // The observability acceptance path: a spawned 2-worker fleet run
+    // with --telemetry produces ONE merged JSONL that summarize,
+    // flame, and tail can each render with per-worker attribution.
+    let dir = std::env::temp_dir().join("mars-cli-fleet-telemetry");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let run = dir.join("fleet_run.jsonl");
+    let run_path = run.to_str().expect("utf8 path");
+    let out = cli()
+        .args(["train", "inception", "--budget", "40", "--dgi-iters", "10", "--seed", "1"])
+        .args(["--workers", "2", "--telemetry", run_path])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(run.exists(), "merged run file written");
+
+    // summarize: learner span tree, per-worker span trees, the fleet
+    // health table, and the wire counters — all from the one file.
+    let out = cli().args(["metrics", "summarize", run_path]).output().expect("summarize");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("== span tree"), "{text}");
+    for worker in ["worker 0", "worker 1"] {
+        assert!(text.contains(&format!("== {worker} span tree")), "{text}");
+    }
+    assert!(text.contains("net.worker.unit"), "worker spans attributed: {text}");
+    assert!(text.contains("== fleet =="), "{text}");
+    assert!(text.contains("workers: 2 connected"), "{text}");
+    assert!(text.contains("frames"), "net counters surfaced: {text}");
+    assert!(text.contains("units/s"), "health table rendered: {text}");
+
+    // flame: collapsed-stack lines (`stack value`), one process
+    // prefix per participant.
+    let out = cli().args(["metrics", "flame", run_path]).output().expect("flame");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().any(|l| l.starts_with("learner;")), "{text}");
+    for worker in ["worker:0;", "worker:1;"] {
+        assert!(text.lines().any(|l| l.starts_with(worker)), "{text}");
+    }
+    for line in text.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("collapsed line has a value");
+        assert!(
+            !stack.is_empty() && !stack.contains(' '),
+            "frames must not contain spaces: {line}"
+        );
+        value.parse::<u64>().expect("collapsed value is an integer");
+    }
+
+    // tail: one line per record; a complete run ends at the
+    // histograms summary, so --follow terminates on its own.
+    let out = cli()
+        .args(["metrics", "tail", run_path, "--lines", "0", "--follow"])
+        .output()
+        .expect("tail");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("run complete"), "{text}");
+    assert!(text.contains("fleet.health"), "health heartbeats in the tail: {text}");
+    let bounded = cli().args(["metrics", "tail", run_path, "--lines", "5"]).output().expect("tail");
+    assert!(bounded.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&bounded.stdout).lines().count(),
+        5,
+        "--lines bounds output"
+    );
+
+    let _ = std::fs::remove_file(run);
+}
+
+#[test]
+fn bench_gate_names_the_regressed_arm() {
+    // Per-arm gating is serial-normalized, so a current file with a
+    // faster absolute wall-clock can still fail on the one arm whose
+    // speedup over serial collapsed — and the error must say which.
+    let dir = std::env::temp_dir().join("mars-cli-bench-gate");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let bad = dir.join("arm-regressed.json");
+    std::fs::write(
+        &bad,
+        r#"{"benchmarks": [
+            {"name": "rollout_e2e/serial_nocache", "iters": 6, "median_ns": 13000000},
+            {"name": "rollout_e2e/threads4_cache", "iters": 6, "median_ns": 8500000},
+            {"name": "rollout_e2e/fleet2_unix", "iters": 6, "median_ns": 90000000}],
+            "speedup": 1.53}"#,
+    )
+    .expect("write");
+    let out = cli()
+        .args(["bench-gate", "--current", bad.to_str().expect("utf8"), "--min-ratio", "0.5"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success(), "the collapsed fleet arm must fail the gate");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("fleet2_unix"), "the failing arm must be named: {err}");
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn summarize_survives_a_torn_final_line() {
+    // A crash mid-write leaves a torn last line; summarize must render
+    // the surviving records and say what it skipped.
+    let dir = std::env::temp_dir().join("mars-cli-torn-line");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let run = dir.join("torn.jsonl");
+    std::fs::write(
+        &run,
+        concat!(
+            r#"{"seq":1,"kind":"event","name":"ppo.update","loss":0.5}"#,
+            "\n",
+            r#"{"seq":2,"kind":"event","name":"ppo.up"#, // torn mid-record
+        ),
+    )
+    .expect("write");
+    let out = cli()
+        .args(["metrics", "summarize", run.to_str().expect("utf8")])
+        .output()
+        .expect("summarize");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("skipped 1 malformed line"), "{text}");
+    let _ = std::fs::remove_file(run);
 }
 
 #[test]

@@ -19,7 +19,17 @@ use mars::net::{worker, Conn, EnvSetup, FleetBackend};
 use mars::sim::{Cluster, Environment, FaultPlan};
 use mars_rng::rngs::StdRng;
 use mars_rng::SeedableRng;
+use std::sync::{Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+/// Serializes the tests in this binary: they read deltas of the
+/// process-global `net.*` counters, and the instrumented run installs
+/// (and resets) the process-global recorder — interleaving would make
+/// both racy.
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn tiny_cfg() -> MarsConfig {
     let mut c = MarsConfig::small();
@@ -146,6 +156,7 @@ fn assert_same_trace(
 
 #[test]
 fn fleet_runs_are_bit_identical_to_in_process() {
+    let _guard = serialize();
     let reference = run(None, None);
     for workers in [1, 4] {
         let got = run(None, Some(Fleet::of(workers)));
@@ -155,6 +166,7 @@ fn fleet_runs_are_bit_identical_to_in_process() {
 
 #[test]
 fn faulty_fleet_runs_are_bit_identical_to_in_process() {
+    let _guard = serialize();
     let reference = run(Some(PLAN), None);
     assert_eq!(reference.1, vec![2], "the planned device failure fired");
     for workers in [1, 4] {
@@ -165,6 +177,7 @@ fn faulty_fleet_runs_are_bit_identical_to_in_process() {
 
 #[test]
 fn mid_run_worker_crash_is_a_clean_retry_not_a_divergence() {
+    let _guard = serialize();
     let reference = run(Some(PLAN), None);
     // Two workers; one vanishes after its first unit, mid-training.
     let lost_before = mars::telemetry::counter("net.worker_lost").get();
@@ -183,4 +196,30 @@ fn mid_run_worker_crash_is_a_clean_retry_not_a_divergence() {
     let got = run(Some(PLAN), Some(all_crash));
     assert!(mars::telemetry::counter("net.worker_lost").get() >= lost_before + 2);
     assert_same_trace(&reference, &got, "all workers crashed");
+}
+
+/// Observability is an engine knob too: recording a fleet run (the
+/// learner's recorder active through every handshake, dispatch, and
+/// merge) must leave the training trace bit-identical to the same
+/// fleet run unrecorded — and still produce a capture that describes
+/// the fleet.
+#[test]
+fn instrumented_fleet_run_matches_plain_fleet_run() {
+    let _guard = serialize();
+    let reference = run(Some(PLAN), Some(Fleet::of(2)));
+    let sink = mars::telemetry::install_memory();
+    let got = run(Some(PLAN), Some(Fleet::of(2)));
+    mars::telemetry::uninstall();
+    assert_same_trace(&reference, &got, "telemetry recorder installed");
+
+    let lines = sink.lock().expect("sink").join("\n");
+    let summary = mars::telemetry::summarize(&lines).expect("capture parses");
+    let report = summary.fleet_report().expect("a recorded fleet run has a fleet report");
+    assert_eq!(report.workers_connected, 2, "both handshakes recorded");
+    assert!(report.units_completed > 0, "unit completions recorded");
+    assert!(report.frames_tx > 0 && report.frames_rx > 0, "wire counters recorded");
+    assert!(
+        summary.spans.iter().any(|s| s.path.contains("net.fleet.compute_batch")),
+        "fleet dispatch spans recorded"
+    );
 }
