@@ -101,6 +101,21 @@ pub enum Op {
         /// Forward-pass activations cached for BPTT.
         cache: Arc<LstmCache>,
     },
+    /// Fused additive-attention scores
+    /// `s = (tanh(proj ⊕ dproj) · v)ᵀ` — the
+    /// `add_bias → tanh → matmul → transpose` chain of a Bahdanau read
+    /// collapsed into one node (`1 × T` output, no `T × A`
+    /// intermediates on the tape).
+    AttnScores {
+        /// Projected encoder keys (`T × A`).
+        proj: Var,
+        /// Projected decoder query (`1 × A`, broadcast over rows).
+        dproj: Var,
+        /// Scoring vector (`A × 1`).
+        v: Var,
+        /// Cached `tanh(proj ⊕ dproj)` activations (`T × A`).
+        act: Arc<Matrix>,
+    },
 }
 
 /// Activations cached by the fused LSTM forward pass.
@@ -157,6 +172,7 @@ impl Op {
             Op::LstmSeq { x, w_ih, w_hh, b, h0, c0, .. } => {
                 vec![*x, *w_ih, *w_hh, *b, *h0, *c0]
             }
+            Op::AttnScores { proj, dproj, v, .. } => vec![*proj, *dproj, *v],
         }
     }
 }

@@ -10,6 +10,43 @@ use std::sync::Arc;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Var(pub(crate) usize);
 
+/// `out[j] = dz · m.row(j)` for every row of `m` — the `1 × n` case of
+/// [`matmul_nt`] without the temporary row-vector and result matrices.
+/// Four rows at a time so `dz` stays in registers; each accumulator
+/// ascends the contraction axis exactly like `matmul_nt`'s blocked
+/// kernel, so the result is bit-identical to the matmul it replaces.
+fn dot_rows_into(dz: &[f32], m: &Matrix, out: &mut [f32]) {
+    let n = m.rows();
+    let k = dz.len();
+    debug_assert_eq!(out.len(), n);
+    debug_assert_eq!(k, m.cols());
+    let mut j = 0;
+    while j + 4 <= n {
+        let (b0, b1, b2, b3) = (m.row(j), m.row(j + 1), m.row(j + 2), m.row(j + 3));
+        let (mut c0, mut c1, mut c2, mut c3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for t in 0..k {
+            let av = dz[t];
+            c0 += av * b0[t];
+            c1 += av * b1[t];
+            c2 += av * b2[t];
+            c3 += av * b3[t];
+        }
+        out[j] = c0;
+        out[j + 1] = c1;
+        out[j + 2] = c2;
+        out[j + 3] = c3;
+        j += 4;
+    }
+    for (jj, o) in out.iter_mut().enumerate().take(n).skip(j) {
+        let b_row = m.row(jj);
+        let mut acc = 0.0f32;
+        for t in 0..k {
+            acc += dz[t] * b_row[t];
+        }
+        *o = acc;
+    }
+}
+
 struct Node {
     value: Matrix,
     op: Op,
@@ -169,9 +206,11 @@ impl Tape {
         self.push(v, Op::Sigmoid(x), rg)
     }
 
-    /// Hyperbolic tangent.
+    /// Hyperbolic tangent (the deterministic [`mars_tensor::simd::tanh`]
+    /// kernel, batch-dispatched).
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(f32::tanh);
+        let mut v = self.value(x).clone();
+        mars_tensor::simd::tanh_inplace(v.as_mut_slice());
         let rg = self.rg(x);
         self.push(v, Op::Tanh(x), rg)
     }
@@ -366,7 +405,12 @@ impl Tape {
         assert_eq!(self.value(c0).shape(), (1, hd), "c0 shape mismatch");
         assert!(t_len > 0, "empty sequence");
 
-        // Pre-compute x·W_ih for the whole sequence in one matmul.
+        // Fused gate pass: one packed matmul computes x·W_ih for all
+        // four gates of the whole sequence, and the recurrent h·W_hh
+        // term is an in-place axpy sweep over W_hh rows — no per-step
+        // Matrix allocation. Per element the arithmetic is exactly the
+        // serial `inner_nn` sequence (ascending k with the zero skip),
+        // so the fused loop is bit-identical to the matmul it replaces.
         let xw = matmul(self.value(x), self.value(w_ih)); // T × 4H
 
         let mut cache = crate::ops::LstmCache {
@@ -378,41 +422,51 @@ impl Tape {
             tanh_c: Matrix::zeros(t_len, hd),
         };
         let mut out = Matrix::zeros(t_len + 1, hd);
-        let mut h_prev: Vec<f32> = self.value(h0).row(0).to_vec();
-        let mut c_prev: Vec<f32> = self.value(c0).row(0).to_vec();
-        let w_hh_m = self.value(w_hh).clone();
-        let b_row = self.value(b).row(0).to_vec();
+        {
+            let mut h_prev: Vec<f32> = self.value(h0).row(0).to_vec();
+            let mut c_prev: Vec<f32> = self.value(c0).row(0).to_vec();
+            let w_hh_m = self.value(w_hh);
+            let b_row = self.value(b).row(0);
+            let mut hw = vec![0.0f32; hd4]; // reusable 1 × 4H scratch
 
-        for t in 0..t_len {
-            // z = x_t·W_ih + h_{t-1}·W_hh + b
-            let hprev_m = Matrix::row_vector(&h_prev);
-            let hw = matmul(&hprev_m, &w_hh_m); // 1 × 4H
-            for k in 0..hd {
-                let zi = xw.get(t, k) + hw.get(0, k) + b_row[k];
-                let zf = xw.get(t, hd + k) + hw.get(0, hd + k) + b_row[hd + k];
-                let zg = xw.get(t, 2 * hd + k) + hw.get(0, 2 * hd + k) + b_row[2 * hd + k];
-                let zo = xw.get(t, 3 * hd + k) + hw.get(0, 3 * hd + k) + b_row[3 * hd + k];
-                let ig = stats::sigmoid(zi);
-                let fg = stats::sigmoid(zf);
-                let gg = zg.tanh();
-                let og = stats::sigmoid(zo);
-                let c = fg * c_prev[k] + ig * gg;
-                let tc = c.tanh();
-                let h = og * tc;
-                cache.i.set(t, k, ig);
-                cache.f.set(t, k, fg);
-                cache.g.set(t, k, gg);
-                cache.o.set(t, k, og);
-                cache.c.set(t, k, c);
-                cache.tanh_c.set(t, k, tc);
-                out.set(t, k, h);
-                h_prev[k] = h;
-                c_prev[k] = c;
+            for t in 0..t_len {
+                // z = (x_t·W_ih + h_{t-1}·W_hh) + b, accumulated into hw.
+                hw.fill(0.0);
+                mars_tensor::simd::strided_sweep(&mut hw, &h_prev, w_hh_m.as_slice(), hd4);
+                let xw_row = xw.row(t);
+                for j in 0..hd4 {
+                    hw[j] = (xw_row[j] + hw[j]) + b_row[j];
+                }
+                // Candidate gate tanh as one batch kernel call; the
+                // sigmoid gates stay per-element (libm exp is cheap).
+                mars_tensor::simd::tanh_inplace(&mut hw[2 * hd..3 * hd]);
+                for k in 0..hd {
+                    let ig = stats::sigmoid(hw[k]);
+                    let fg = stats::sigmoid(hw[hd + k]);
+                    let gg = hw[2 * hd + k];
+                    let og = stats::sigmoid(hw[3 * hd + k]);
+                    let c = fg * c_prev[k] + ig * gg;
+                    cache.i.set(t, k, ig);
+                    cache.f.set(t, k, fg);
+                    cache.g.set(t, k, gg);
+                    cache.o.set(t, k, og);
+                    cache.c.set(t, k, c);
+                    c_prev[k] = c;
+                }
+                // tanh(c_t) for the whole row, then h_t = o ⊙ tanh(c_t).
+                let tc_row = cache.tanh_c.row_mut(t);
+                tc_row.copy_from_slice(&c_prev);
+                mars_tensor::simd::tanh_inplace(tc_row);
+                for (k, hp) in h_prev.iter_mut().enumerate().take(hd) {
+                    let h = cache.o.get(t, k) * cache.tanh_c.get(t, k);
+                    out.set(t, k, h);
+                    *hp = h;
+                }
             }
-        }
-        // Final cell state as the extra row.
-        for (k, &c) in c_prev.iter().enumerate() {
-            out.set(t_len, k, c);
+            // Final cell state as the extra row.
+            for (k, &c) in c_prev.iter().enumerate() {
+                out.set(t_len, k, c);
+            }
         }
 
         let rg = self.rg(x)
@@ -422,6 +476,47 @@ impl Tape {
             || self.rg(h0)
             || self.rg(c0);
         self.push(out, Op::LstmSeq { x, w_ih, w_hh, b, h0, c0, cache: Arc::new(cache) }, rg)
+    }
+
+    /// Fused additive-attention scores `(tanh(proj ⊕ dproj) · v)ᵀ`.
+    ///
+    /// `proj` is the pre-projected encoder matrix (`T × A`), `dproj`
+    /// the projected decoder query (`1 × A`), `v` the scoring vector
+    /// (`A × 1`); returns the `1 × T` score row. One node replaces the
+    /// four-op `add_bias → tanh → matmul → transpose` chain (and its
+    /// three `T × A`-sized intermediates) on the per-placement decoder
+    /// hot path. Per element the score accumulates ascending `a` with
+    /// the `== 0.0` skip, exactly like the `matmul` it replaces.
+    pub fn attn_scores(&mut self, proj: Var, dproj: Var, v: Var) -> Var {
+        let (t_len, ad) = self.value(proj).shape();
+        assert_eq!(self.value(dproj).shape(), (1, ad), "attn_scores: dproj shape mismatch");
+        assert_eq!(self.value(v).shape(), (ad, 1), "attn_scores: v shape mismatch");
+        let mut act = Matrix::zeros(t_len, ad);
+        let mut scores = Matrix::zeros(1, t_len);
+        {
+            let proj_m = self.value(proj);
+            let dproj_row = self.value(dproj).row(0);
+            let v_m = self.value(v);
+            let v_col = v_m.as_slice(); // A × 1, contiguous
+            for j in 0..t_len {
+                let proj_row = proj_m.row(j);
+                let act_row = act.row_mut(j);
+                for a in 0..ad {
+                    act_row[a] = proj_row[a] + dproj_row[a];
+                }
+                mars_tensor::simd::tanh_inplace(act_row);
+                let mut s = 0.0f32;
+                for a in 0..ad {
+                    let tv = act_row[a];
+                    if tv != 0.0 {
+                        s += tv * v_col[a];
+                    }
+                }
+                scores.set(0, j, s);
+            }
+        }
+        let rg = self.rg(proj) || self.rg(dproj) || self.rg(v);
+        self.push(scores, Op::AttnScores { proj, dproj, v, act: Arc::new(act) }, rg)
     }
 
     // ---------------------------------------------------------------
@@ -754,76 +849,76 @@ impl Tape {
                     }
                 }
                 Op::LstmSeq { x, w_ih, w_hh, b, h0, c0, cache } => {
-                    let t_len = self.value(x).rows();
-                    let hd = self.value(h0).cols();
-                    let x_m = self.value(x).clone();
-                    let w_ih_m = self.value(w_ih).clone();
-                    let w_hh_m = self.value(w_hh).clone();
-                    let h0_row = self.value(h0).row(0).to_vec();
-                    let c0_row = self.value(c0).row(0).to_vec();
+                    // All reads borrow node values in place (no weight
+                    // clones), the gate outer products run through the
+                    // dispatched axpy, and the dX/dh_prev row products
+                    // are blocked dot sweeps into reusable scratch —
+                    // same per-element op sequence as the matmul_nt
+                    // calls they replace (each accumulator ascends the
+                    // 4H contraction axis), so gradients are unchanged
+                    // bit for bit.
+                    let (gx, gw_ih, gw_hh, gb, dh_rec, dc_rec) = {
+                        let t_len = self.value(x).rows();
+                        let hd = self.value(h0).cols();
+                        let x_m = self.value(x);
+                        let w_ih_m = self.value(w_ih);
+                        let w_hh_m = self.value(w_hh);
+                        let h0_row = self.value(h0).row(0);
+                        let c0_row = self.value(c0).row(0);
 
-                    let mut gx = Matrix::zeros(t_len, x_m.cols());
-                    let mut gw_ih = Matrix::zeros(w_ih_m.rows(), w_ih_m.cols());
-                    let mut gw_hh = Matrix::zeros(hd, 4 * hd);
-                    let mut gb = Matrix::zeros(1, 4 * hd);
+                        let mut gx = Matrix::zeros(t_len, x_m.cols());
+                        let mut gw_ih = Matrix::zeros(w_ih_m.rows(), w_ih_m.cols());
+                        let mut gw_hh = Matrix::zeros(hd, 4 * hd);
+                        let mut gb = Matrix::zeros(1, 4 * hd);
 
-                    // Recurrent carries: dh from t+1's gates, dc from
-                    // t+1's forget path.
-                    let mut dh_rec = vec![0.0f32; hd];
-                    let mut dc_rec: Vec<f32> = g.row(t_len).to_vec(); // grad on c_T
-                    let mut dz = vec![0.0f32; 4 * hd];
+                        // Recurrent carries: dh from t+1's gates, dc
+                        // from t+1's forget path.
+                        let mut dh_rec = vec![0.0f32; hd];
+                        let mut dc_rec: Vec<f32> = g.row(t_len).to_vec(); // grad on c_T
+                        let mut dz = vec![0.0f32; 4 * hd];
 
-                    for t in (0..t_len).rev() {
-                        let c_prev: &[f32] = if t == 0 { &c0_row } else { cache.c.row(t - 1) };
-                        for k in 0..hd {
-                            let dh = g.get(t, k) + dh_rec[k];
-                            let o = cache.o.get(t, k);
-                            let tc = cache.tanh_c.get(t, k);
-                            let i = cache.i.get(t, k);
-                            let f = cache.f.get(t, k);
-                            let gg = cache.g.get(t, k);
-                            let dc = dh * o * (1.0 - tc * tc) + dc_rec[k];
-                            let do_pre = dh * tc * o * (1.0 - o);
-                            let di_pre = dc * gg * i * (1.0 - i);
-                            let df_pre = dc * c_prev[k] * f * (1.0 - f);
-                            let dg_pre = dc * i * (1.0 - gg * gg);
-                            dz[k] = di_pre;
-                            dz[hd + k] = df_pre;
-                            dz[2 * hd + k] = dg_pre;
-                            dz[3 * hd + k] = do_pre;
-                            dc_rec[k] = dc * f;
-                        }
-                        // Parameter gradients: outer products with the
-                        // step inputs.
-                        let x_t = x_m.row(t);
-                        let h_prev: &[f32] =
-                            if t == 0 { &h0_row } else { self.nodes[i].value.row(t - 1) };
-                        for (r, &xv) in x_t.iter().enumerate() {
-                            if xv != 0.0 {
-                                let row = gw_ih.row_mut(r);
-                                for (c, &dzv) in row.iter_mut().zip(dz.iter()) {
-                                    *c += xv * dzv;
+                        for t in (0..t_len).rev() {
+                            let c_prev: &[f32] = if t == 0 { c0_row } else { cache.c.row(t - 1) };
+                            for k in 0..hd {
+                                let dh = g.get(t, k) + dh_rec[k];
+                                let o = cache.o.get(t, k);
+                                let tc = cache.tanh_c.get(t, k);
+                                let i = cache.i.get(t, k);
+                                let f = cache.f.get(t, k);
+                                let gg = cache.g.get(t, k);
+                                let dc = dh * o * (1.0 - tc * tc) + dc_rec[k];
+                                let do_pre = dh * tc * o * (1.0 - o);
+                                let di_pre = dc * gg * i * (1.0 - i);
+                                let df_pre = dc * c_prev[k] * f * (1.0 - f);
+                                let dg_pre = dc * i * (1.0 - gg * gg);
+                                dz[k] = di_pre;
+                                dz[hd + k] = df_pre;
+                                dz[2 * hd + k] = dg_pre;
+                                dz[3 * hd + k] = do_pre;
+                                dc_rec[k] = dc * f;
+                            }
+                            // Parameter gradients: outer products with
+                            // the step inputs.
+                            let x_t = x_m.row(t);
+                            let h_prev: &[f32] =
+                                if t == 0 { h0_row } else { self.nodes[i].value.row(t - 1) };
+                            for (r, &xv) in x_t.iter().enumerate() {
+                                if xv != 0.0 {
+                                    mars_tensor::simd::axpy(gw_ih.row_mut(r), xv, &dz);
                                 }
                             }
-                        }
-                        for (r, &hv) in h_prev.iter().enumerate() {
-                            if hv != 0.0 {
-                                let row = gw_hh.row_mut(r);
-                                for (c, &dzv) in row.iter_mut().zip(dz.iter()) {
-                                    *c += hv * dzv;
+                            for (r, &hv) in h_prev.iter().enumerate() {
+                                if hv != 0.0 {
+                                    mars_tensor::simd::axpy(gw_hh.row_mut(r), hv, &dz);
                                 }
                             }
+                            mars_tensor::simd::axpy(gb.row_mut(0), 1.0, &dz);
+                            // Input and recurrent gradients: dz · Wᵀ.
+                            dot_rows_into(&dz, w_ih_m, gx.row_mut(t));
+                            dot_rows_into(&dz, w_hh_m, &mut dh_rec);
                         }
-                        for (c, &dzv) in gb.row_mut(0).iter_mut().zip(dz.iter()) {
-                            *c += dzv;
-                        }
-                        // Input and recurrent gradients.
-                        let dz_m = Matrix::row_vector(&dz);
-                        let dx = matmul_nt(&dz_m, &w_ih_m); // 1 × F
-                        gx.row_mut(t).copy_from_slice(dx.row(0));
-                        let dh_prev = matmul_nt(&dz_m, &w_hh_m); // 1 × H
-                        dh_rec.copy_from_slice(dh_prev.row(0));
-                    }
+                        (gx, gw_ih, gw_hh, gb, dh_rec, dc_rec)
+                    };
 
                     if self.rg(x) {
                         self.accumulate(x, gx);
@@ -842,6 +937,44 @@ impl Tape {
                     }
                     if self.rg(c0) {
                         self.accumulate(c0, Matrix::row_vector(&dc_rec));
+                    }
+                }
+                Op::AttnScores { proj, dproj, v, act } => {
+                    // s_j = Σ_a tanh(proj[j][a] + dproj[a]) · v[a], so
+                    // with u = act (the cached tanh):
+                    //   d_act[j][a]  = g_j · v[a]
+                    //   d_pre[j][a]  = d_act · (1 − u²)   (tanh')
+                    //   d_proj       = d_pre
+                    //   d_dproj[a]   = Σ_j d_pre[j][a]    (broadcast)
+                    //   d_v[a]       = Σ_j u[j][a] · g_j
+                    let (t_len, ad) = act.shape();
+                    let g_row = g.row(0);
+                    let v_col = self.value(v).as_slice().to_vec();
+                    let mut gproj = Matrix::zeros(t_len, ad);
+                    let mut gdproj = Matrix::zeros(1, ad);
+                    let mut gv = Matrix::zeros(ad, 1);
+                    for (j, &gj) in g_row.iter().enumerate().take(t_len) {
+                        let act_row = act.row(j);
+                        let gproj_row = gproj.row_mut(j);
+                        let gdproj_row = gdproj.row_mut(0);
+                        for a in 0..ad {
+                            let u = act_row[a];
+                            let dpre = gj * v_col[a] * (1.0 - u * u);
+                            gproj_row[a] = dpre;
+                            gdproj_row[a] += dpre;
+                            if u != 0.0 {
+                                gv.as_mut_slice()[a] += u * gj;
+                            }
+                        }
+                    }
+                    if self.rg(proj) {
+                        self.accumulate(proj, gproj);
+                    }
+                    if self.rg(dproj) {
+                        self.accumulate(dproj, gdproj);
+                    }
+                    if self.rg(v) {
+                        self.accumulate(v, gv);
                     }
                 }
             }

@@ -21,7 +21,7 @@ use mars_tensor::{init, Matrix};
 use std::hint::black_box;
 
 fn bench_matmul(opts: &BenchOpts, out: &mut Vec<Sample>) {
-    for n in [32usize, 128, 256] {
+    for n in [32usize, 128, 256, 512] {
         let mut rng = StdRng::seed_from_u64(1);
         let a = init::uniform(n, n, 1.0, &mut rng);
         let b = init::uniform(n, n, 1.0, &mut rng);
@@ -88,6 +88,66 @@ fn bench_segment_placer(opts: &BenchOpts, out: &mut Vec<Sample>) {
     }));
 }
 
+fn bench_lstm_cell(opts: &BenchOpts, out: &mut Vec<Sample>) {
+    // The fused lstm_seq node against the same cell composed from
+    // primitive tape ops — the pair documents what the fusion buys.
+    let hd = 96usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = init::uniform(1, hd, 0.8, &mut rng);
+    let w_ih = init::uniform(hd, 4 * hd, 0.5, &mut rng);
+    let w_hh = init::uniform(hd, 4 * hd, 0.5, &mut rng);
+    let b = init::uniform(1, 4 * hd, 0.3, &mut rng);
+    let h0 = init::uniform(1, hd, 0.5, &mut rng);
+    let c0 = init::uniform(1, hd, 0.5, &mut rng);
+
+    out.extend(bench(opts, "lstm_cell/fused", || {
+        let mut t = mars_autograd::Tape::new();
+        let vs: Vec<_> =
+            [&x, &w_ih, &w_hh, &b, &h0, &c0].iter().map(|m| t.constant((*m).clone())).collect();
+        let out_v = t.lstm_seq(vs[0], vs[1], vs[2], vs[3], vs[4], vs[5]);
+        black_box(t.value(out_v).sum());
+    }));
+
+    out.extend(bench(opts, "lstm_cell/unfused", || {
+        let mut t = mars_autograd::Tape::new();
+        let vs: Vec<_> =
+            [&x, &w_ih, &w_hh, &b, &h0, &c0].iter().map(|m| t.constant((*m).clone())).collect();
+        let slice_cols = |t: &mut mars_autograd::Tape, m, a, bb| {
+            let mt = t.transpose(m);
+            let s = t.slice_rows(mt, a, bb);
+            t.transpose(s)
+        };
+        let xi = t.matmul(vs[0], vs[1]);
+        let hh = t.matmul(vs[4], vs[2]);
+        let z0 = t.add(xi, hh);
+        let z = t.add_bias(z0, vs[3]);
+        let i_pre = slice_cols(&mut t, z, 0, hd);
+        let f_pre = slice_cols(&mut t, z, hd, 2 * hd);
+        let g_pre = slice_cols(&mut t, z, 2 * hd, 3 * hd);
+        let o_pre = slice_cols(&mut t, z, 3 * hd, 4 * hd);
+        let i = t.sigmoid(i_pre);
+        let f = t.sigmoid(f_pre);
+        let g = t.tanh(g_pre);
+        let o = t.sigmoid(o_pre);
+        let fc = t.mul(f, vs[5]);
+        let ig = t.mul(i, g);
+        let c2 = t.add(fc, ig);
+        let ct = t.tanh(c2);
+        let h2 = t.mul(o, ct);
+        black_box(t.value(h2).sum() + t.value(c2).sum());
+    }));
+}
+
+fn bench_softmax(opts: &BenchOpts, out: &mut Vec<Sample>) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let row = init::uniform(1, 4096, 4.0, &mut rng);
+    out.extend(bench(opts, "softmax/4096", || {
+        let mut xs = row.as_slice().to_vec();
+        mars_tensor::stats::softmax_inplace(black_box(&mut xs));
+        black_box(xs[0]);
+    }));
+}
+
 fn bench_simulator(opts: &BenchOpts, out: &mut Vec<Sample>) {
     let cluster = Cluster::p100_quad();
     for w in [Workload::InceptionV3, Workload::BertBase] {
@@ -126,6 +186,8 @@ fn main() {
     bench_spmm(&opts, &mut samples);
     bench_gcn_forward(&opts, &mut samples);
     bench_segment_placer(&opts, &mut samples);
+    bench_lstm_cell(&opts, &mut samples);
+    bench_softmax(&opts, &mut samples);
     bench_simulator(&opts, &mut samples);
     bench_backward(&opts, &mut samples);
     // Only a full unfiltered run is a baseline worth comparing against.

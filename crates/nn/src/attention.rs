@@ -67,15 +67,18 @@ impl Attention {
 
     /// One attention read with decoder state `dec` (`1 × dec_dim`).
     /// Returns the context vector (`1 × enc_dim`).
+    ///
+    /// The scoring chain runs through the fused
+    /// [`mars_autograd::Tape::attn_scores`] op: one tape node computes
+    /// `(tanh(proj ⊕ dproj) · v)ᵀ` in a single pass instead of four
+    /// composed ops with three `T × attn` intermediates — this is the
+    /// decoder hot path, read once per placed op.
     pub fn read(&self, ctx: &mut FwdCtx<'_>, keys: AttentionKeys, dec: Var) -> Var {
         let _span = mars_telemetry::span("nn.attention.read");
         let wd = ctx.p(self.w_dec);
         let dproj = ctx.tape.matmul(dec, wd); // 1 × attn
-        let summed = ctx.tape.add_bias(keys.proj, dproj); // T × attn (broadcast)
-        let act = ctx.tape.tanh(summed);
         let v = ctx.p(self.v);
-        let scores = ctx.tape.matmul(act, v); // T × 1
-        let scores_row = ctx.tape.transpose(scores); // 1 × T
+        let scores_row = ctx.tape.attn_scores(keys.proj, dproj, v); // 1 × T
         let weights = ctx.tape.softmax_rows(scores_row); // 1 × T
         ctx.tape.matmul(weights, keys.enc) // 1 × enc_dim
     }

@@ -12,7 +12,6 @@
 
 use crate::ctx::FwdCtx;
 use crate::param::{ParamId, ParamStore};
-use crate::util::slice_cols;
 use mars_autograd::Var;
 use mars_rng::Rng;
 use mars_tensor::{init, Matrix};
@@ -78,29 +77,24 @@ impl LstmCell {
     }
 
     /// One step: `x` is `1 × input_dim`; returns the new state.
+    ///
+    /// Routed through the fused [`mars_autograd::Tape::lstm_seq`]
+    /// kernel with `T = 1`: one packed pass over the concatenated
+    /// `[i|f|g|o]` gate block (plus two row slices for the state)
+    /// instead of the ~20 tape ops of the composed formulation —
+    /// this is the decoder hot path, stepped once per placed op.
+    /// Forward values are bit-identical to the composed ops: the fused
+    /// gate math associates `(x·W_ih + h·W_hh) + b`, `(f·c) + (i·g)`
+    /// and `o·tanh(c)` exactly like the op-by-op tape did.
     pub fn step(&self, ctx: &mut FwdCtx<'_>, x: Var, state: LstmState) -> LstmState {
         debug_assert_eq!(ctx.tape.value(x).shape(), (1, self.input_dim));
         let w_ih = ctx.p(self.w_ih);
         let w_hh = ctx.p(self.w_hh);
         let b = ctx.p(self.b);
-        let xi = ctx.tape.matmul(x, w_ih);
-        let hh = ctx.tape.matmul(state.h, w_hh);
-        let z0 = ctx.tape.add(xi, hh);
-        let z = ctx.tape.add_bias(z0, b);
-        let hd = self.hidden_dim;
-        let i_pre = slice_cols(&mut ctx.tape, z, 0, hd);
-        let f_pre = slice_cols(&mut ctx.tape, z, hd, 2 * hd);
-        let g_pre = slice_cols(&mut ctx.tape, z, 2 * hd, 3 * hd);
-        let o_pre = slice_cols(&mut ctx.tape, z, 3 * hd, 4 * hd);
-        let i = ctx.tape.sigmoid(i_pre);
-        let f = ctx.tape.sigmoid(f_pre);
-        let g = ctx.tape.tanh(g_pre);
-        let o = ctx.tape.sigmoid(o_pre);
-        let fc = ctx.tape.mul(f, state.c);
-        let ig = ctx.tape.mul(i, g);
-        let c = ctx.tape.add(fc, ig);
-        let ct = ctx.tape.tanh(c);
-        let h = ctx.tape.mul(o, ct);
+        // 2 × H: row 0 is h_1, row 1 is the final cell state c_1.
+        let out = ctx.tape.lstm_seq(x, w_ih, w_hh, b, state.h, state.c);
+        let h = ctx.tape.slice_rows(out, 0, 1);
+        let c = ctx.tape.slice_rows(out, 1, 2);
         LstmState { h, c }
     }
 }

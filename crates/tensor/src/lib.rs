@@ -15,14 +15,19 @@
 //!   and reduction helpers used by the policy networks.
 //! * [`init`] — deterministic, seedable weight initializers
 //!   (Xavier/Glorot, uniform, Gaussian via Box–Muller).
+//! * [`kernel`] / [`simd`] — runtime-dispatched SIMD microkernels
+//!   (AVX2 / NEON / scalar) whose default tier is bit-identical to the
+//!   scalar loops, plus the opt-in `--fast-math` approximate tier.
 //!
 //! All randomness is injected through [`mars_rng::Rng`] so callers
 //! control determinism; nothing in this crate reads ambient entropy.
 
 pub mod init;
+pub mod kernel;
 pub mod matrix;
 pub mod ops;
 pub mod pool;
+pub mod simd;
 pub mod stats;
 
 pub use matrix::Matrix;

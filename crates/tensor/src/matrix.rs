@@ -167,7 +167,26 @@ impl Matrix {
     /// Copy of column `c`.
     pub fn col(&self, c: usize) -> Vec<f32> {
         debug_assert!(c < self.cols);
-        (0..self.rows).map(|r| self.get(r, c)).collect()
+        self.col_iter(c).collect()
+    }
+
+    /// Strided, non-allocating iterator over column `c` — use this (or
+    /// [`Self::copy_col_into`]) instead of [`Self::col`] on hot paths:
+    /// `col` allocates a fresh `Vec` per call.
+    #[inline]
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f32> + '_ {
+        debug_assert!(c < self.cols);
+        self.data.iter().skip(c).step_by(self.cols.max(1)).copied()
+    }
+
+    /// Copy column `c` into a caller-owned scratch slice of length
+    /// [`Self::rows`], avoiding the per-call allocation of
+    /// [`Self::col`].
+    pub fn copy_col_into(&self, c: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.rows, "copy_col_into: scratch length != rows");
+        for (o, v) in out.iter_mut().zip(self.col_iter(c)) {
+            *o = v;
+        }
     }
 
     /// Iterator over row slices.
@@ -386,6 +405,17 @@ mod tests {
         assert_eq!(m.get(1, 0), 4.0);
         assert_eq!(m.row(1), &[4., 5., 6.]);
         assert_eq!(m.col(1), vec![2., 5.]);
+        assert_eq!(m.col_iter(2).collect::<Vec<_>>(), vec![3., 6.]);
+        let mut scratch = [0.0f32; 2];
+        m.copy_col_into(0, &mut scratch);
+        assert_eq!(scratch, [1., 4.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch length != rows")]
+    fn copy_col_into_wrong_length_panics() {
+        let m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        m.copy_col_into(0, &mut [0.0; 3]);
     }
 
     #[test]

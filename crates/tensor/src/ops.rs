@@ -22,7 +22,14 @@
 //! an element, so packed results are bit-identical to the naive loops
 //! (asserted by the `*_bit_identical_*` tests below) and the numerics
 //! tests keep exact equality rather than relaxing to epsilon bounds.
+//!
+//! The row-sweep inner loops route through [`crate::simd::axpy`], which
+//! vectorizes across output columns (lanes = different elements) with
+//! two-rounding `mul` + `add` — bit-identical to the scalar loop on
+//! every backend, so the contract holds under SIMD dispatch too (see
+//! `crates/tensor/tests/simd_parity.rs`).
 
+use crate::simd::{self, AlignedBuf};
 use crate::{pool, Matrix};
 
 /// Minimum number of multiply-accumulate operations before a kernel
@@ -44,23 +51,19 @@ const PACK_MIN_ROWS: usize = 8;
 
 #[inline]
 fn inner_nn(out_row: &mut [f32], a_row: &[f32], b: &Matrix) {
-    // out_row += a_row · B, with k-outer loop so B is streamed row-wise.
-    for (k, &a) in a_row.iter().enumerate() {
-        if a == 0.0 {
-            continue;
-        }
-        let b_row = b.row(k);
-        for (o, &bv) in out_row.iter_mut().zip(b_row) {
-            *o += a * bv;
-        }
-    }
+    // out_row += a_row · B, with k-outer loop so B is streamed
+    // row-wise; the sweep keeps the output accumulators in registers
+    // across k on SIMD backends.
+    simd::strided_sweep(out_row, a_row, b.as_slice(), b.cols());
 }
 
 /// `B` repacked into contiguous column panels: panel `p` holds columns
 /// `p·PANEL_W .. min((p+1)·PANEL_W, n)` as `k` consecutive rows of the
 /// panel's width, so the inner kernel streams both operands linearly.
 struct PackedB {
-    data: Vec<f32>,
+    /// Cache-line aligned panel storage: panel loads never straddle an
+    /// extra line regardless of allocator behavior.
+    data: AlignedBuf,
     /// Start offset of each panel in `data` (one trailing sentinel).
     offsets: Vec<usize>,
     /// Column range `(j0, width)` of each panel.
@@ -70,7 +73,7 @@ struct PackedB {
 fn pack_b(b: &Matrix) -> PackedB {
     let (k, n) = b.shape();
     let num_panels = n.div_ceil(PANEL_W);
-    let mut data = vec![0.0f32; k * n];
+    let mut data = AlignedBuf::zeroed(k * n);
     let mut offsets = Vec::with_capacity(num_panels + 1);
     let mut panels = Vec::with_capacity(num_panels);
     let mut off = 0;
@@ -99,15 +102,7 @@ fn packed_block(out_blk: &mut [f32], a: &Matrix, bp: &PackedB, i0: usize, n: usi
         for r in 0..rows {
             let a_row = a.row(i0 + r);
             let out_seg = &mut out_blk[r * n + j0..r * n + j0 + w];
-            for (t, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &panel[t * w..(t + 1) * w];
-                for (o, &bv) in out_seg.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
+            simd::strided_sweep(out_seg, a_row, panel, w);
         }
     }
 }
@@ -166,23 +161,14 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
         // contiguous k-slice, then sweep rows in parallel. Per element
         // the adds ascend in t with the zero skip — bit-identical to
         // the rank-1 accumulation below.
-        let mut at = vec![0.0f32; m * k];
+        let mut at = AlignedBuf::zeroed(m * k);
         for t in 0..k {
             for (i, &av) in a.row(t).iter().enumerate() {
                 at[i * k + t] = av;
             }
         }
         pool::par_chunks_mut(out.as_mut_slice(), n.max(1), |i, out_row| {
-            let a_col = &at[i * k..(i + 1) * k];
-            for (t, &av) in a_col.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = b.row(t);
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
+            simd::strided_sweep(out_row, &at[i * k..(i + 1) * k], b.as_slice(), n);
         });
         return out;
     }
@@ -194,10 +180,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
             if av == 0.0 {
                 continue;
             }
-            let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            simd::axpy(&mut out.as_mut_slice()[i * n..(i + 1) * n], av, b_row);
         }
     }
     out
@@ -221,7 +204,11 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(m, n);
     // Four output columns at a time: a_row stays in registers across
     // four dot products. Each accumulator still ascends in t, so the
-    // result is bit-identical to the single-column loop.
+    // result is bit-identical to the single-column loop. This kernel
+    // stays scalar in the default tier: its contraction runs along the
+    // contiguous axis of both operands, so vectorizing would reorder
+    // the adds *within* an element (a lane-sum tree), unlike the axpy
+    // kernels where lanes are independent output elements.
     let compute_row = |i: usize, out_row: &mut [f32]| {
         let a_row = a.row(i);
         let mut j = 0;
@@ -356,12 +343,7 @@ impl CsrMatrix {
             let lo = self.indptr[r];
             let hi = self.indptr[r + 1];
             for t in lo..hi {
-                let c = self.indices[t];
-                let v = self.values[t];
-                let x_row = x.row(c);
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xv;
-                }
+                simd::axpy(out_row, self.values[t], x.row(self.indices[t]));
             }
         };
         if rows_big && self.rows > 1 {
@@ -384,10 +366,7 @@ impl CsrMatrix {
         for r in 0..self.rows {
             let x_row = x.row(r);
             for (c, v) in self.row_iter(r) {
-                let out_row = &mut out.as_mut_slice()[c * n..(c + 1) * n];
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xv;
-                }
+                simd::axpy(&mut out.as_mut_slice()[c * n..(c + 1) * n], v, x_row);
             }
         }
         out

@@ -25,6 +25,12 @@ ENGINE_OUT=$(./target/release/mars-cli train inception --budget 40 --dgi-iters 1
 diff <(echo "$SERIAL_OUT") <(echo "$ENGINE_OUT") || {
     echo "parallel evaluation changed training output"; exit 1; }
 
+echo "==> kernel dispatch parity: MARS_KERNEL=scalar must print identically to auto"
+SCALAR_OUT=$(MARS_KERNEL=scalar ./target/release/mars-cli train inception --budget 40 \
+    --dgi-iters 10 --seed 1 --eval-threads 1)
+diff <(echo "$SCALAR_OUT") <(echo "$SERIAL_OUT") || {
+    echo "forcing the scalar kernel backend changed training output"; exit 1; }
+
 echo "==> fleet smoke: learner + 2 spawned workers must print identically to in-process"
 # The merged trace lands in target/experiments/ so CI can upload it as
 # an artifact; recording it must not change the training output.

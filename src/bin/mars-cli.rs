@@ -17,17 +17,23 @@
 //! train options: --agent mars|mars-nopre|grouper|encoder   --budget N
 //!                --seed N   --profile small|full   --save <ckpt-path>
 //!                --telemetry <run.jsonl>   --dgi-iters N
-//!                --eval-threads N   --no-eval-cache
+//!                --eval-threads N   --no-eval-cache   --fast-math
 //!                --fault-plan <spec>   --max-eval-retries N
 //!                --eval-timeout-s S    --auto-checkpoint <ckpt-path>
+//!                (--fast-math opts into approximate transcendentals;
+//!                 also honored by pretrain and evaluate. The kernel
+//!                 backend is picked by the MARS_KERNEL env var:
+//!                 scalar | simd | auto — see DESIGN.md)
 //! fleet options: --workers N            spawn N local rollout workers
 //!                --workers N --listen ADDR   wait for N external workers
 //!                --connect ADDR         run as a rollout worker
 //!                (ADDR is host:port or unix:<path>; worker count
 //!                 never changes the training trace — see DESIGN.md)
 //! metrics tail:  --lines N (default 20, 0 = all)   --follow
-//! bench-gate:    --current <bench.json>   --baseline <bench.json>
+//! bench-gate:    --current <e2e.json>     --baseline <e2e.json>
+//!                --kernels <kernels.json> --kernels-baseline <kernels.json>
 //!                --min-ratio R (default 0.5)
+//!                --min-kernel-ratio R (default 0.5)
 //! ```
 //!
 //! `--telemetry <path>` records a JSONL event stream (per-iteration DGI
@@ -171,6 +177,13 @@ fn config_from_flags(flags: &Flags) -> Result<MarsConfig, String> {
         ));
     }
     cfg.auto_checkpoint = flags.string_opt("auto-checkpoint")?;
+    if flags.switch("fast-math")? {
+        // Process-global engine tier: polynomial exp in softmax/sigmoid
+        // and reassociation-permitted kernels. Changes the bit trace
+        // (that is the point), so it is strictly opt-in.
+        mars::tensor::kernel::set_fast_math(true);
+        println!("fast-math tier enabled (approximate transcendentals; not bit-comparable to default-tier runs)");
+    }
     Ok(cfg)
 }
 
@@ -453,11 +466,11 @@ fn print_tail_line(line: &str) -> bool {
     j.get("kind").and_then(Json::as_str) == Some("histograms")
 }
 
-/// One parsed bench-JSON file: its aggregate speedup plus per-arm
-/// medians.
+/// One parsed bench-JSON file: its per-arm medians plus the aggregate
+/// speedup (present in e2e baselines, absent in kernel baselines).
 #[derive(Debug)]
 struct BenchRun {
-    speedup: f64,
+    speedup: Option<f64>,
     arms: Vec<(String, f64)>,
 }
 
@@ -489,11 +502,13 @@ fn parse_bench_run(path: &str, text: &str) -> Result<BenchRun, String> {
             Ok((name.to_string(), median))
         })
         .collect::<Result<_, String>>()?;
-    let speedup = json
-        .get("speedup")
-        .and_then(Json::as_f64)
-        .ok_or_else(|| format!("'{path}' has no numeric 'speedup' field"))?;
+    let speedup = json.get("speedup").and_then(Json::as_f64);
     Ok(BenchRun { speedup, arms })
+}
+
+/// Require the aggregate speedup of an e2e bench file.
+fn require_speedup(run: &BenchRun, path: &str) -> Result<f64, String> {
+    run.speedup.ok_or_else(|| format!("'{path}' has no numeric 'speedup' field"))
 }
 
 /// Per-arm regression ratios between two bench runs. Raw medians are
@@ -521,55 +536,135 @@ fn bench_arm_ratios(current: &BenchRun, baseline: &BenchRun) -> Vec<(String, f64
         .collect()
 }
 
-/// Compare a fresh benchmark JSON against the committed baseline and
-/// fail when end-to-end throughput regressed beyond the tolerance.
-/// Two checks, both against `--min-ratio`: the aggregate rollout
-/// speedup (threads+cache vs serial), and each individual arm's
-/// serial-normalized speedup — so a failure names the arm that
-/// regressed, not just the blended number.
+/// Per-kernel regression ratios between two kernel-bench runs. Raw
+/// medians are machine-dependent, so each kernel's raw improvement
+/// `r = baseline_median / current_median` is normalized by the
+/// geometric mean of all raw ratios: a uniformly faster or slower
+/// machine moves every `r` by the same factor, which the geomean
+/// divides back out, while a single regressed kernel falls below its
+/// peers. Returns the normalized ratios plus the names present in only
+/// one of the two files (compared nowhere, reported so coverage loss is
+/// never silent).
+fn bench_kernel_ratios(
+    current: &BenchRun,
+    baseline: &BenchRun,
+) -> (Vec<(String, f64)>, Vec<String>) {
+    let mut raw: Vec<(String, f64)> = Vec::new();
+    let mut unmatched = Vec::new();
+    for (name, cur) in &current.arms {
+        match baseline.arms.iter().find(|(n, _)| n == name) {
+            Some((_, base)) => raw.push((name.clone(), base / cur)),
+            None => unmatched.push(format!("{name} (current only)")),
+        }
+    }
+    for (name, _) in &baseline.arms {
+        if !current.arms.iter().any(|(n, _)| n == name) {
+            unmatched.push(format!("{name} (baseline only)"));
+        }
+    }
+    if raw.is_empty() {
+        return (raw, unmatched);
+    }
+    let geomean = (raw.iter().map(|(_, r)| r.ln()).sum::<f64>() / raw.len() as f64).exp();
+    (raw.into_iter().map(|(n, r)| (n, r / geomean)).collect(), unmatched)
+}
+
+/// Compare fresh benchmark JSONs against committed baselines and fail
+/// on regression. Two independent gates:
+///
+/// * `--current <e2e.json>` — the aggregate rollout speedup
+///   (threads+cache vs serial) and each arm's serial-normalized
+///   speedup, both against `--min-ratio`.
+/// * `--kernels <kernels.json>` — every microkernel's geomean-normalized
+///   median against `--min-kernel-ratio`, so a failure names the
+///   regressed kernel rather than a blended number.
 fn cmd_bench_gate(flags: &Flags) -> Result<(), String> {
-    let current_path = flags
-        .string_opt("current")?
-        .ok_or("usage: mars-cli bench-gate --current <bench.json> [--baseline <bench.json>]")?;
-    let baseline_path =
-        flags.string_opt("baseline")?.unwrap_or_else(|| "BENCH_e2e.json".to_string());
+    let usage = "usage: mars-cli bench-gate [--current <e2e.json> [--baseline <e2e.json>]] \
+                 [--kernels <kernels.json> [--kernels-baseline <kernels.json>]]";
+    let current_path = flags.string_opt("current")?;
+    let kernels_path = flags.string_opt("kernels")?;
+    if current_path.is_none() && kernels_path.is_none() {
+        return Err(usage.into());
+    }
     let min_ratio: f64 = flags.parsed("min-ratio", 0.5)?;
     if !(0.0..=1.0).contains(&min_ratio) {
         return Err(format!("invalid value '{min_ratio}' for --min-ratio (expected 0..=1)"));
+    }
+    let min_kernel_ratio: f64 = flags.parsed("min-kernel-ratio", 0.5)?;
+    if !(0.0..=1.0).contains(&min_kernel_ratio) {
+        return Err(format!(
+            "invalid value '{min_kernel_ratio}' for --min-kernel-ratio (expected 0..=1)"
+        ));
     }
     let load = |path: &str| -> Result<BenchRun, String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
         parse_bench_run(path, &text)
     };
-    let baseline = load(&baseline_path)?;
-    let current = load(&current_path)?;
-    if baseline.speedup <= 0.0 {
-        return Err(format!(
-            "baseline speedup {} in '{baseline_path}' is not positive",
-            baseline.speedup
-        ));
-    }
-    let ratio = current.speedup / baseline.speedup;
-    println!(
-        "bench gate: current speedup {:.3} vs baseline {:.3} (ratio {ratio:.3}, floor \
-         {min_ratio:.3})",
-        current.speedup, baseline.speedup
-    );
-    for (arm, arm_ratio) in bench_arm_ratios(&current, &baseline) {
-        println!("bench gate: arm '{arm}' serial-normalized ratio {arm_ratio:.3}");
-        if arm_ratio < min_ratio {
+
+    if let Some(current_path) = current_path {
+        let baseline_path =
+            flags.string_opt("baseline")?.unwrap_or_else(|| "BENCH_e2e.json".to_string());
+        let baseline = load(&baseline_path)?;
+        let current = load(&current_path)?;
+        let baseline_speedup = require_speedup(&baseline, &baseline_path)?;
+        let current_speedup = require_speedup(&current, &current_path)?;
+        if baseline_speedup <= 0.0 {
             return Err(format!(
-                "benchmark regression in arm '{arm}': serial-normalized speedup ratio \
-                 {arm_ratio:.3} fell below the {min_ratio:.3} floor"
+                "baseline speedup {baseline_speedup} in '{baseline_path}' is not positive"
+            ));
+        }
+        let ratio = current_speedup / baseline_speedup;
+        println!(
+            "bench gate: current speedup {current_speedup:.3} vs baseline {baseline_speedup:.3} \
+             (ratio {ratio:.3}, floor {min_ratio:.3})"
+        );
+        for (arm, arm_ratio) in bench_arm_ratios(&current, &baseline) {
+            println!("bench gate: arm '{arm}' serial-normalized ratio {arm_ratio:.3}");
+            if arm_ratio < min_ratio {
+                return Err(format!(
+                    "benchmark regression in arm '{arm}': serial-normalized speedup ratio \
+                     {arm_ratio:.3} fell below the {min_ratio:.3} floor"
+                ));
+            }
+        }
+        if ratio < min_ratio {
+            return Err(format!(
+                "benchmark regression: speedup ratio {ratio:.3} fell below the {min_ratio:.3} \
+                 floor"
             ));
         }
     }
-    if ratio < min_ratio {
-        return Err(format!(
-            "benchmark regression: speedup ratio {ratio:.3} fell below the {min_ratio:.3} floor"
-        ));
+
+    if let Some(kernels_path) = kernels_path {
+        let kernels_baseline_path = flags
+            .string_opt("kernels-baseline")?
+            .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+        let baseline = load(&kernels_baseline_path)?;
+        let current = load(&kernels_path)?;
+        let (ratios, unmatched) = bench_kernel_ratios(&current, &baseline);
+        if ratios.is_empty() {
+            return Err(format!(
+                "'{kernels_path}' and '{kernels_baseline_path}' share no kernel names; \
+                 nothing was gated"
+            ));
+        }
+        for name in &unmatched {
+            println!("bench gate: kernel {name} not compared");
+        }
+        for (kernel, ratio) in &ratios {
+            println!("bench gate: kernel '{kernel}' normalized ratio {ratio:.3}");
+        }
+        if let Some((kernel, ratio)) =
+            ratios.iter().filter(|(_, r)| *r < min_kernel_ratio).min_by(|a, b| a.1.total_cmp(&b.1))
+        {
+            return Err(format!(
+                "benchmark regression in kernel '{kernel}': geomean-normalized median ratio \
+                 {ratio:.3} fell below the {min_kernel_ratio:.3} floor"
+            ));
+        }
     }
+
     println!("bench gate passed");
     Ok(())
 }
@@ -724,5 +819,55 @@ mod tests {
         let e = parse_bench_run("p", r#"{"benchmarks":[{"name":"a","median_ns":0}],"speedup":1}"#)
             .expect_err("zero median");
         assert!(e.contains("'a'"), "{e}");
+    }
+
+    #[test]
+    fn kernel_files_parse_without_a_speedup_field() {
+        let run = parse_bench_run("k", r#"{"benchmarks":[{"name":"matmul/256","median_ns":5.0}]}"#)
+            .expect("kernel baselines carry no aggregate speedup");
+        assert_eq!(run.speedup, None);
+        assert!(require_speedup(&run, "k").expect_err("absent").contains("'k'"));
+    }
+
+    fn kernel_json(arms: &[(&str, f64)]) -> BenchRun {
+        let body: Vec<String> =
+            arms.iter().map(|(n, m)| format!(r#"{{"name":"{n}","median_ns":{m}}}"#)).collect();
+        parse_bench_run("k", &format!(r#"{{"benchmarks":[{}]}}"#, body.join(","))).expect("parses")
+    }
+
+    #[test]
+    fn kernel_ratios_cancel_uniform_machine_speed() {
+        // The current run is uniformly 3× slower (a slower CI box) —
+        // after geomean normalization every kernel's ratio is exactly 1.
+        let baseline = kernel_json(&[("matmul/256", 100.0), ("softmax/4096", 10.0)]);
+        let current = kernel_json(&[("matmul/256", 300.0), ("softmax/4096", 30.0)]);
+        let (ratios, unmatched) = bench_kernel_ratios(&current, &baseline);
+        assert!(unmatched.is_empty());
+        for (k, r) in &ratios {
+            assert!((r - 1.0).abs() < 1e-12, "{k}: {r}");
+        }
+    }
+
+    #[test]
+    fn regressed_kernel_falls_below_its_peers() {
+        let baseline = kernel_json(&[("matmul/256", 100.0), ("softmax/4096", 10.0)]);
+        // matmul regressed 4× while softmax held: normalized ratios
+        // split around the geomean, with matmul on the losing side.
+        let current = kernel_json(&[("matmul/256", 400.0), ("softmax/4096", 10.0)]);
+        let (ratios, _) = bench_kernel_ratios(&current, &baseline);
+        let matmul = ratios.iter().find(|(k, _)| k == "matmul/256").expect("gated");
+        let softmax = ratios.iter().find(|(k, _)| k == "softmax/4096").expect("gated");
+        assert!(matmul.1 < 0.55, "regressed kernel must stand out: {ratios:?}");
+        assert!(softmax.1 > 1.5, "healthy kernel sits above the geomean: {ratios:?}");
+    }
+
+    #[test]
+    fn unmatched_kernels_are_reported_not_gated() {
+        let baseline = kernel_json(&[("matmul/256", 100.0), ("retired/old", 5.0)]);
+        let current = kernel_json(&[("matmul/256", 100.0), ("softmax/4096", 10.0)]);
+        let (ratios, unmatched) = bench_kernel_ratios(&current, &baseline);
+        assert_eq!(ratios.len(), 1, "{ratios:?}");
+        assert!(unmatched.iter().any(|n| n.contains("softmax/4096") && n.contains("current only")));
+        assert!(unmatched.iter().any(|n| n.contains("retired/old") && n.contains("baseline only")));
     }
 }

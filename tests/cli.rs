@@ -202,6 +202,85 @@ fn bench_gate_rejects_empty_or_missing_samples() {
 }
 
 #[test]
+fn bench_gate_kernels_pass_against_itself() {
+    let out = cli()
+        .args([
+            "bench-gate",
+            "--kernels",
+            "BENCH_kernels.json",
+            "--kernels-baseline",
+            "BENCH_kernels.json",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bench gate passed"), "{text}");
+    assert!(text.contains("kernel 'matmul/256' normalized ratio 1.000"), "{text}");
+}
+
+#[test]
+fn bench_gate_names_the_regressed_kernel() {
+    // The per-kernel gate is geomean-normalized, so the current file
+    // being uniformly slower (a slower machine) is fine — but one
+    // kernel collapsing relative to its peers must fail, naming it.
+    let dir = std::env::temp_dir().join("mars-cli-bench-gate");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let base = dir.join("kernels-base.json");
+    let bad = dir.join("kernels-regressed.json");
+    std::fs::write(
+        &base,
+        r#"{"benchmarks": [
+            {"name": "matmul/256", "iters": 100, "median_ns": 1000000},
+            {"name": "softmax/4096", "iters": 100, "median_ns": 10000},
+            {"name": "lstm_cell/fused", "iters": 100, "median_ns": 15000}]}"#,
+    )
+    .expect("write");
+    std::fs::write(
+        &bad,
+        r#"{"benchmarks": [
+            {"name": "matmul/256", "iters": 100, "median_ns": 9000000},
+            {"name": "softmax/4096", "iters": 100, "median_ns": 10000},
+            {"name": "lstm_cell/fused", "iters": 100, "median_ns": 15000}]}"#,
+    )
+    .expect("write");
+    let out = cli()
+        .args([
+            "bench-gate",
+            "--kernels",
+            bad.to_str().expect("utf8"),
+            "--kernels-baseline",
+            base.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success(), "the collapsed matmul kernel must fail the gate");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("matmul/256"), "the failing kernel must be named: {err}");
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn bench_gate_without_inputs_prints_usage() {
+    let out = cli().args(["bench-gate"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"), "usage expected");
+}
+
+#[test]
+fn fast_math_flag_is_accepted_and_announced() {
+    let out = cli()
+        .args(["evaluate", "inception", "--placement", "gpu-only", "--fast-math"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fast-math tier enabled"), "{text}");
+    assert!(text.contains("s/step"), "{text}");
+}
+
+#[test]
 fn fleet_flag_combinations_are_validated() {
     for (args, needle) in [
         (vec!["train", "inception", "--workers", "0"], "--workers"),

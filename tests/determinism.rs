@@ -116,6 +116,37 @@ fn parallel_eval_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn scalar_and_dispatched_backends_produce_identical_traces() {
+    // The SIMD dispatch seam must be invisible in the bits: a full
+    // pretrain + PPO run under the forced scalar backend reproduces the
+    // auto-dispatched trace exactly (the default tier's core claim —
+    // lanes change how many elements one instruction touches, never the
+    // per-element operation sequence).
+    use mars_tensor::kernel::{self, Backend};
+    let (losses_auto, log_auto) = run(42, 48);
+    kernel::set_backend_override(Some(Backend::Scalar));
+    let scalar_run = std::panic::catch_unwind(|| run(42, 48));
+    kernel::set_backend_override(None);
+    let (losses_scalar, log_scalar) = scalar_run.expect("scalar-backend run panicked");
+
+    assert_eq!(
+        losses_auto.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        losses_scalar.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        "DGI losses diverged between scalar and dispatched backends"
+    );
+    assert_eq!(
+        trace_bits(&log_auto),
+        trace_bits(&log_scalar),
+        "training trace diverged between scalar and dispatched backends"
+    );
+    assert_eq!(log_auto.best_placement, log_scalar.best_placement);
+    assert_eq!(
+        log_auto.best_reading_s.map(f64::to_bits),
+        log_scalar.best_reading_s.map(f64::to_bits)
+    );
+}
+
+#[test]
 fn different_seeds_diverge() {
     let (losses_a, log_a) = run(42, 48);
     let (losses_c, log_c) = run(43, 48);

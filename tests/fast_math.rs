@@ -1,0 +1,142 @@
+//! The `--fast-math` tier contract.
+//!
+//! Fast-math swaps libm transcendentals for polynomial kernels and may
+//! reassociate, so it is *not* bit-comparable to the default tier. What
+//! it must preserve:
+//!
+//! * gradients — backward rules still pass finite-difference checks
+//!   (the approximations are smooth, so analytic and numeric derivatives
+//!   of the *same* forward agree);
+//! * placement quality — a policy trained under the default tier
+//!   decodes to an equally good placement when read under fast-math;
+//! * training health — a full train run under fast-math stays finite
+//!   and finds a valid placement.
+//!
+//! The tier toggle is process-global, so all phases run inside one
+//! `#[test]`, restoring the default tier between phases.
+
+use mars::autograd::check::check_gradients_default;
+use mars::core::agent::{Agent, AgentKind, TrainingLog};
+use mars::core::config::MarsConfig;
+use mars::core::workload_input::WorkloadInput;
+use mars::graph::features::FEATURE_DIM;
+use mars::graph::generators::{Profile, Workload};
+use mars::sim::{Cluster, SimEnv};
+use mars::tensor::{init, kernel};
+use mars_rng::rngs::StdRng;
+use mars_rng::SeedableRng;
+
+fn tiny_cfg() -> MarsConfig {
+    let mut c = MarsConfig::small();
+    c.encoder_hidden = 16;
+    c.placer_hidden = 16;
+    c.attn_dim = 8;
+    c.segment_size = 24;
+    c.dgi_iters = 20;
+    c
+}
+
+#[test]
+fn fast_math_preserves_gradients_and_placement_quality() {
+    // --- Phase 1: finite-difference gradient checks under fast-math.
+    // The composite exercises every approximate kernel: sigmoid and
+    // softmax (polynomial exp), tanh, and the fused LSTM + attention
+    // paths that route through them.
+    kernel::set_fast_math(true);
+    let fd_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ins = vec![
+            init::uniform(3, 4, 0.8, &mut rng),
+            init::uniform(4, 5, 0.6, &mut rng),
+            init::uniform(1, 5, 0.4, &mut rng),
+        ];
+        check_gradients_default(&ins, |t, v| {
+            let y = t.matmul(v[0], v[1]);
+            let z = t.add_bias(y, v[2]);
+            let s = t.sigmoid(z);
+            let sm = t.softmax_rows(s);
+            let a = t.tanh(sm);
+            t.mean_all(a)
+        });
+
+        let (t_len, in_dim, hd) = (3usize, 2usize, 2usize);
+        let mut rng = StdRng::seed_from_u64(12);
+        let lstm_ins = vec![
+            init::uniform(t_len, in_dim, 0.8, &mut rng),
+            init::uniform(in_dim, 4 * hd, 0.5, &mut rng),
+            init::uniform(hd, 4 * hd, 0.5, &mut rng),
+            init::uniform(1, 4 * hd, 0.3, &mut rng),
+            init::uniform(1, hd, 0.5, &mut rng),
+            init::uniform(1, hd, 0.5, &mut rng),
+        ];
+        check_gradients_default(&lstm_ins, move |t, v| {
+            let out = t.lstm_seq(v[0], v[1], v[2], v[3], v[4], v[5]);
+            let h_rows = t.slice_rows(out, 0, t_len);
+            t.mean_all(h_rows)
+        });
+    }));
+    kernel::set_fast_math(false);
+    fd_result.expect("fast-math gradient checks failed");
+
+    // --- Phase 2: placement-quality equivalence. Train under the
+    // default tier, then greedy-decode the trained policy under both
+    // tiers: the simulated step times must agree (the ~1e-7 relative
+    // exp error cannot be allowed to change what the policy *does*).
+    let graph = Workload::InceptionV3.build(Profile::Reduced);
+    let input = WorkloadInput::from_graph(&graph);
+    let cluster = Cluster::p100_quad();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut agent =
+        Agent::new(AgentKind::Mars, tiny_cfg(), FEATURE_DIM, cluster.num_devices(), &mut rng);
+    agent.pretrain(&input, &mut rng).expect("pretrains");
+    let mut env = SimEnv::new(graph.clone(), cluster.clone(), 42);
+    let mut log = TrainingLog::default();
+    agent.train(&mut env, &input, 48, &mut rng, &mut log);
+
+    let p_default = agent.greedy_placement(&input);
+    kernel::set_fast_math(true);
+    let decode =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| agent.greedy_placement(&input)));
+    kernel::set_fast_math(false);
+    let p_fast = decode.expect("fast-math decode panicked");
+
+    let time = |p: &mars::sim::Placement| {
+        let mut q = p.clone();
+        q.enforce_compatibility(&graph, &cluster);
+        env.true_step_time(&q).map(|r| r.makespan_s)
+    };
+    let (t_default, t_fast) = (time(&p_default), time(&p_fast));
+    match (t_default, t_fast) {
+        (Ok(a), Ok(b)) => {
+            let rel = (a - b).abs() / a.max(b);
+            assert!(
+                rel < 0.05,
+                "fast-math decode changed placement quality: {a:.4} vs {b:.4} s/step"
+            );
+        }
+        (a, b) => panic!("decoded placements must both simulate: {a:?} vs {b:?}"),
+    }
+
+    // --- Phase 3: training under fast-math stays healthy end to end.
+    kernel::set_fast_math(true);
+    let train_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agent =
+            Agent::new(AgentKind::Mars, tiny_cfg(), FEATURE_DIM, cluster.num_devices(), &mut rng);
+        let report = agent.pretrain(&input, &mut rng).expect("pretrains");
+        assert!(
+            report.losses.iter().all(|l| l.is_finite()),
+            "fast-math DGI losses must stay finite"
+        );
+        let mut env = SimEnv::new(graph.clone(), cluster.clone(), 7);
+        let mut log = TrainingLog::default();
+        agent.train(&mut env, &input, 48, &mut rng, &mut log);
+        assert!(log.best_reading_s.is_some(), "fast-math training must find a valid placement");
+        assert!(
+            log.records.iter().all(|r| r.policy_entropy.is_finite()),
+            "fast-math policy entropy must stay finite"
+        );
+    }));
+    kernel::set_fast_math(false);
+    train_result.expect("fast-math training smoke failed");
+}
