@@ -1,7 +1,7 @@
 //! The Wengert-list tape: forward builders and the reverse sweep.
 
 use crate::ops::Op;
-use mars_tensor::ops::{matmul, matmul_nt, matmul_tn, CsrMatrix};
+use mars_tensor::ops::{matmul_into, matmul_nt, matmul_tn, CsrMatrix};
 use mars_tensor::stats;
 use mars_tensor::Matrix;
 use std::sync::Arc;
@@ -72,7 +72,23 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Matrix>>,
+    /// `true` for training tapes ([`Tape::new`]): ops and grad flags
+    /// are recorded for [`Tape::backward`]. `false` for inference
+    /// tapes ([`Tape::inference`]): every node is stored as a gradless
+    /// [`Op::Leaf`], so backward caches (LSTM gate matrices, attention
+    /// activations) are dropped the moment the forward value exists.
+    record: bool,
+    /// Recycled activation buffers, harvested by
+    /// [`Tape::reset_for_reuse`] and handed back out by the pooled
+    /// builders — inference forwards after the first run allocation-free
+    /// on the hot path.
+    pool: Vec<Vec<f32>>,
 }
+
+/// Upper bound on recycled buffers kept across [`Tape::reset_for_reuse`]
+/// calls; enough for every activation of one encoder–placer forward at
+/// paper-scale widths while bounding idle memory.
+const MAX_POOLED_BUFS: usize = 512;
 
 impl Default for Tape {
     fn default() -> Self {
@@ -81,9 +97,22 @@ impl Default for Tape {
 }
 
 impl Tape {
-    /// Empty tape.
+    /// Empty recording (training) tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new(), grads: Vec::new() }
+        Tape { nodes: Vec::new(), grads: Vec::new(), record: true, pool: Vec::new() }
+    }
+
+    /// Empty inference tape: forward values are computed by exactly the
+    /// same kernels as a recording tape (bit-identical outputs), but no
+    /// op structure or backward caches are retained and
+    /// [`Tape::backward`] panics.
+    pub fn inference() -> Self {
+        Tape { nodes: Vec::new(), grads: Vec::new(), record: false, pool: Vec::new() }
+    }
+
+    /// `false` for tapes built with [`Tape::inference`].
+    pub fn is_recording(&self) -> bool {
+        self.record
     }
 
     /// Number of recorded nodes.
@@ -96,9 +125,64 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Drop all nodes while recycling their backing buffers (and the
+    /// node list's capacity) for the next forward pass. The values of
+    /// existing [`Var`] handles become invalid; callers start a fresh
+    /// forward afterwards.
+    pub fn reset_for_reuse(&mut self) {
+        for node in self.nodes.drain(..) {
+            if self.pool.len() < MAX_POOLED_BUFS {
+                self.pool.push(node.value.into_vec());
+            }
+        }
+        self.grads.clear();
+    }
+
+    /// A recycled buffer with `len == 0` and capacity ≥ `min_cap`, or a
+    /// fresh one. Scanned newest-first so the most recently retired
+    /// (cache-warm) buffer wins.
+    fn take_buf_empty(&mut self, min_cap: usize) -> Vec<f32> {
+        match self.pool.iter().rposition(|b| b.capacity() >= min_cap) {
+            Some(i) => {
+                let mut b = self.pool.swap_remove(i);
+                b.clear();
+                b
+            }
+            None => Vec::with_capacity(min_cap),
+        }
+    }
+
+    /// A zero-filled buffer of exactly `len` elements, recycled when
+    /// possible. Contents are identical to `vec![0.0; len]`, so pooled
+    /// and fresh allocations are indistinguishable to the kernels.
+    fn take_buf(&mut self, len: usize) -> Vec<f32> {
+        let mut b = self.take_buf_empty(len);
+        b.resize(len, 0.0);
+        b
+    }
+
+    /// A zero matrix backed by a recycled buffer when one fits.
+    fn alloc_zeros(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take_buf(rows * cols))
+    }
+
+    /// Return a scratch matrix's backing buffer to the pool.
+    fn recycle(&mut self, m: Matrix) {
+        if self.pool.len() < MAX_POOLED_BUFS {
+            self.pool.push(m.into_vec());
+        }
+    }
+
     fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
         debug_assert!(value.is_finite(), "non-finite value produced by tape op");
-        self.nodes.push(Node { value, op, requires_grad });
+        if self.record {
+            self.nodes.push(Node { value, op, requires_grad });
+        } else {
+            // Inference: keep only the forward value (later builders
+            // still read it by index); drop the op and its Arc'd
+            // backward caches immediately.
+            self.nodes.push(Node { value, op: Op::Leaf, requires_grad: false });
+        }
         Var(self.nodes.len() - 1)
     }
 
@@ -115,6 +199,16 @@ impl Tape {
     /// Constant leaf (no gradient).
     pub fn constant(&mut self, value: Matrix) -> Var {
         self.leaf(value, false)
+    }
+
+    /// Gradless leaf copied from `src` into a recycled buffer — how the
+    /// inference path binds parameters without a fresh allocation per
+    /// request. Bit-identical to `leaf(src.clone(), false)`.
+    pub fn leaf_copy(&mut self, src: &Matrix) -> Var {
+        let (r, c) = src.shape();
+        let mut buf = self.take_buf_empty(r * c);
+        buf.extend_from_slice(src.as_slice());
+        self.push(Matrix::from_vec(r, c, buf), Op::Leaf, false)
     }
 
     /// Value of a variable.
@@ -140,7 +234,8 @@ impl Tape {
 
     /// Dense matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = matmul(self.value(a), self.value(b));
+        let mut v = self.alloc_zeros(self.value(a).rows(), self.value(b).cols());
+        matmul_into(self.value(a), self.value(b), &mut v);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::MatMul(a, b), rg)
     }
@@ -209,8 +304,11 @@ impl Tape {
     /// Hyperbolic tangent (the deterministic [`mars_tensor::simd::tanh`]
     /// kernel, batch-dispatched).
     pub fn tanh(&mut self, x: Var) -> Var {
-        let mut v = self.value(x).clone();
-        mars_tensor::simd::tanh_inplace(v.as_mut_slice());
+        let (r, c) = self.value(x).shape();
+        let mut buf = self.take_buf_empty(r * c);
+        buf.extend_from_slice(self.value(x).as_slice());
+        mars_tensor::simd::tanh_inplace(&mut buf);
+        let v = Matrix::from_vec(r, c, buf);
         let rg = self.rg(x);
         self.push(v, Op::Tanh(x), rg)
     }
@@ -334,7 +432,7 @@ impl Tape {
     pub fn stack_rows(&mut self, rows: Vec<Var>) -> Var {
         assert!(!rows.is_empty(), "stack_rows: empty input");
         let cols = self.value(rows[0]).cols();
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut data = self.take_buf_empty(rows.len() * cols);
         let mut rg = false;
         for &r in &rows {
             let m = self.value(r);
@@ -411,17 +509,18 @@ impl Tape {
         // Matrix allocation. Per element the arithmetic is exactly the
         // serial `inner_nn` sequence (ascending k with the zero skip),
         // so the fused loop is bit-identical to the matmul it replaces.
-        let xw = matmul(self.value(x), self.value(w_ih)); // T × 4H
+        let mut xw = self.alloc_zeros(t_len, hd4); // T × 4H
+        matmul_into(self.value(x), self.value(w_ih), &mut xw);
 
         let mut cache = crate::ops::LstmCache {
-            i: Matrix::zeros(t_len, hd),
-            f: Matrix::zeros(t_len, hd),
-            g: Matrix::zeros(t_len, hd),
-            o: Matrix::zeros(t_len, hd),
-            c: Matrix::zeros(t_len, hd),
-            tanh_c: Matrix::zeros(t_len, hd),
+            i: self.alloc_zeros(t_len, hd),
+            f: self.alloc_zeros(t_len, hd),
+            g: self.alloc_zeros(t_len, hd),
+            o: self.alloc_zeros(t_len, hd),
+            c: self.alloc_zeros(t_len, hd),
+            tanh_c: self.alloc_zeros(t_len, hd),
         };
-        let mut out = Matrix::zeros(t_len + 1, hd);
+        let mut out = self.alloc_zeros(t_len + 1, hd);
         {
             let mut h_prev: Vec<f32> = self.value(h0).row(0).to_vec();
             let mut c_prev: Vec<f32> = self.value(c0).row(0).to_vec();
@@ -469,6 +568,17 @@ impl Tape {
             }
         }
 
+        self.recycle(xw);
+        if !self.record {
+            // Inference: the gate caches exist only for BPTT — recycle
+            // their buffers instead of threading them through `push`
+            // (which would drop them on the floor).
+            let crate::ops::LstmCache { i, f, g, o, c, tanh_c } = cache;
+            for m in [i, f, g, o, c, tanh_c] {
+                self.recycle(m);
+            }
+            return self.push(out, Op::Leaf, false);
+        }
         let rg = self.rg(x)
             || self.rg(w_ih)
             || self.rg(w_hh)
@@ -491,8 +601,8 @@ impl Tape {
         let (t_len, ad) = self.value(proj).shape();
         assert_eq!(self.value(dproj).shape(), (1, ad), "attn_scores: dproj shape mismatch");
         assert_eq!(self.value(v).shape(), (ad, 1), "attn_scores: v shape mismatch");
-        let mut act = Matrix::zeros(t_len, ad);
-        let mut scores = Matrix::zeros(1, t_len);
+        let mut act = self.alloc_zeros(t_len, ad);
+        let mut scores = self.alloc_zeros(1, t_len);
         {
             let proj_m = self.value(proj);
             let dproj_row = self.value(dproj).row(0);
@@ -514,6 +624,11 @@ impl Tape {
                 }
                 scores.set(0, j, s);
             }
+        }
+        if !self.record {
+            // The tanh activations are a backward-only cache.
+            self.recycle(act);
+            return self.push(scores, Op::Leaf, false);
         }
         let rg = self.rg(proj) || self.rg(dproj) || self.rg(v);
         self.push(scores, Op::AttnScores { proj, dproj, v, act: Arc::new(act) }, rg)
@@ -539,6 +654,7 @@ impl Tape {
     /// second call resets previous gradients.
     pub fn backward(&mut self, loss: Var) {
         let _span = mars_telemetry::span("autograd.tape.backward");
+        assert!(self.record, "backward() on an inference tape — build it with Tape::new()");
         assert_eq!(
             self.value(loss).shape(),
             (1, 1),
@@ -1053,6 +1169,58 @@ mod tests {
         let loss = t.sum_all(sel);
         t.backward(loss);
         assert_eq!(t.grad(x).expect("gx").as_slice(), &[0., 0., 1., 1., 0., 0.]);
+    }
+
+    /// One representative forward touching every pooled builder:
+    /// leaf → matmul → tanh → lstm_seq → attn_scores → stack_rows.
+    fn forward_values(t: &mut Tape, bind: impl Fn(&mut Tape, Matrix) -> Var) -> Vec<Vec<f32>> {
+        let x = bind(t, Matrix::from_vec(3, 2, vec![0.1, -0.2, 0.3, 0.7, -0.5, 0.25]));
+        let w = bind(t, Matrix::from_vec(2, 4, (0..8).map(|i| 0.1 * i as f32 - 0.3).collect()));
+        let mm = t.matmul(x, w);
+        let th = t.tanh(mm);
+        let w_ih =
+            bind(t, Matrix::from_vec(4, 8, (0..32).map(|i| 0.05 * (i % 7) as f32).collect()));
+        let w_hh = bind(t, Matrix::from_vec(2, 8, (0..16).map(|i| -0.04 * i as f32).collect()));
+        let b = bind(t, Matrix::from_vec(1, 8, vec![0.01; 8]));
+        let h0 = bind(t, Matrix::zeros(1, 2));
+        let c0 = bind(t, Matrix::zeros(1, 2));
+        let hs = t.lstm_seq(th, w_ih, w_hh, b, h0, c0);
+        let dq = bind(t, Matrix::from_vec(1, 4, vec![0.2, -0.1, 0.4, -0.3]));
+        let v = bind(t, Matrix::from_vec(4, 1, vec![0.3, -0.9, 0.5, 0.1]));
+        let sc = t.attn_scores(th, dq, v);
+        let sm = t.softmax_rows(sc);
+        let st = t.stack_rows(vec![sc, sm]);
+        [x, mm, th, hs, sc, sm, st].iter().map(|&v| t.value(v).as_slice().to_vec()).collect()
+    }
+
+    #[test]
+    fn inference_forward_is_bit_identical_to_recorded() {
+        let mut rec = Tape::new();
+        let want = forward_values(&mut rec, |t, m| t.leaf(m, true));
+        let mut inf = Tape::inference();
+        let got = forward_values(&mut inf, |t, m| t.leaf_copy(&m));
+        assert_eq!(want, got, "inference forward diverged from recorded forward");
+    }
+
+    #[test]
+    fn reused_inference_tape_is_bit_stable() {
+        let mut inf = Tape::inference();
+        let first = forward_values(&mut inf, |t, m| t.leaf_copy(&m));
+        for _ in 0..3 {
+            inf.reset_for_reuse();
+            assert!(inf.is_empty());
+            let again = forward_values(&mut inf, |t, m| t.leaf_copy(&m));
+            assert_eq!(first, again, "pooled-buffer reuse changed forward values");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inference tape")]
+    fn backward_panics_on_inference_tape() {
+        let mut t = Tape::inference();
+        let x = t.leaf_copy(&Matrix::from_vec(1, 1, vec![1.0]));
+        let loss = t.sum_all(x);
+        t.backward(loss);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Seeded open-loop load generator for the serve daemon.
+//!
+//! Spins up the real serve loop (`mars_serve::serve`) on an ephemeral
+//! loopback listener, primes the placement cache with one cold request
+//! per workload, then replays a seeded open-loop schedule across
+//! several pipelined connections: a writer thread per connection sends
+//! `PlaceRequest`s at pre-drawn exponential inter-arrival times while a
+//! reader thread collects responses. Latency is measured against the
+//! *scheduled* send time, so server-side queueing shows up in the tail
+//! instead of silently stretching the schedule (the open-loop
+//! property).
+//!
+//! Reports throughput and p50/p99 latency. The measured run writes
+//! `BENCH_serve.json` at the repo root (the baseline `mars-cli
+//! bench-gate --serve` compares against); `--smoke` replays a short
+//! schedule at the same offered rate and writes
+//! `target/experiments/BENCH_serve_smoke.json` so CI can diff a fresh
+//! run against the committed baseline.
+//!
+//! Every response is checked byte-for-byte against the cold-path
+//! reference from the priming phase: hot answers must be identical to
+//! the inference that produced them.
+
+use mars_bench::harness::{write_baseline, BenchOpts, Sample};
+use mars_core::{Agent, AgentKind, MarsConfig};
+use mars_graph::features::FEATURE_DIM;
+use mars_json::Json;
+use mars_net::msg::{Msg, PROTOCOL_VERSION};
+use mars_net::transport::{recv_msg, send_msg, Addr, Conn, Listener};
+use mars_rng::rngs::StdRng;
+use mars_rng::{Rng, SeedableRng};
+use mars_serve::{serve, PlacementEngine, ServeOptions};
+use mars_sim::Cluster;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+/// Pipelined client connections (concurrent request handling).
+const CONNS: usize = 4;
+/// Request mix, drawn uniformly per request from the seeded schedule.
+const WORKLOADS: [&str; 3] = ["seq2seq", "vgg16", "inception_v3"];
+const PROFILE: &str = "reduced";
+const TOP_K: usize = 5;
+/// Mean inter-arrival per connection (exponential). Four connections
+/// at 2 ms each offer ~2k req/s aggregate — comfortably under serve
+/// capacity even on a single-core CI box, so the reported latency is
+/// steady-state service time rather than a standing queue.
+const MEAN_GAP: Duration = Duration::from_micros(2_000);
+
+/// One scheduled request: offset from the epoch plus a workload index.
+#[derive(Clone, Copy)]
+struct Slot {
+    at: Duration,
+    workload: usize,
+}
+
+fn engine(seed: u64) -> PlacementEngine {
+    // Small dims: the bench measures the serving fast path (cache +
+    // framing), not encoder throughput — that's BENCH_e2e's job.
+    let mut cfg = MarsConfig::small();
+    cfg.encoder_hidden = 16;
+    cfg.placer_hidden = 16;
+    cfg.attn_dim = 8;
+    cfg.segment_size = 16;
+    cfg.num_groups = 4;
+    cfg.dgi_iters = 10;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_devices = Cluster::p100_quad().num_devices();
+    let agent = Agent::new(AgentKind::Mars, cfg, FEATURE_DIM, num_devices, &mut rng);
+    PlacementEngine::new(agent, num_devices, 64)
+}
+
+fn request(unit: u64, workload: usize) -> Msg {
+    Msg::PlaceRequest {
+        unit,
+        workload: WORKLOADS[workload].into(),
+        profile: PROFILE.into(),
+        cluster: Cluster::p100_quad(),
+        top_k: TOP_K,
+    }
+}
+
+fn handshake(conn: &mut Conn) {
+    send_msg(conn, &Msg::Hello { version: PROTOCOL_VERSION }).expect("hello");
+    assert_eq!(
+        recv_msg(conn).expect("hello back"),
+        Some(Msg::Hello { version: PROTOCOL_VERSION }),
+        "serve handshake failed"
+    );
+}
+
+/// Draw a per-connection schedule of exponential inter-arrival gaps.
+fn schedule(rng: &mut StdRng, requests: usize) -> Vec<Slot> {
+    let mut at = Duration::ZERO;
+    (0..requests)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>();
+            let gap = -MEAN_GAP.as_secs_f64() * (1.0 - u).ln();
+            at += Duration::from_secs_f64(gap);
+            Slot { at, workload: rng.gen_range(0..WORKLOADS.len()) }
+        })
+        .collect()
+}
+
+/// Sleep-then-yield until `deadline` past `t0`. Never busy-spins: on a
+/// single-core runner a spinning writer starves the very server thread
+/// it is waiting on, which would show up as fake queueing delay.
+fn pace(t0: Instant, deadline: Duration) {
+    loop {
+        let now = t0.elapsed();
+        if now >= deadline {
+            return;
+        }
+        let left = deadline - now;
+        if left > Duration::from_micros(200) {
+            std::thread::sleep(left - Duration::from_micros(100));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Run one pipelined connection: a writer thread paces the schedule
+/// while this thread reads responses. Returns, per request, the
+/// workload index, the open-loop latency (receive time minus scheduled
+/// send time), and the receive offset (for the throughput span).
+fn run_client(
+    mut conn: Conn,
+    t0: Instant,
+    sched: Arc<Vec<Slot>>,
+    reference: Arc<Vec<Vec<Vec<usize>>>>,
+) -> Vec<(usize, Duration, Duration)> {
+    let mut writer = conn.try_clone().expect("clone conn");
+    let wsched = Arc::clone(&sched);
+    let writer = std::thread::spawn(move || {
+        for (unit, slot) in wsched.iter().enumerate() {
+            pace(t0, slot.at);
+            send_msg(&mut writer, &request(unit as u64, slot.workload)).expect("send");
+        }
+    });
+
+    let mut out = Vec::with_capacity(sched.len());
+    for _ in 0..sched.len() {
+        match recv_msg(&mut conn).expect("recv").expect("response") {
+            Msg::PlaceResponse { unit, ranking, .. } => {
+                let recv_at = t0.elapsed();
+                let slot = sched[unit as usize];
+                assert_eq!(
+                    ranking, reference[slot.workload],
+                    "cached response diverged from the cold-path reference"
+                );
+                out.push((slot.workload, recv_at.saturating_sub(slot.at), recv_at));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    writer.join().expect("writer join");
+    out
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    opts.install_telemetry();
+    let requests_per_conn = if opts.smoke { 8 } else { 500 };
+    let n_total = requests_per_conn * CONNS;
+
+    let listener = Listener::bind(&Addr::Tcp("127.0.0.1:0".into())).expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server =
+        std::thread::spawn(move || serve(&listener, engine(SEED), ServeOptions::default()));
+
+    // Priming: one sequential cold request per workload. The responses
+    // are the byte-identity reference every load-phase response is
+    // checked against.
+    let mut prime = Conn::connect(&addr).expect("connect");
+    handshake(&mut prime);
+    let mut reference = Vec::with_capacity(WORKLOADS.len());
+    for (i, _) in WORKLOADS.iter().enumerate() {
+        send_msg(&mut prime, &request(1_000 + i as u64, i)).expect("send");
+        match recv_msg(&mut prime).expect("recv").expect("response") {
+            Msg::PlaceResponse { ranking, .. } => reference.push(ranking),
+            other => panic!("unexpected priming response: {other:?}"),
+        }
+    }
+    drop(prime);
+    let reference = Arc::new(reference);
+
+    // Seeded schedules, then connect every client before starting the
+    // clock so connection setup never pollutes the measurement.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let scheds: Vec<Arc<Vec<Slot>>> =
+        (0..CONNS).map(|_| Arc::new(schedule(&mut rng, requests_per_conn))).collect();
+    let mut conns = Vec::with_capacity(CONNS);
+    for _ in 0..CONNS {
+        let mut conn = Conn::connect(&addr).expect("connect");
+        handshake(&mut conn);
+        conns.push(conn);
+    }
+
+    let t0 = Instant::now();
+    let clients: Vec<_> = conns
+        .into_iter()
+        .zip(&scheds)
+        .map(|(conn, sched)| {
+            let sched = Arc::clone(sched);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || run_client(conn, t0, sched, reference))
+        })
+        .collect();
+    let results: Vec<_> =
+        clients.into_iter().flat_map(|c| c.join().expect("client join")).collect();
+
+    let mut conn = Conn::connect(&addr).expect("connect");
+    handshake(&mut conn);
+    send_msg(&mut conn, &Msg::Shutdown).expect("send shutdown");
+    assert_eq!(recv_msg(&mut conn).expect("ack"), Some(Msg::Shutdown));
+    drop(conn);
+    let stats = server.join().expect("server join");
+    assert_eq!(stats.requests as usize, n_total + WORKLOADS.len());
+    assert_eq!(stats.engine.miss as usize, WORKLOADS.len(), "only priming goes cold");
+
+    let span = results.iter().map(|&(_, _, recv_at)| recv_at).max().expect("responses");
+    let mut lat: Vec<Duration> = results.iter().map(|&(_, l, _)| l).collect();
+    lat.sort_unstable();
+    let p50 = percentile(&lat, 50);
+    let p99 = percentile(&lat, 99);
+    let mean = lat.iter().sum::<Duration>() / lat.len() as u32;
+    let throughput = n_total as f64 / span.as_secs_f64();
+    let offered = CONNS as f64 / MEAN_GAP.as_secs_f64();
+
+    println!(
+        "serve/open_loop: {n_total} requests over {CONNS} conns in {:.1} ms",
+        span.as_secs_f64() * 1e3
+    );
+    println!(
+        "  throughput {throughput:>9.0} req/s (offered {offered:.0})   p50 {:>8.1} µs   p99 {:>8.1} µs",
+        p50.as_secs_f64() * 1e6,
+        p99.as_secs_f64() * 1e6
+    );
+    println!(
+        "  tiers: hot {} warm {} cold {}",
+        stats.engine.hot, stats.engine.warm, stats.engine.miss
+    );
+
+    let sample = Sample {
+        name: "serve/request_latency".into(),
+        iters: n_total as u32,
+        median: p50,
+        mean,
+        p10: percentile(&lat, 10),
+        p90: percentile(&lat, 90),
+    };
+    let extra = [
+        ("throughput_rps", Json::from(throughput)),
+        ("offered_rps", Json::from(offered)),
+        ("p50_ns", Json::from(p50.as_nanos() as f64)),
+        ("p99_ns", Json::from(p99.as_nanos() as f64)),
+        ("requests", Json::from(n_total as f64)),
+        ("connections", Json::from(CONNS as f64)),
+        ("seed", Json::from(SEED as f64)),
+    ];
+    if opts.smoke {
+        // Same offered rate as the measured run, fewer requests: the
+        // numbers stay comparable to the committed baseline, which is
+        // what `bench-gate --serve` diffs in CI.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+        let _ = std::fs::create_dir_all(&dir);
+        let mut fields: Vec<(&str, Json)> = vec![("benchmarks", Json::arr([sample.to_json()]))];
+        fields.extend(extra.iter().cloned());
+        let path = dir.join("BENCH_serve_smoke.json");
+        std::fs::write(&path, format!("{}\n", Json::obj(fields))).expect("write smoke baseline");
+        println!("(smoke baseline written to target/experiments/BENCH_serve_smoke.json)");
+    } else {
+        write_baseline("BENCH_serve.json", &[sample], &extra);
+    }
+    opts.finish();
+}

@@ -141,8 +141,8 @@ impl TrainingLog {
 pub struct Agent {
     /// All trainable parameters.
     pub store: ParamStore,
-    encoder: Box<dyn Encoder>,
-    placer: Box<dyn PlacerNet>,
+    encoder: Box<dyn Encoder + Send>,
+    pub(crate) placer: Box<dyn PlacerNet + Send>,
     dgi: Option<Dgi>,
     frozen_reps: Option<Matrix>,
     adam: Adam,
@@ -162,7 +162,7 @@ impl Agent {
         rng: &mut StdRng,
     ) -> Self {
         let mut store = ParamStore::new();
-        let (encoder, dgi): (Box<dyn Encoder>, Option<Dgi>) = match kind {
+        let (encoder, dgi): (Box<dyn Encoder + Send>, Option<Dgi>) = match kind {
             AgentKind::Mars | AgentKind::MarsNoPretrain | AgentKind::FixedEncoder(_) => {
                 let enc = GcnEncoder::new(
                     &mut store,
@@ -187,7 +187,7 @@ impl Agent {
             AgentKind::GrouperPlacer => (Box::new(RawEncoder::new(feature_dim)), None),
         };
         let rep_dim = encoder.out_dim();
-        let placer: Box<dyn PlacerNet> = match kind {
+        let placer: Box<dyn PlacerNet + Send> = match kind {
             AgentKind::Mars | AgentKind::MarsNoPretrain => Box::new(SegmentSeq2Seq::new(
                 &mut store,
                 rep_dim,
@@ -315,7 +315,11 @@ impl Agent {
     /// nonlinearities and erase the pre-training benefit. The norm is
     /// treated as a constant (no gradient through it), like a
     /// stop-gradient RMSNorm.
-    fn reps_on<'a>(&self, ctx: &mut FwdCtx<'a>, input: &WorkloadInput) -> mars_autograd::Var {
+    pub(crate) fn reps_on<'a>(
+        &self,
+        ctx: &mut FwdCtx<'a>,
+        input: &WorkloadInput,
+    ) -> mars_autograd::Var {
         match &self.frozen_reps {
             Some(m) => ctx.tape.constant(m.clone()),
             None => {

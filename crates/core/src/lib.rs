@@ -28,6 +28,7 @@ pub mod dgi;
 pub mod encoder;
 pub mod generalize;
 pub mod grouper;
+pub mod infer;
 pub mod partitioner;
 pub mod placers;
 pub mod ppo;
@@ -35,4 +36,5 @@ pub mod workload_input;
 
 pub use agent::{Agent, AgentKind, TrainingLog};
 pub use config::MarsConfig;
+pub use infer::PolicyInference;
 pub use workload_input::WorkloadInput;

@@ -32,12 +32,14 @@
 //! telemetry can never perturb the training trace.
 
 use mars_json::Json;
-use mars_sim::{EvalComputation, EvalOutcome, OomError};
+use mars_sim::{Cluster, EvalComputation, EvalOutcome, OomError};
 
 /// Protocol version; bumped on any wire-visible change. A learner and
 /// worker with different versions refuse to pair.
 /// v2: `Welcome.telemetry` flag + the `Telemetry` message.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v3: `PlaceRequest`/`PlaceResponse` serving messages (additive:
+/// `PlaceRequest.top_k` decodes as 1 when absent).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Encode an `f64` as its raw bits in hex (bit-exact, NaN-safe).
 pub fn f64_to_wire(x: f64) -> Json {
@@ -380,6 +382,38 @@ pub enum Msg {
         /// Span/counter snapshots, health stats, drained events.
         stats: WorkerTelemetry,
     },
+    /// Client → serve: decode a placement for this (graph, cluster)
+    /// pair (v3).
+    PlaceRequest {
+        /// Monotonic request id; echoed back in [`Msg::PlaceResponse`]
+        /// so pipelined clients can match answers to questions.
+        unit: u64,
+        /// Canonical workload name
+        /// (`mars_graph::generators::Workload::name`).
+        workload: String,
+        /// Graph profile: `"paper"` or `"reduced"`.
+        profile: String,
+        /// The querying cluster's full spec (devices, links, failure
+        /// mask) — the server derives the cache key from it.
+        cluster: Cluster,
+        /// Devices to report per op, most probable first. Additive
+        /// field: absent decodes as 1 (greedy placement only).
+        top_k: usize,
+    },
+    /// Serve → client: the decoded placement (v3).
+    PlaceResponse {
+        /// The request being answered.
+        unit: u64,
+        /// Graph fingerprint the server derived (cache-key half 1).
+        graph_fp: u64,
+        /// Cluster fingerprint the server derived (cache-key half 2).
+        cluster_fp: u64,
+        /// Fingerprint of the weights that produced the ranking.
+        weights_fp: u64,
+        /// Per-op device ranking truncated to the request's `top_k`;
+        /// `ranking[op][0]` is the greedy device for that op.
+        ranking: Vec<Vec<usize>>,
+    },
     /// Learner → worker: drain and exit cleanly.
     Shutdown,
     /// Either direction: fatal protocol-level failure.
@@ -425,6 +459,27 @@ impl Msg {
                 ("type", Json::from("telemetry")),
                 ("worker_id", Json::from(*worker_id as f64)),
                 ("stats", stats.to_json()),
+            ]),
+            Msg::PlaceRequest { unit, workload, profile, cluster, top_k } => Json::obj([
+                ("type", Json::from("place_request")),
+                ("unit", u64_to_wire(*unit)),
+                ("workload", Json::from(workload.as_str())),
+                ("profile", Json::from(profile.as_str())),
+                ("cluster", cluster.to_json_value()),
+                ("top_k", Json::from(*top_k as f64)),
+            ]),
+            Msg::PlaceResponse { unit, graph_fp, cluster_fp, weights_fp, ranking } => Json::obj([
+                ("type", Json::from("place_response")),
+                ("unit", u64_to_wire(*unit)),
+                ("graph_fp", u64_to_wire(*graph_fp)),
+                ("cluster_fp", u64_to_wire(*cluster_fp)),
+                ("weights_fp", u64_to_wire(*weights_fp)),
+                (
+                    "ranking",
+                    Json::arr(
+                        ranking.iter().map(|p| Json::arr(p.iter().map(|&d| Json::from(d as f64)))),
+                    ),
+                ),
             ]),
             Msg::Shutdown => Json::obj([("type", Json::from("shutdown"))]),
             Msg::Error { message } => Json::obj([
@@ -480,6 +535,38 @@ impl Msg {
                 stats: WorkerTelemetry::from_json(
                     j.get("stats").ok_or("telemetry has no 'stats'")?,
                 )?,
+            }),
+            Some("place_request") => {
+                let text = |field: &str| -> Result<String, String> {
+                    j.get(field)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("missing or non-string '{field}' field"))
+                };
+                Ok(Msg::PlaceRequest {
+                    unit: u64_from_wire(j.get("unit"), "unit")?,
+                    workload: text("workload")?,
+                    profile: text("profile")?,
+                    cluster: Cluster::from_json_value(
+                        j.get("cluster").ok_or("place_request has no 'cluster'")?,
+                    )?,
+                    // Additive (like Welcome.telemetry in v2): absent
+                    // reads as greedy-only.
+                    top_k: j.get("top_k").and_then(Json::as_usize).unwrap_or(1),
+                })
+            }
+            Some("place_response") => Ok(Msg::PlaceResponse {
+                unit: u64_from_wire(j.get("unit"), "unit")?,
+                graph_fp: u64_from_wire(j.get("graph_fp"), "graph_fp")?,
+                cluster_fp: u64_from_wire(j.get("cluster_fp"), "cluster_fp")?,
+                weights_fp: u64_from_wire(j.get("weights_fp"), "weights_fp")?,
+                ranking: j
+                    .get("ranking")
+                    .and_then(Json::as_array)
+                    .ok_or("place_response has no 'ranking' array")?
+                    .iter()
+                    .map(|p| usize_list(p, "ranking"))
+                    .collect::<Result<_, _>>()?,
             }),
             Some("shutdown") => Ok(Msg::Shutdown),
             Some("error") => Ok(Msg::Error {
@@ -548,6 +635,46 @@ mod tests {
         });
         roundtrip(Msg::Shutdown);
         roundtrip(Msg::Error { message: "boom".into() });
+    }
+
+    #[test]
+    fn place_messages_roundtrip() {
+        let mut cluster = mars_sim::Cluster::heterogeneous();
+        cluster.fail_device(2);
+        roundtrip(Msg::PlaceRequest {
+            unit: u64::MAX - 5, // beyond f64's exact-integer range
+            workload: "inception_v3".into(),
+            profile: "reduced".into(),
+            cluster,
+            top_k: 3,
+        });
+        roundtrip(Msg::PlaceResponse {
+            unit: u64::MAX - 5,
+            graph_fp: 0xdead_beef_dead_beef,
+            cluster_fp: u64::MAX,
+            weights_fp: 1,
+            ranking: vec![vec![0, 3, 1], vec![4, 0, 2], vec![1]],
+        });
+    }
+
+    /// The v2→v3 addition is additive inside `place_request` too: a
+    /// request without `top_k` (an early v3 client) decodes as a
+    /// greedy-only query instead of failing.
+    #[test]
+    fn place_request_without_top_k_defaults_to_greedy() {
+        let mut msg = Msg::PlaceRequest {
+            unit: 1,
+            workload: "vgg16".into(),
+            profile: "paper".into(),
+            cluster: mars_sim::Cluster::p100_quad(),
+            top_k: 5,
+        }
+        .to_json();
+        let Json::Obj(pairs) = &mut msg else { panic!("place_request is an object") };
+        pairs.retain(|(k, _)| k != "top_k");
+        let back = Msg::from_json(&msg).expect("decodes");
+        let Msg::PlaceRequest { top_k, .. } = back else { panic!("wrong type") };
+        assert_eq!(top_k, 1, "absent top_k must read as greedy-only");
     }
 
     #[test]

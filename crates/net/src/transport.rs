@@ -122,9 +122,31 @@ impl Listener {
         Ok(conn)
     }
 
+    /// The address this listener is actually bound to — how callers
+    /// discover the ephemeral port after binding `127.0.0.1:0`.
+    pub fn local_addr(&self) -> io::Result<Addr> {
+        match self {
+            Listener::Tcp(l) => Ok(Addr::Tcp(l.local_addr()?.to_string())),
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let sa = l.local_addr()?;
+                let path = sa
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::other("unix listener has no pathname"))?;
+                Ok(Addr::Unix(path.to_path_buf()))
+            }
+        }
+    }
+
     fn try_accept(&self) -> io::Result<Conn> {
         match self {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                // Mirror the connect side: without TCP_NODELAY, Nagle
+                // delays small response frames by tens of milliseconds.
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
             #[cfg(unix)]
             Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
         }
@@ -206,6 +228,18 @@ impl Conn {
             Conn::Tcp(s) => s.set_nonblocking(on),
             #[cfg(unix)]
             Conn::Unix(s) => s.set_nonblocking(on),
+        }
+    }
+
+    /// A second handle to the same underlying socket, so one thread
+    /// can write requests while another reads responses (the pipelined
+    /// serve client). Both handles share the kernel stream; closing
+    /// either direction affects both.
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
         }
     }
 

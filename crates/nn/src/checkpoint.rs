@@ -116,6 +116,34 @@ pub fn load_file(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<u
     load(store, &mut f)
 }
 
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Order-sensitive FNV-1a identity of a store's weights: every
+/// parameter's name, shape, and exact f32 bit pattern. The serving
+/// layer stamps persisted placement-cache entries with this so results
+/// computed under one set of weights are never replayed under another
+/// (entries with a stale fingerprint are skipped at load).
+pub fn fingerprint(store: &ParamStore) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for id in store.ids() {
+        h = fnv1a(h, store.name(id).as_bytes());
+        let m = store.value(id);
+        h = fnv1a(h, &(m.rows() as u64).to_le_bytes());
+        h = fnv1a(h, &(m.cols() as u64).to_le_bytes());
+        for &x in m.as_slice() {
+            h = fnv1a(h, &x.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +202,29 @@ mod tests {
         let mut dst = ParamStore::new();
         dst.add("w", Matrix::zeros(2, 2));
         assert!(load(&mut dst, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_values_names_and_shapes() {
+        let a = store_with(&["a.w", "a.b"], 11);
+        let same = store_with(&["a.w", "a.b"], 11);
+        assert_eq!(fingerprint(&a), fingerprint(&same));
+
+        let other_values = store_with(&["a.w", "a.b"], 12);
+        assert_ne!(fingerprint(&a), fingerprint(&other_values));
+        let other_names = store_with(&["a.w", "a.c"], 11);
+        assert_ne!(fingerprint(&a), fingerprint(&other_names));
+
+        // A single flipped bit in one value changes the fingerprint.
+        let mut flipped = store_with(&["a.w", "a.b"], 11);
+        let id = flipped.ids().next().expect("id");
+        let v = flipped.value(id).get(0, 0);
+        *flipped.value_mut(id) = {
+            let mut m = flipped.value(id).clone();
+            m.set(0, 0, f32::from_bits(v.to_bits() ^ 1));
+            m
+        };
+        assert_ne!(fingerprint(&a), fingerprint(&flipped));
     }
 
     #[test]

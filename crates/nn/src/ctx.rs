@@ -26,12 +26,36 @@ impl<'s> FwdCtx<'s> {
         FwdCtx { tape: Tape::new(), store, bound: HashMap::new() }
     }
 
+    /// Start an inference-only forward pass: no op recording, no
+    /// gradients, and [`FwdCtx::into_grads`] must not be called. Values
+    /// are bit-identical to a recording pass over the same store.
+    pub fn new_inference(store: &'s ParamStore) -> Self {
+        FwdCtx { tape: Tape::inference(), store, bound: HashMap::new() }
+    }
+
+    /// Start a forward pass on a caller-provided tape — how the serving
+    /// path reuses one inference tape (and its pooled activation
+    /// buffers) across requests. Pair with [`FwdCtx::into_tape`].
+    pub fn with_tape(tape: Tape, store: &'s ParamStore) -> Self {
+        FwdCtx { tape, store, bound: HashMap::new() }
+    }
+
+    /// Recover the tape (e.g. to `reset_for_reuse` it between requests).
+    pub fn into_tape(self) -> Tape {
+        self.tape
+    }
+
     /// Bind a parameter onto the tape (cached).
     pub fn p(&mut self, id: ParamId) -> Var {
         if let Some(&v) = self.bound.get(&id) {
             return v;
         }
-        let v = self.tape.leaf(self.store.value(id).clone(), true);
+        let v = if self.tape.is_recording() {
+            self.tape.leaf(self.store.value(id).clone(), true)
+        } else {
+            // Inference: copy into a pooled buffer, no grad flag.
+            self.tape.leaf_copy(self.store.value(id))
+        };
         self.bound.insert(id, v);
         v
     }

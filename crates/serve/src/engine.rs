@@ -1,0 +1,325 @@
+//! The tiered placement engine: hot LRU → warm store → cold inference.
+//!
+//! [`PlacementEngine::place`] answers one query and reports which tier
+//! answered it. The tier is telemetry only — it never appears in the
+//! response bytes, and all three tiers return the identical ranking
+//! for the same `(graph, cluster, weights)` triple: the cold path is
+//! bit-deterministic (`mars_core::infer` parity tests), the hot tier
+//! stores exactly what cold produced, and the warm tier is filtered to
+//! this engine's weights fingerprint on load.
+//!
+//! Concurrent identical requests deduplicate by construction: the
+//! server wraps the engine in a mutex, so the first request through
+//! runs cold inference and every later identical request hits the hot
+//! tier. The concurrency property test below pins that down — N
+//! threads, one miss, N−1 hot hits, byte-identical rankings.
+
+use crate::cache::PlacementCache;
+use crate::fingerprint::{cluster_fingerprint, graph_fingerprint};
+use crate::store::PlacementStore;
+use mars_core::{Agent, PolicyInference, WorkloadInput};
+use mars_graph::generators::{Profile, Workload};
+use mars_sim::Cluster;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A full per-op device ranking, shared between cache tiers and
+/// in-flight responses without copying.
+pub type Ranking = Arc<Vec<Vec<usize>>>;
+
+/// Which tier answered a query. Telemetry/stats only — responses are
+/// byte-identical regardless of tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// In-memory LRU hit.
+    Hot,
+    /// Persistent-store hit (promoted to hot).
+    Warm,
+    /// Full policy inference (inserted into hot + store).
+    Cold,
+}
+
+/// Per-tier answer counts since engine construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries answered from the in-memory LRU.
+    pub hot: u64,
+    /// Queries answered from the persistent store.
+    pub warm: u64,
+    /// Queries that ran policy inference.
+    pub miss: u64,
+}
+
+struct GraphEntry {
+    input: WorkloadInput,
+    graph_fp: u64,
+}
+
+/// One answered query: the ranking plus everything a
+/// [`Msg::PlaceResponse`](mars_net::msg::Msg) needs to echo back.
+#[derive(Clone, Debug)]
+pub struct Placed {
+    /// Full per-op device ranking (untruncated).
+    pub ranking: Ranking,
+    /// Which tier answered (telemetry only).
+    pub tier: Tier,
+    /// Graph half of the cache key.
+    pub graph_fp: u64,
+    /// Cluster half of the cache key.
+    pub cluster_fp: u64,
+    /// Fingerprint of the weights that produced the ranking.
+    pub weights_fp: u64,
+}
+
+/// Tiered placement query engine over one trained agent.
+pub struct PlacementEngine {
+    agent: Agent,
+    num_devices: usize,
+    infer: PolicyInference,
+    hot: PlacementCache,
+    store: Option<PlacementStore>,
+    /// Built graphs memoized per `(workload, profile)` name pair:
+    /// graph generation is deterministic, so each recipe is built once.
+    graphs: HashMap<(String, String), GraphEntry>,
+    weights_fp: u64,
+    stats: EngineStats,
+}
+
+impl PlacementEngine {
+    /// Engine over `agent` (built for `num_devices`-device clusters)
+    /// with a hot tier of `cache_capacity` rankings and no warm store.
+    pub fn new(agent: Agent, num_devices: usize, cache_capacity: usize) -> Self {
+        let weights_fp = mars_nn::checkpoint::fingerprint(&agent.store);
+        PlacementEngine {
+            agent,
+            num_devices,
+            infer: PolicyInference::new(),
+            hot: PlacementCache::new(cache_capacity),
+            store: None,
+            graphs: HashMap::new(),
+            weights_fp,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Attach (opening or creating) the warm JSONL store at `path`.
+    /// Returns `(loaded, skipped)` line counts; entries stamped with a
+    /// different weights fingerprint are skipped, never replayed.
+    pub fn attach_store(&mut self, path: impl AsRef<Path>) -> io::Result<(usize, usize)> {
+        let store = PlacementStore::open(path, self.weights_fp)?;
+        let stats = store.load_stats();
+        self.store = Some(store);
+        Ok(stats)
+    }
+
+    /// Fingerprint of the weights this engine serves
+    /// (see [`mars_nn::checkpoint::fingerprint`]).
+    pub fn weights_fp(&self) -> u64 {
+        self.weights_fp
+    }
+
+    /// Action-space width: every query cluster must have exactly this
+    /// many devices.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Per-tier answer counts since construction.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn graph_entry(&mut self, workload: Workload, profile: Profile) -> (u64, &WorkloadInput) {
+        let key = (workload.name().to_string(), profile.name().to_string());
+        let entry = self.graphs.entry(key).or_insert_with(|| {
+            let graph = workload.build(profile);
+            GraphEntry {
+                graph_fp: graph_fingerprint(&graph),
+                input: WorkloadInput::from_graph(&graph),
+            }
+        });
+        (entry.graph_fp, &entry.input)
+    }
+
+    /// Answer one placement query: the full per-op device ranking for
+    /// `(workload, profile)` on `cluster`, plus the tier that answered.
+    pub fn place(
+        &mut self,
+        workload: &str,
+        profile: &str,
+        cluster: &Cluster,
+    ) -> Result<Placed, String> {
+        let _span = mars_telemetry::span("serve.engine.place");
+        let wl =
+            Workload::parse(workload).ok_or_else(|| format!("unknown workload '{workload}'"))?;
+        let pr = Profile::parse(profile).ok_or_else(|| format!("unknown profile '{profile}'"))?;
+        if cluster.num_devices() != self.num_devices {
+            return Err(format!(
+                "cluster has {} devices but the policy was trained for {}",
+                cluster.num_devices(),
+                self.num_devices
+            ));
+        }
+        let cluster_fp = cluster_fingerprint(cluster);
+        let (graph_fp, _) = self.graph_entry(wl, pr);
+        let key = (graph_fp, cluster_fp);
+        let done = |ranking: Ranking, tier: Tier, weights_fp: u64| Placed {
+            ranking,
+            tier,
+            graph_fp,
+            cluster_fp,
+            weights_fp,
+        };
+
+        if let Some(ranking) = self.hot.get(key) {
+            mars_telemetry::counter("serve.cache.hot").inc();
+            self.stats.hot += 1;
+            return Ok(done(ranking, Tier::Hot, self.weights_fp));
+        }
+        if let Some(ranking) = self.store.as_ref().and_then(|s| s.get(key)) {
+            mars_telemetry::counter("serve.cache.warm").inc();
+            self.stats.warm += 1;
+            self.hot.insert(key, ranking.clone());
+            return Ok(done(ranking, Tier::Warm, self.weights_fp));
+        }
+
+        mars_telemetry::counter("serve.cache.miss").inc();
+        self.stats.miss += 1;
+        // Re-borrow for the cold path: the memo entry is guaranteed
+        // present after graph_entry above.
+        let name_key = (wl.name().to_string(), pr.name().to_string());
+        let input = &self.graphs[&name_key].input;
+        let ranking: Ranking = Arc::new(self.infer.rank_placements(&self.agent, input));
+        self.hot.insert(key, ranking.clone());
+        if let Some(store) = self.store.as_mut() {
+            if store.append(key, wl.name(), pr.name(), ranking.clone()).is_err() {
+                // Serving must not die with the answer in hand; a
+                // failed append just means a warm miss after restart.
+                mars_telemetry::counter("serve.store.append_failed").inc();
+            }
+        }
+        Ok(done(ranking, Tier::Cold, self.weights_fp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_core::{AgentKind, MarsConfig};
+    use mars_graph::features::FEATURE_DIM;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
+    use std::sync::Mutex;
+
+    fn tiny_agent(seed: u64) -> Agent {
+        let mut cfg = MarsConfig::small();
+        cfg.encoder_hidden = 16;
+        cfg.placer_hidden = 16;
+        cfg.attn_dim = 8;
+        cfg.segment_size = 16;
+        cfg.num_groups = 4;
+        cfg.dgi_iters = 10;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Agent::new(AgentKind::Mars, cfg, FEATURE_DIM, 5, &mut rng)
+    }
+
+    fn engine(seed: u64, capacity: usize) -> PlacementEngine {
+        PlacementEngine::new(tiny_agent(seed), 5, capacity)
+    }
+
+    #[test]
+    fn tiers_progress_cold_hot_and_warm_across_restart() {
+        let dir = std::env::temp_dir().join(format!("mars-serve-engine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("tiers.jsonl");
+
+        let cluster = Cluster::p100_quad();
+        let mut e = engine(3, 8);
+        e.attach_store(&path).expect("attach");
+        let p1 = e.place("inception_v3", "reduced", &cluster).expect("place");
+        let p2 = e.place("inception_v3", "reduced", &cluster).expect("place");
+        assert_eq!((p1.tier, p2.tier), (Tier::Cold, Tier::Hot));
+        assert_eq!(p1.ranking, p2.ranking);
+        assert_eq!(p1.weights_fp, e.weights_fp());
+        assert_eq!(e.stats(), EngineStats { hot: 1, warm: 0, miss: 1 });
+
+        // Fresh engine, same weights, same store: warm hit, same bytes.
+        let mut e2 = engine(3, 8);
+        assert_eq!(e2.weights_fp(), e.weights_fp(), "same seed, same weights");
+        assert_eq!(e2.attach_store(&path).expect("attach"), (1, 0));
+        let p3 = e2.place("inception_v3", "reduced", &cluster).expect("place");
+        assert_eq!(p3.tier, Tier::Warm);
+        assert_eq!(*p3.ranking, *p1.ranking, "warm ranking byte-identical to cold");
+
+        // Different weights must not replay the stored entry.
+        let mut e3 = engine(4, 8);
+        assert_eq!(e3.attach_store(&path).expect("attach"), (0, 1));
+        let p4 = e3.place("inception_v3", "reduced", &cluster).expect("place");
+        assert_eq!(p4.tier, Tier::Cold);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_infer_once_and_agree() {
+        let shared = Arc::new(Mutex::new(engine(5, 8)));
+        let n = 8;
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                let mut eng = shared.lock().expect("lock");
+                eng.place("vgg16", "reduced", &Cluster::p100_quad()).expect("place").ranking
+            }));
+        }
+        let rankings: Vec<Ranking> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+        for r in &rankings[1..] {
+            assert_eq!(**r, *rankings[0], "concurrent responses diverged");
+        }
+        let stats = shared.lock().expect("lock").stats();
+        assert_eq!(stats.miss, 1, "identical requests deduplicate to one inference");
+        assert_eq!(stats.hot, n - 1);
+    }
+
+    #[test]
+    fn evictions_under_tiny_capacity_never_change_response_bytes() {
+        let mut e = engine(6, 1); // hot tier holds exactly one ranking
+        let cluster = Cluster::p100_quad();
+        let first_a = e.place("inception_v3", "reduced", &cluster).expect("place").ranking;
+        let first_b = e.place("vgg16", "reduced", &cluster).expect("place").ranking;
+        for _ in 0..3 {
+            // Each round evicts the other workload's entry and re-infers.
+            let pa = e.place("inception_v3", "reduced", &cluster).expect("place");
+            let pb = e.place("vgg16", "reduced", &cluster).expect("place");
+            assert_eq!((pa.tier, pb.tier), (Tier::Cold, Tier::Cold), "capacity 1 re-infers");
+            assert_eq!(*pa.ranking, *first_a, "eviction changed inception bytes");
+            assert_eq!(*pb.ranking, *first_b, "eviction changed vgg bytes");
+        }
+    }
+
+    #[test]
+    fn failed_device_changes_the_cache_key_but_not_determinism() {
+        let mut e = engine(7, 8);
+        let healthy = Cluster::p100_quad();
+        let mut degraded = Cluster::p100_quad();
+        degraded.fail_device(3);
+        let t1 = e.place("seq2seq", "reduced", &healthy).expect("place").tier;
+        let t2 = e.place("seq2seq", "reduced", &degraded).expect("place").tier;
+        let t3 = e.place("seq2seq", "reduced", &healthy).expect("place").tier;
+        assert_eq!((t1, t2, t3), (Tier::Cold, Tier::Cold, Tier::Hot));
+    }
+
+    #[test]
+    fn rejects_unknown_workloads_and_mismatched_clusters() {
+        let mut e = engine(8, 8);
+        assert!(e.place("not-a-workload", "reduced", &Cluster::p100_quad()).is_err());
+        assert!(e.place("vgg16", "not-a-profile", &Cluster::p100_quad()).is_err());
+        let two = Cluster::new(
+            vec![mars_sim::DeviceSpec::xeon(), mars_sim::DeviceSpec::p100(0)],
+            mars_sim::LinkSpec::pcie(),
+        );
+        let err = e.place("vgg16", "reduced", &two).expect_err("device-count mismatch");
+        assert!(err.contains("2 devices"), "unexpected error: {err}");
+    }
+}

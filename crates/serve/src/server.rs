@@ -1,0 +1,326 @@
+//! The serve loop: placement-as-a-service over the mars-net framed
+//! protocol.
+//!
+//! One accept loop, one handler thread per connection, one shared
+//! [`PlacementEngine`] behind a mutex. The mutex is the determinism
+//! argument for concurrent serving: every query runs the full
+//! lookup-or-infer-then-insert sequence atomically, so N concurrent
+//! identical requests resolve to one cold inference and N−1 hot hits,
+//! all returning the same `Arc`'d ranking — responses are
+//! byte-identical regardless of arrival order, and the answering tier
+//! never appears in the response bytes.
+//!
+//! Handshake: the client opens with [`Msg::Hello`]; the server rejects
+//! a version mismatch with [`Msg::Error`] and otherwise echoes
+//! `Hello { version: PROTOCOL_VERSION }` (serving needs no
+//! [`Msg::Welcome`] — that message carries a worker environment
+//! recipe). Then any number of [`Msg::PlaceRequest`]s, answered in
+//! arrival order per connection. [`Msg::Shutdown`] is acknowledged
+//! with `Shutdown` and stops the accept loop; handler threads drain
+//! until their clients hang up.
+
+use crate::engine::{EngineStats, PlacementEngine};
+use mars_net::msg::{Msg, PROTOCOL_VERSION};
+use mars_net::transport::{recv_msg, send_msg, Conn, Listener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Request-latency histogram bucket edges, seconds. Cache hits land in
+/// the microsecond buckets, cold inference in the millisecond ones.
+const LATENCY_EDGES: [f64; 11] = [1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1.0];
+
+/// How often the accept loop re-checks the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(100);
+
+/// Serve-loop tuning knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeOptions {
+    /// Stop accepting new connections once this many requests have
+    /// been answered (existing connections drain). `None` serves until
+    /// a [`Msg::Shutdown`] arrives.
+    pub max_requests: Option<u64>,
+}
+
+/// What the serve loop did, returned when it exits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Placement requests answered (excluding errors).
+    pub requests: u64,
+    /// Per-tier engine counts.
+    pub engine: EngineStats,
+}
+
+struct Shared {
+    engine: Mutex<PlacementEngine>,
+    stop: AtomicBool,
+    served: AtomicU64,
+    max_requests: Option<u64>,
+}
+
+/// Run the serve loop on `listener` until a client sends
+/// [`Msg::Shutdown`] (or `opts.max_requests` is reached), then join
+/// every handler thread and report what happened.
+pub fn serve(listener: &Listener, engine: PlacementEngine, opts: ServeOptions) -> ServeStats {
+    let shared = Arc::new(Shared {
+        engine: Mutex::new(engine),
+        stop: AtomicBool::new(false),
+        served: AtomicU64::new(0),
+        max_requests: opts.max_requests,
+    });
+    let mut handlers = Vec::new();
+    let mut connections = 0u64;
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept_timeout(ACCEPT_POLL) {
+            Ok(conn) => {
+                connections += 1;
+                mars_telemetry::counter("serve.connections").inc();
+                let shared = Arc::clone(&shared);
+                handlers.push(std::thread::spawn(move || handle_conn(conn, &shared)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => continue,
+            Err(e) => {
+                mars_telemetry::event("serve.accept_error", &[("error", e.to_string().into())]);
+                break;
+            }
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    let engine_stats = shared.engine.lock().unwrap_or_else(|e| e.into_inner()).stats();
+    ServeStats { connections, requests: shared.served.load(Ordering::SeqCst), engine: engine_stats }
+}
+
+/// Serve one connection to completion. Any protocol or request error
+/// is answered with [`Msg::Error`] and closes the connection; a clean
+/// client hang-up just returns.
+fn handle_conn(mut conn: Conn, shared: &Shared) {
+    // Handshake: client Hello in, server Hello (or version Error) out.
+    match recv_msg(&mut conn) {
+        Ok(Some(Msg::Hello { version })) if version == PROTOCOL_VERSION => {
+            if send_msg(&mut conn, &Msg::Hello { version: PROTOCOL_VERSION }).is_err() {
+                return;
+            }
+        }
+        Ok(Some(Msg::Hello { version })) => {
+            let message =
+                format!("protocol version mismatch: client {version}, server {PROTOCOL_VERSION}");
+            let _ = send_msg(&mut conn, &Msg::Error { message });
+            return;
+        }
+        Ok(Some(_)) => {
+            let _ = send_msg(
+                &mut conn,
+                &Msg::Error { message: "expected Hello as the first message".into() },
+            );
+            return;
+        }
+        Ok(None) | Err(_) => return,
+    }
+
+    loop {
+        let msg = match recv_msg(&mut conn) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => return, // clean hang-up
+            Err(_) => return,
+        };
+        match msg {
+            Msg::PlaceRequest { unit, workload, profile, cluster, top_k } => {
+                let _span = mars_telemetry::span("serve.request");
+                let start = Instant::now();
+                let placed = {
+                    let mut engine = shared.engine.lock().unwrap_or_else(|e| e.into_inner());
+                    engine.place(&workload, &profile, &cluster)
+                };
+                match placed {
+                    Ok(placed) => {
+                        let k = top_k.max(1);
+                        let ranking: Vec<Vec<usize>> = placed
+                            .ranking
+                            .iter()
+                            .map(|row| row.iter().copied().take(k).collect())
+                            .collect();
+                        let resp = Msg::PlaceResponse {
+                            unit,
+                            graph_fp: placed.graph_fp,
+                            cluster_fp: placed.cluster_fp,
+                            weights_fp: placed.weights_fp,
+                            ranking,
+                        };
+                        if send_msg(&mut conn, &resp).is_err() {
+                            return;
+                        }
+                        mars_telemetry::counter("serve.requests").inc();
+                        mars_telemetry::histogram("serve.latency_s", &LATENCY_EDGES)
+                            .observe(start.elapsed().as_secs_f64());
+                        let served = shared.served.fetch_add(1, Ordering::SeqCst) + 1;
+                        if shared.max_requests.is_some_and(|max| served >= max) {
+                            shared.stop.store(true, Ordering::SeqCst);
+                        }
+                    }
+                    Err(message) => {
+                        mars_telemetry::counter("serve.request_errors").inc();
+                        let _ = send_msg(&mut conn, &Msg::Error { message });
+                        return;
+                    }
+                }
+            }
+            Msg::Shutdown => {
+                shared.stop.store(true, Ordering::SeqCst);
+                let _ = send_msg(&mut conn, &Msg::Shutdown);
+                return;
+            }
+            other => {
+                let message = format!("unexpected message in serve loop: {other:?}");
+                let _ = send_msg(&mut conn, &Msg::Error { message });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_core::{Agent, AgentKind, MarsConfig};
+    use mars_graph::features::FEATURE_DIM;
+    use mars_net::transport::Addr;
+    use mars_rng::rngs::StdRng;
+    use mars_rng::SeedableRng;
+    use mars_sim::Cluster;
+
+    fn tiny_engine(seed: u64) -> PlacementEngine {
+        let mut cfg = MarsConfig::small();
+        cfg.encoder_hidden = 16;
+        cfg.placer_hidden = 16;
+        cfg.attn_dim = 8;
+        cfg.segment_size = 16;
+        cfg.num_groups = 4;
+        cfg.dgi_iters = 10;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let agent = Agent::new(AgentKind::Mars, cfg, FEATURE_DIM, 5, &mut rng);
+        PlacementEngine::new(agent, 5, 32)
+    }
+
+    fn request(unit: u64, workload: &str, top_k: usize) -> Msg {
+        Msg::PlaceRequest {
+            unit,
+            workload: workload.into(),
+            profile: "reduced".into(),
+            cluster: Cluster::p100_quad(),
+            top_k,
+        }
+    }
+
+    fn handshake(conn: &mut Conn) {
+        send_msg(conn, &Msg::Hello { version: PROTOCOL_VERSION }).expect("hello");
+        assert_eq!(
+            recv_msg(conn).expect("hello back"),
+            Some(Msg::Hello { version: PROTOCOL_VERSION })
+        );
+    }
+
+    #[cfg(unix)]
+    fn unix_listener(name: &str) -> (Listener, Addr) {
+        let path = std::env::temp_dir()
+            .join(format!("mars-serve-test-{}-{name}.sock", std::process::id()));
+        let addr = Addr::Unix(path);
+        (Listener::bind(&addr).expect("bind"), addr)
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn concurrent_clients_get_byte_identical_responses() {
+        let (listener, addr) = unix_listener("concurrent");
+        let server =
+            std::thread::spawn(move || serve(&listener, tiny_engine(21), ServeOptions::default()));
+
+        let n = 4;
+        let mut clients = Vec::new();
+        for unit in 0..n {
+            let addr = addr.clone();
+            clients.push(std::thread::spawn(move || {
+                let mut conn = Conn::connect(&addr).expect("connect");
+                handshake(&mut conn);
+                send_msg(&mut conn, &request(unit, "inception_v3", 5)).expect("send");
+                let resp = recv_msg(&mut conn).expect("recv").expect("response");
+                match resp {
+                    Msg::PlaceResponse { unit: u, ranking, graph_fp, cluster_fp, weights_fp } => {
+                        assert_eq!(u, unit, "unit echoed");
+                        (ranking, graph_fp, cluster_fp, weights_fp)
+                    }
+                    other => panic!("unexpected response: {other:?}"),
+                }
+            }));
+        }
+        let answers: Vec<_> = clients.into_iter().map(|c| c.join().expect("join")).collect();
+        for a in &answers[1..] {
+            assert_eq!(a, &answers[0], "responses diverged across concurrent clients");
+        }
+
+        // Shutdown and inspect the tier split: one inference, rest cached.
+        let mut conn = Conn::connect(&addr).expect("connect");
+        handshake(&mut conn);
+        send_msg(&mut conn, &Msg::Shutdown).expect("send shutdown");
+        assert_eq!(recv_msg(&mut conn).expect("ack"), Some(Msg::Shutdown));
+        drop(conn);
+        let stats = server.join().expect("server join");
+        assert_eq!(stats.requests, n);
+        assert_eq!(stats.engine.miss, 1, "identical requests deduplicate");
+        assert_eq!(stats.engine.hot, n - 1);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn top_k_truncates_and_version_mismatch_is_rejected() {
+        let (listener, addr) = unix_listener("topk");
+        let server = std::thread::spawn(move || {
+            serve(&listener, tiny_engine(22), ServeOptions { max_requests: Some(2) })
+        });
+
+        let mut conn = Conn::connect(&addr).expect("connect");
+        handshake(&mut conn);
+        send_msg(&mut conn, &request(7, "vgg16", 1)).expect("send");
+        let Some(Msg::PlaceResponse { ranking: greedy, .. }) = recv_msg(&mut conn).expect("recv")
+        else {
+            panic!("expected a response");
+        };
+        assert!(greedy.iter().all(|row| row.len() == 1), "top_k=1 rows");
+        send_msg(&mut conn, &request(8, "vgg16", 3)).expect("send");
+        let Some(Msg::PlaceResponse { ranking: top3, .. }) = recv_msg(&mut conn).expect("recv")
+        else {
+            panic!("expected a response");
+        };
+        assert!(top3.iter().all(|row| row.len() == 3), "top_k=3 rows");
+        for (g, t) in greedy.iter().zip(&top3) {
+            assert_eq!(g[0], t[0], "greedy head stable across top_k");
+        }
+        drop(conn);
+
+        // max_requests reached → accept loop stops; a stale-version
+        // client straggling in before the stop still gets a clean error.
+        let stats = server.join().expect("server join");
+        assert_eq!(stats.requests, 2);
+
+        let (listener, addr) = unix_listener("version");
+        let server = std::thread::spawn(move || {
+            serve(&listener, tiny_engine(22), ServeOptions { max_requests: Some(1) })
+        });
+        let mut conn = Conn::connect(&addr).expect("connect");
+        send_msg(&mut conn, &Msg::Hello { version: PROTOCOL_VERSION + 1 }).expect("send");
+        let Some(Msg::Error { message }) = recv_msg(&mut conn).expect("recv") else {
+            panic!("expected a version error");
+        };
+        assert!(message.contains("version mismatch"), "unexpected error: {message}");
+        drop(conn);
+        let mut conn = Conn::connect(&addr).expect("connect");
+        handshake(&mut conn);
+        send_msg(&mut conn, &request(9, "vgg16", 1)).expect("send");
+        let _ = recv_msg(&mut conn).expect("recv");
+        drop(conn);
+        server.join().expect("server join");
+    }
+}

@@ -21,7 +21,7 @@ pub enum DeviceKind {
 }
 
 /// One computational device.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DeviceSpec {
     /// Display name (`"/gpu:0"`).
     pub name: String,
@@ -65,7 +65,7 @@ impl DeviceSpec {
 }
 
 /// A directed interconnect between two devices.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkSpec {
     /// Sustained bandwidth in bytes/second.
     pub bandwidth_bps: f64,
@@ -86,7 +86,7 @@ impl LinkSpec {
 }
 
 /// A set of devices plus the pairwise interconnect.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Cluster {
     devices: Vec<DeviceSpec>,
     /// Uniform link used between every distinct device pair (fallback

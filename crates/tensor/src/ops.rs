@@ -109,6 +109,18 @@ fn packed_block(out_blk: &mut [f32], a: &Matrix, bp: &PackedB, i0: usize, n: usi
 
 /// `C = A · B` where `A: m×k`, `B: k×n`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut out);
+    out
+}
+
+/// `C = A · B` written into a caller-provided `m×n` matrix (zeroed
+/// here first) — the allocation-free entry point that [`matmul`]
+/// wraps. Identical kernels and per-element op order, so the result is
+/// bit-identical to [`matmul`] regardless of what the output buffer
+/// previously held; the inference tape's pooled activation buffers
+/// route through this.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let _span = mars_telemetry::span("tensor.ops.matmul");
     assert_eq!(
         a.cols(),
@@ -119,7 +131,8 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
+    assert_eq!(out.shape(), (m, n), "matmul_into: out shape {:?} != ({m}, {n})", out.shape());
+    out.as_mut_slice().fill(0.0);
     if m * n * k >= PAR_FLOP_THRESHOLD && m >= PACK_MIN_ROWS {
         // Blocked/packed path: pack B once, sweep BLOCK_ROWS-row blocks
         // in parallel with the packed panels shared read-only.
@@ -136,7 +149,6 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
             inner_nn(row, a.row(i), b);
         }
     }
-    out
 }
 
 /// `C = Aᵀ · B` where `A: k×m`, `B: k×n` (result `m×n`).

@@ -113,4 +113,47 @@ diff <(echo "$FAULT_A") <(echo "$FAULT_C") || {
 diff <(echo "$FAULT_A" | grep -v "^eval cache") <(echo "$FAULT_D" | grep -v "^eval cache") || {
     echo "disabling the eval cache changed a faulty run"; exit 1; }
 
-echo "==> OK: build, tests, bench smoke, engine parity, fleet, observability and fault smokes all green"
+echo "==> serve smoke: daemon on a unix socket, bit-identical responses, warm restart"
+SERVE_SOCK=$(mktemp -u /tmp/mars-serve-XXXXXX.sock)
+SERVE_STORE=$(mktemp -u /tmp/mars-serve-store-XXXXXX.jsonl)
+SERVE_TRACE=target/experiments/serve_smoke.jsonl
+./target/release/mars-cli serve --listen "unix:$SERVE_SOCK" --seed 1 \
+    --store "$SERVE_STORE" --telemetry "$SERVE_TRACE" > /tmp/mars-serve-log.$$ 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { echo "serve never bound $SERVE_SOCK"; cat /tmp/mars-serve-log.$$; exit 1; }
+PLACE_A=$(./target/release/mars-cli place seq2seq --connect "unix:$SERVE_SOCK" --top-k 2 --repeat 3)
+PLACE_B=$(./target/release/mars-cli place seq2seq --connect "unix:$SERVE_SOCK" --top-k 2 --repeat 3)
+diff <(echo "$PLACE_A") <(echo "$PLACE_B") || {
+    echo "placement responses were not bit-identical across client runs"; exit 1; }
+echo "$PLACE_A" | grep -q "identical to response 0" || {
+    echo "repeat responses were not verified identical"; exit 1; }
+./target/release/mars-cli place seq2seq --connect "unix:$SERVE_SOCK" --shutdown > /dev/null
+wait "$SERVE_PID" || { echo "serve daemon failed"; cat /tmp/mars-serve-log.$$; exit 1; }
+grep -q "serve loop done" /tmp/mars-serve-log.$$ || {
+    echo "serve daemon did not report a clean shutdown"; cat /tmp/mars-serve-log.$$; exit 1; }
+[ -s "$SERVE_STORE" ] || { echo "serve daemon wrote no placement store"; exit 1; }
+./target/release/mars-cli metrics summarize "$SERVE_TRACE" | grep -q "serve.requests" || {
+    echo "serve trace has no request counters"; exit 1; }
+# Warm restart: the same seed + store must answer from the persistent
+# tier with byte-identical output.
+./target/release/mars-cli serve --listen "unix:$SERVE_SOCK" --seed 1 \
+    --store "$SERVE_STORE" > /tmp/mars-serve-log2.$$ 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { echo "serve never rebound $SERVE_SOCK"; cat /tmp/mars-serve-log2.$$; exit 1; }
+PLACE_C=$(./target/release/mars-cli place seq2seq --connect "unix:$SERVE_SOCK" --top-k 2 --repeat 3)
+diff <(echo "$PLACE_A") <(echo "$PLACE_C") || {
+    echo "warm-restart responses diverged from the first run"; exit 1; }
+./target/release/mars-cli place seq2seq --connect "unix:$SERVE_SOCK" --shutdown > /dev/null
+wait "$SERVE_PID" || { echo "restarted serve daemon failed"; cat /tmp/mars-serve-log2.$$; exit 1; }
+grep -q "1 entries loaded" /tmp/mars-serve-log2.$$ || {
+    echo "restart did not load the placement store"; cat /tmp/mars-serve-log2.$$; exit 1; }
+grep -q "warm 1" /tmp/mars-serve-log2.$$ || {
+    echo "restart did not answer from the warm tier"; cat /tmp/mars-serve-log2.$$; exit 1; }
+rm -f /tmp/mars-serve-log.$$ /tmp/mars-serve-log2.$$ "$SERVE_STORE"
+
+echo "==> serve bench, smoke mode (open-loop load generator, byte-identity checked)"
+cargo bench -p mars-bench --bench serve --offline -- --smoke
+
+echo "==> OK: build, tests, bench smoke, engine parity, fleet, observability, fault and serve smokes all green"

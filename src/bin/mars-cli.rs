@@ -11,6 +11,8 @@
 //! mars-cli metrics tail <run.jsonl> [options]       one line per record, live with --follow
 //! mars-cli metrics flame <run.jsonl>                collapsed stacks for flamegraph tools
 //! mars-cli bench-gate --current <b.json> [options]  compare a bench run to baseline
+//! mars-cli serve --listen ADDR [options]            placement-as-a-service daemon
+//! mars-cli place <workload> --connect ADDR [opts]   query a running serve daemon
 //!
 //! workloads:  inception | gnmt | bert | vgg | seq2seq | transformer
 //! placements: human | gpu-only | rr2 | rr4 | blocked2 | blocked3 | blocked4 | mincut
@@ -32,8 +34,17 @@
 //! metrics tail:  --lines N (default 20, 0 = all)   --follow
 //! bench-gate:    --current <e2e.json>     --baseline <e2e.json>
 //!                --kernels <kernels.json> --kernels-baseline <kernels.json>
+//!                --serve <serve.json>     --serve-baseline <serve.json>
 //!                --min-ratio R (default 0.5)
 //!                --min-kernel-ratio R (default 0.5)
+//!                --min-serve-ratio R (default 0.5)
+//!                --only <prefix>   gate only kernels matching prefix
+//! serve options: --listen ADDR          bind (host:port or unix:<path>)
+//!                --seed N   --checkpoint <ckpt>   --store <placements.jsonl>
+//!                --cache-capacity N   --max-requests N   --devices N
+//!                --profile small|full   --telemetry <run.jsonl>
+//! place options: --connect ADDR   --top-k K   --repeat N   --shutdown
+//!                --profile small|full   --fail-device N
 //! ```
 //!
 //! `--telemetry <path>` records a JSONL event stream (per-iteration DGI
@@ -65,8 +76,11 @@ use mars::graph::analysis::{stats, to_dot};
 use mars::graph::generators::{Profile, Workload};
 use mars::graph::CompGraph;
 use mars::json::Json;
-use mars::net::{EnvSetup, FleetBackend};
+use mars::net::{
+    recv_msg, send_msg, Addr, Conn, EnvSetup, FleetBackend, Listener, Msg, PROTOCOL_VERSION,
+};
 use mars::nn::checkpoint;
+use mars::serve::{PlacementEngine, ServeOptions};
 use mars::sim::{
     check_memory, simulate_traced, Cluster, Environment, EvalOutcome, FaultPlan, Placement, SimEnv,
 };
@@ -569,21 +583,52 @@ fn bench_kernel_ratios(
     (raw.into_iter().map(|(n, r)| (n, r / geomean)).collect(), unmatched)
 }
 
+/// Restrict a run to the arms whose names start with `prefix`. Used by
+/// `--only`: a partial bench run (one kernel family re-measured) gates
+/// just that family, and baseline arms outside the prefix are dropped
+/// *before* matching so they produce no "baseline only" noise.
+fn filter_arms(run: &mut BenchRun, prefix: &str) {
+    run.arms.retain(|(name, _)| name.starts_with(prefix));
+}
+
+/// One serve-bench file: open-loop load-generator results.
+#[derive(Debug)]
+struct ServeRun {
+    throughput_rps: f64,
+    p99_ns: f64,
+}
+
+fn parse_serve_run(path: &str, text: &str) -> Result<ServeRun, String> {
+    let json = Json::parse(text).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+    let field = |name: &str| -> Result<f64, String> {
+        json.get(name)
+            .and_then(Json::as_f64)
+            .filter(|v| *v > 0.0)
+            .ok_or_else(|| format!("'{path}' has no positive '{name}' field"))
+    };
+    Ok(ServeRun { throughput_rps: field("throughput_rps")?, p99_ns: field("p99_ns")? })
+}
+
 /// Compare fresh benchmark JSONs against committed baselines and fail
-/// on regression. Two independent gates:
+/// on regression. Three independent gates:
 ///
 /// * `--current <e2e.json>` — the aggregate rollout speedup
 ///   (threads+cache vs serial) and each arm's serial-normalized
 ///   speedup, both against `--min-ratio`.
 /// * `--kernels <kernels.json>` — every microkernel's geomean-normalized
 ///   median against `--min-kernel-ratio`, so a failure names the
-///   regressed kernel rather than a blended number.
+///   regressed kernel rather than a blended number. `--only <prefix>`
+///   restricts the gate to one kernel family.
+/// * `--serve <serve.json>` — the serve loop's throughput (floor) and
+///   p99 latency (ceiling) against `--min-serve-ratio`.
 fn cmd_bench_gate(flags: &Flags) -> Result<(), String> {
     let usage = "usage: mars-cli bench-gate [--current <e2e.json> [--baseline <e2e.json>]] \
-                 [--kernels <kernels.json> [--kernels-baseline <kernels.json>]]";
+                 [--kernels <kernels.json> [--kernels-baseline <kernels.json>] [--only <prefix>]] \
+                 [--serve <serve.json> [--serve-baseline <serve.json>]]";
     let current_path = flags.string_opt("current")?;
     let kernels_path = flags.string_opt("kernels")?;
-    if current_path.is_none() && kernels_path.is_none() {
+    let serve_path = flags.string_opt("serve")?;
+    if current_path.is_none() && kernels_path.is_none() && serve_path.is_none() {
         return Err(usage.into());
     }
     let min_ratio: f64 = flags.parsed("min-ratio", 0.5)?;
@@ -640,8 +685,18 @@ fn cmd_bench_gate(flags: &Flags) -> Result<(), String> {
         let kernels_baseline_path = flags
             .string_opt("kernels-baseline")?
             .unwrap_or_else(|| "BENCH_kernels.json".to_string());
-        let baseline = load(&kernels_baseline_path)?;
-        let current = load(&kernels_path)?;
+        let mut baseline = load(&kernels_baseline_path)?;
+        let mut current = load(&kernels_path)?;
+        if let Some(prefix) = flags.string_opt("only")? {
+            filter_arms(&mut current, &prefix);
+            filter_arms(&mut baseline, &prefix);
+            if current.arms.is_empty() {
+                return Err(format!(
+                    "'{kernels_path}' has no kernel arms matching --only '{prefix}'"
+                ));
+            }
+            println!("bench gate: --only '{prefix}' gates {} kernel arm(s)", current.arms.len());
+        }
         let (ratios, unmatched) = bench_kernel_ratios(&current, &baseline);
         if ratios.is_empty() {
             return Err(format!(
@@ -665,7 +720,184 @@ fn cmd_bench_gate(flags: &Flags) -> Result<(), String> {
         }
     }
 
+    if let Some(serve_path) = serve_path {
+        let serve_baseline_path =
+            flags.string_opt("serve-baseline")?.unwrap_or_else(|| "BENCH_serve.json".to_string());
+        let min_serve_ratio: f64 = flags.parsed("min-serve-ratio", 0.5)?;
+        if !(0.0..=1.0).contains(&min_serve_ratio) {
+            return Err(format!(
+                "invalid value '{min_serve_ratio}' for --min-serve-ratio (expected 0..=1)"
+            ));
+        }
+        let load_serve = |path: &str| -> Result<ServeRun, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+            parse_serve_run(path, &text)
+        };
+        let baseline = load_serve(&serve_baseline_path)?;
+        let current = load_serve(&serve_path)?;
+        let throughput_ratio = current.throughput_rps / baseline.throughput_rps;
+        // The latency gate is a ceiling, expressed as the same kind of
+        // "bigger is better" ratio: p99 may grow at most 1/R.
+        let p99_ratio = baseline.p99_ns / current.p99_ns;
+        println!(
+            "bench gate: serve throughput {:.0} rps vs baseline {:.0} \
+             (ratio {throughput_ratio:.3}, floor {min_serve_ratio:.3})",
+            current.throughput_rps, baseline.throughput_rps
+        );
+        println!(
+            "bench gate: serve p99 {:.0} ns vs baseline {:.0} \
+             (ratio {p99_ratio:.3}, floor {min_serve_ratio:.3})",
+            current.p99_ns, baseline.p99_ns
+        );
+        if throughput_ratio < min_serve_ratio {
+            return Err(format!(
+                "benchmark regression in serve throughput: ratio {throughput_ratio:.3} fell \
+                 below the {min_serve_ratio:.3} floor"
+            ));
+        }
+        if p99_ratio < min_serve_ratio {
+            return Err(format!(
+                "benchmark regression in serve p99 latency: ratio {p99_ratio:.3} fell below \
+                 the {min_serve_ratio:.3} floor"
+            ));
+        }
+    }
+
     println!("bench gate passed");
+    Ok(())
+}
+
+/// Run the placement-as-a-service daemon: build (or load) an agent,
+/// wrap it in the tiered engine, and serve `PlaceRequest`s until a
+/// client sends `Shutdown` (or `--max-requests` is reached).
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let usage = "usage: mars-cli serve --listen ADDR [--seed N] [--checkpoint <ckpt>] \
+                 [--store <placements.jsonl>] [--cache-capacity N] [--max-requests N] \
+                 [--devices N] [--profile small|full] [--telemetry <run.jsonl>]";
+    let Some(listen) = flags.string_opt("listen")? else { return Err(usage.into()) };
+    let addr = Addr::parse(&listen)?;
+    let seed: u64 = flags.parsed("seed", 42)?;
+    let devices: usize = flags.parsed("devices", Cluster::p100_quad().num_devices())?;
+    if devices == 0 {
+        return Err("invalid value '0' for --devices (need at least 1)".into());
+    }
+    let capacity: usize = flags.parsed("cache-capacity", 256)?;
+    if capacity == 0 {
+        return Err("invalid value '0' for --cache-capacity (need at least 1)".into());
+    }
+    let cfg = config_from_flags(flags)?;
+    let telemetry = install_telemetry(flags)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agent =
+        Agent::new(AgentKind::Mars, cfg, mars::graph::features::FEATURE_DIM, devices, &mut rng);
+    if let Some(ckpt) = flags.string_opt("checkpoint")? {
+        let n = checkpoint::load_file(&mut agent.store, &ckpt)
+            .map_err(|e| format!("cannot load checkpoint '{ckpt}': {e}"))?;
+        println!("loaded {n} parameters from {ckpt}");
+    }
+    let mut engine = PlacementEngine::new(agent, devices, capacity);
+    if let Some(store) = flags.string_opt("store")? {
+        let (loaded, skipped) = engine
+            .attach_store(&store)
+            .map_err(|e| format!("cannot open placement store '{store}': {e}"))?;
+        println!("placement store {store}: {loaded} entries loaded, {skipped} skipped");
+    }
+    let max_requests = flags.parsed_opt("max-requests")?;
+    let listener = Listener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "serving weights {:016x} on {addr} ({devices}-device policy, cache capacity {capacity})",
+        engine.weights_fp()
+    );
+    let stats = mars::serve::serve(&listener, engine, ServeOptions { max_requests });
+    println!(
+        "serve loop done: {} connection(s), {} request(s) (hot {}, warm {}, cold {})",
+        stats.connections, stats.requests, stats.engine.hot, stats.engine.warm, stats.engine.miss
+    );
+    finish_telemetry(telemetry);
+    Ok(())
+}
+
+/// Query a running serve daemon and print the ranking. Output is
+/// deterministic for fixed inputs — the CI smoke diffs two runs byte
+/// for byte. `--repeat N` re-sends the same request and verifies every
+/// response matches the first; `--shutdown` stops the daemon after.
+fn cmd_place(workload: Workload, profile: Profile, flags: &Flags) -> Result<(), String> {
+    let usage = "usage: mars-cli place <workload> --connect ADDR [--top-k K] [--repeat N] \
+                 [--fail-device N] [--shutdown] [--profile small|full]";
+    let Some(connect) = flags.string_opt("connect")? else { return Err(usage.into()) };
+    let addr = Addr::parse(&connect)?;
+    let top_k: usize = flags.parsed("top-k", 1)?;
+    let repeat: u64 = flags.parsed("repeat", 1)?;
+    if repeat == 0 {
+        return Err("invalid value '0' for --repeat (need at least 1)".into());
+    }
+    let mut cluster = Cluster::p100_quad();
+    if let Some(dead) = flags.parsed_opt::<usize>("fail-device")? {
+        if dead >= cluster.num_devices() {
+            return Err(format!(
+                "invalid value '{dead}' for --fail-device (cluster has {})",
+                cluster.num_devices()
+            ));
+        }
+        cluster.fail_device(dead);
+    }
+    let mut conn = Conn::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    send_msg(&mut conn, &Msg::Hello { version: PROTOCOL_VERSION })?;
+    match recv_msg(&mut conn)? {
+        Some(Msg::Hello { .. }) => {}
+        Some(Msg::Error { message }) => return Err(format!("server rejected us: {message}")),
+        other => return Err(format!("unexpected handshake reply: {other:?}")),
+    }
+    let mut first: Option<(u64, u64, u64, Vec<Vec<usize>>)> = None;
+    for unit in 0..repeat {
+        let req = Msg::PlaceRequest {
+            unit,
+            workload: workload.name().into(),
+            profile: profile.name().into(),
+            cluster: cluster.clone(),
+            top_k,
+        };
+        send_msg(&mut conn, &req)?;
+        match recv_msg(&mut conn)? {
+            Some(Msg::PlaceResponse { unit: u, graph_fp, cluster_fp, weights_fp, ranking }) => {
+                if u != unit {
+                    return Err(format!("response unit {u} does not match request {unit}"));
+                }
+                match &first {
+                    None => {
+                        println!(
+                            "{}/{} on {} device(s): graph_fp={graph_fp:016x} \
+                             cluster_fp={cluster_fp:016x} weights_fp={weights_fp:016x}",
+                            workload.name(),
+                            profile.name(),
+                            cluster.num_devices()
+                        );
+                        for (op, row) in ranking.iter().enumerate() {
+                            let devices: Vec<String> = row.iter().map(|d| d.to_string()).collect();
+                            println!("op {op:>4}: {}", devices.join(" "));
+                        }
+                        first = Some((graph_fp, cluster_fp, weights_fp, ranking));
+                    }
+                    Some(f) => {
+                        if *f != (graph_fp, cluster_fp, weights_fp, ranking) {
+                            return Err(format!("response {unit} diverged from response 0"));
+                        }
+                        println!("response {unit} identical to response 0");
+                    }
+                }
+            }
+            Some(Msg::Error { message }) => return Err(format!("server error: {message}")),
+            other => return Err(format!("unexpected response: {other:?}")),
+        }
+    }
+    if flags.switch("shutdown")? {
+        send_msg(&mut conn, &Msg::Shutdown)?;
+        match recv_msg(&mut conn)? {
+            Some(Msg::Shutdown) => println!("server shutting down"),
+            other => return Err(format!("unexpected shutdown reply: {other:?}")),
+        }
+    }
     Ok(())
 }
 
@@ -718,7 +950,7 @@ fn cmd_evaluate(workload: Workload, profile: Profile, flags: &Flags) -> Result<(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: mars-cli <inspect|train|pretrain|trace|dot|evaluate> <workload> [--flags]\n       mars-cli metrics summarize <run.jsonl>\n       mars-cli bench-gate --current <bench.json> [--baseline <bench.json>]\n(see --help in the module docs)";
+    let usage = "usage: mars-cli <inspect|train|pretrain|trace|dot|evaluate|place> <workload> [--flags]\n       mars-cli metrics summarize <run.jsonl>\n       mars-cli bench-gate --current <bench.json> [--baseline <bench.json>]\n       mars-cli serve --listen ADDR [--flags]\n(see --help in the module docs)";
     match args.first().map(String::as_str) {
         Some("metrics") => {
             return match cmd_metrics(&args[1..]) {
@@ -728,6 +960,12 @@ fn main() -> ExitCode {
         }
         Some("bench-gate") => {
             return match cmd_bench_gate(&Flags::parse(&args[1..])) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(e),
+            }
+        }
+        Some("serve") => {
+            return match cmd_serve(&Flags::parse(&args[1..])) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => fail(e),
             }
@@ -752,6 +990,7 @@ fn main() -> ExitCode {
         "pretrain" => cmd_pretrain(workload, profile, &flags),
         "trace" => cmd_trace(workload, profile, &flags),
         "evaluate" => cmd_evaluate(workload, profile, &flags),
+        "place" => cmd_place(workload, profile, &flags),
         "dot" => flags.parsed("max-nodes", usize::MAX).map(|max_nodes| {
             print!("{}", to_dot(&workload.build(profile), max_nodes));
         }),
@@ -859,6 +1098,37 @@ mod tests {
         let softmax = ratios.iter().find(|(k, _)| k == "softmax/4096").expect("gated");
         assert!(matmul.1 < 0.55, "regressed kernel must stand out: {ratios:?}");
         assert!(softmax.1 > 1.5, "healthy kernel sits above the geomean: {ratios:?}");
+    }
+
+    #[test]
+    fn only_prefix_drops_out_of_family_baseline_arms_without_noise() {
+        // A partial re-run measured only the matmul family; the
+        // committed baseline still carries other kernels. With --only,
+        // those extra baseline arms are filtered out before matching,
+        // so nothing is reported as "baseline only".
+        let mut baseline =
+            kernel_json(&[("matmul/256", 100.0), ("softmax/4096", 10.0), ("lstm/64", 50.0)]);
+        let mut current = kernel_json(&[("matmul/256", 100.0)]);
+        filter_arms(&mut current, "matmul");
+        filter_arms(&mut baseline, "matmul");
+        let (ratios, unmatched) = bench_kernel_ratios(&current, &baseline);
+        assert_eq!(ratios.len(), 1, "{ratios:?}");
+        assert!(unmatched.is_empty(), "out-of-prefix arms must not be noise: {unmatched:?}");
+    }
+
+    #[test]
+    fn serve_runs_parse_and_reject_missing_fields() {
+        let run = parse_serve_run(
+            "s",
+            r#"{"throughput_rps":1200.5,"p50_ns":80000,"p99_ns":410000,"requests":256}"#,
+        )
+        .expect("parses");
+        assert!((run.throughput_rps - 1200.5).abs() < 1e-9);
+        assert!((run.p99_ns - 410000.0).abs() < 1e-9);
+        let e = parse_serve_run("s", r#"{"throughput_rps":1200.5}"#).expect_err("no p99");
+        assert!(e.contains("p99_ns"), "{e}");
+        let e = parse_serve_run("s", r#"{"throughput_rps":0,"p99_ns":1}"#).expect_err("zero");
+        assert!(e.contains("throughput_rps"), "{e}");
     }
 
     #[test]

@@ -7,6 +7,7 @@ pub use mars_json as json;
 pub use mars_net as net;
 pub use mars_nn as nn;
 pub use mars_rng as rng;
+pub use mars_serve as serve;
 pub use mars_sim as sim;
 pub use mars_telemetry as telemetry;
 pub use mars_tensor as tensor;
