@@ -1,7 +1,7 @@
 //! The Wengert-list tape: forward builders and the reverse sweep.
 
 use crate::ops::Op;
-use mars_tensor::ops::{matmul_into, matmul_nt, matmul_tn, CsrMatrix};
+use mars_tensor::ops::{matmul_into, matmul_nt_into, matmul_tn_into, BlockDiagCsr, CsrMatrix};
 use mars_tensor::stats;
 use mars_tensor::Matrix;
 use std::sync::Arc;
@@ -78,11 +78,16 @@ pub struct Tape {
     /// [`Op::Leaf`], so backward caches (LSTM gate matrices, attention
     /// activations) are dropped the moment the forward value exists.
     record: bool,
-    /// Recycled activation buffers, harvested by
+    /// Recycled activation/gradient buffers, harvested by
     /// [`Tape::reset_for_reuse`] and handed back out by the pooled
-    /// builders — inference forwards after the first run allocation-free
-    /// on the hot path.
+    /// builders and backward rules — forwards *and* backwards after the
+    /// first run are allocation-free on the hot path (the training
+    /// scratch arena).
     pool: Vec<Vec<f32>>,
+    /// Largest total f32 capacity ever held by `pool` — exported as the
+    /// `autograd.arena.high_water` gauge on every
+    /// [`Tape::reset_for_reuse`].
+    high_water: usize,
 }
 
 /// Upper bound on recycled buffers kept across [`Tape::reset_for_reuse`]
@@ -99,7 +104,7 @@ impl Default for Tape {
 impl Tape {
     /// Empty recording (training) tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new(), grads: Vec::new(), record: true, pool: Vec::new() }
+        Tape { nodes: Vec::new(), grads: Vec::new(), record: true, pool: Vec::new(), high_water: 0 }
     }
 
     /// Empty inference tape: forward values are computed by exactly the
@@ -107,7 +112,13 @@ impl Tape {
     /// op structure or backward caches are retained and
     /// [`Tape::backward`] panics.
     pub fn inference() -> Self {
-        Tape { nodes: Vec::new(), grads: Vec::new(), record: false, pool: Vec::new() }
+        Tape {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            record: false,
+            pool: Vec::new(),
+            high_water: 0,
+        }
     }
 
     /// `false` for tapes built with [`Tape::inference`].
@@ -135,7 +146,27 @@ impl Tape {
                 self.pool.push(node.value.into_vec());
             }
         }
-        self.grads.clear();
+        // Training arena: gradient buffers from the last backward feed
+        // the same pool, so the next update's backward pass reuses them
+        // instead of re-allocating per node.
+        for g in self.grads.drain(..).flatten() {
+            if self.pool.len() < MAX_POOLED_BUFS {
+                self.pool.push(g.into_vec());
+            }
+        }
+        let held: usize = self.pool.iter().map(|b| b.capacity()).sum();
+        if held > self.high_water {
+            self.high_water = held;
+        }
+        if mars_telemetry::active() {
+            mars_telemetry::counter("autograd.arena.reset").inc();
+            mars_telemetry::gauge("autograd.arena.high_water", self.high_water as f64);
+        }
+    }
+
+    /// Largest total f32 capacity the arena pool has ever held.
+    pub fn arena_high_water(&self) -> usize {
+        self.high_water
     }
 
     /// A recycled buffer with `len == 0` and capacity ≥ `min_cap`, or a
@@ -173,6 +204,43 @@ impl Tape {
         }
     }
 
+    /// A pooled copy of `src` — bit-identical to `src.clone()` without
+    /// the allocation once the arena is warm.
+    fn clone_pooled(&mut self, src: &Matrix) -> Matrix {
+        let (r, c) = src.shape();
+        let mut buf = self.take_buf_empty(r * c);
+        buf.extend_from_slice(src.as_slice());
+        Matrix::from_vec(r, c, buf)
+    }
+
+    /// Rows `[start, end)` of `src` copied into a pooled matrix —
+    /// bit-identical to `src.slice_rows(start, end)`.
+    fn slice_pooled(&mut self, src: &Matrix, start: usize, end: usize) -> Matrix {
+        let c = src.cols();
+        let mut buf = self.take_buf_empty((end - start) * c);
+        buf.extend_from_slice(&src.as_slice()[start * c..end * c]);
+        Matrix::from_vec(end - start, c, buf)
+    }
+
+    /// A pooled copy of `v`'s value (the `Var` form of
+    /// [`Tape::clone_pooled`], borrow-safe against the node list).
+    fn clone_var_pooled(&mut self, v: Var) -> Matrix {
+        let (r, c) = self.nodes[v.0].value.shape();
+        let mut buf = self.take_buf_empty(r * c);
+        buf.extend_from_slice(self.nodes[v.0].value.as_slice());
+        Matrix::from_vec(r, c, buf)
+    }
+
+    /// Rows `[start, end)` of `v`'s value copied into a pooled matrix
+    /// (the `Var` form of [`Tape::slice_pooled`], borrow-safe against
+    /// the node list).
+    fn slice_var_pooled(&mut self, v: Var, start: usize, end: usize) -> Matrix {
+        let c = self.nodes[v.0].value.cols();
+        let mut buf = self.take_buf_empty((end - start) * c);
+        buf.extend_from_slice(&self.nodes[v.0].value.as_slice()[start * c..end * c]);
+        Matrix::from_vec(end - start, c, buf)
+    }
+
     fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
         debug_assert!(value.is_finite(), "non-finite value produced by tape op");
         if self.record {
@@ -201,14 +269,19 @@ impl Tape {
         self.leaf(value, false)
     }
 
-    /// Gradless leaf copied from `src` into a recycled buffer — how the
-    /// inference path binds parameters without a fresh allocation per
-    /// request. Bit-identical to `leaf(src.clone(), false)`.
+    /// Leaf copied from `src` into a recycled buffer — how reused tapes
+    /// (inference *and* persistent training tapes) bind parameters
+    /// without a fresh allocation per pass. Bit-identical to
+    /// `leaf(src.clone(), requires_grad)`.
+    pub fn leaf_from(&mut self, src: &Matrix, requires_grad: bool) -> Var {
+        let m = self.clone_pooled(src);
+        self.push(m, Op::Leaf, requires_grad)
+    }
+
+    /// Gradless leaf copied from `src` into a recycled buffer.
+    /// Bit-identical to `leaf(src.clone(), false)`.
     pub fn leaf_copy(&mut self, src: &Matrix) -> Var {
-        let (r, c) = src.shape();
-        let mut buf = self.take_buf_empty(r * c);
-        buf.extend_from_slice(src.as_slice());
-        self.push(Matrix::from_vec(r, c, buf), Op::Leaf, false)
+        self.leaf_from(src, false)
     }
 
     /// Value of a variable.
@@ -228,6 +301,14 @@ impl Tape {
         self.grads.get(v.0).and_then(|g| g.as_ref())
     }
 
+    /// Take ownership of a variable's gradient, leaving its slot empty.
+    /// Lets callers move parameter gradients out of a persistent tape
+    /// without cloning; the remaining grads are recycled into the arena
+    /// by the next [`Tape::reset_for_reuse`].
+    pub fn take_grad(&mut self, v: Var) -> Option<Matrix> {
+        self.grads.get_mut(v.0).and_then(|g| g.take())
+    }
+
     // ---------------------------------------------------------------
     // Builders (forward evaluation + recording)
     // ---------------------------------------------------------------
@@ -242,9 +323,111 @@ impl Tape {
 
     /// Sparse-constant × dense product (`adj · x`).
     pub fn spmm(&mut self, adj: Arc<CsrMatrix>, x: Var) -> Var {
-        let v = adj.spmm(self.value(x));
+        let mut v = self.alloc_zeros(adj.rows(), self.value(x).cols());
+        adj.spmm_into(self.value(x), &mut v);
         let rg = self.rg(x);
         self.push(v, Op::Spmm(adj, x), rg)
+    }
+
+    /// Block-diagonal sparse-constant × dense product over a packed
+    /// graph batch (`adj · x` where `adj` stacks N per-graph
+    /// adjacencies). Bit-identical per element to running
+    /// [`Tape::spmm`] per graph on the matching row slices.
+    pub fn spmm_blockdiag(&mut self, adj: Arc<BlockDiagCsr>, x: Var) -> Var {
+        let mut v = self.alloc_zeros(adj.rows(), self.value(x).cols());
+        adj.spmm_into(self.value(x), &mut v);
+        let rg = self.rg(x);
+        self.push(v, Op::SpmmBlockDiag(adj, x), rg)
+    }
+
+    /// Validate a row-segment offset table against a row count:
+    /// `offsets = [0, n_1, n_1+n_2, …, rows]`, non-decreasing.
+    fn check_offsets(offsets: &[usize], rows: usize) {
+        assert!(offsets.len() >= 2, "row-segment offsets need >= 2 entries");
+        assert_eq!(offsets[0], 0, "row-segment offsets must start at 0");
+        assert_eq!(*offsets.last().unwrap(), rows, "row-segment offsets must end at the row count");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "row-segment offsets must be sorted");
+    }
+
+    /// Dense product `a · b` where `a`'s rows are per-graph segments
+    /// (`offsets[s]..offsets[s+1]`) and `b` is a shared weight. The
+    /// forward value is exactly [`Tape::matmul`]; the backward rule
+    /// computes `b`'s gradient per segment and combines the parts in
+    /// reverse segment order so the float-add order matches the
+    /// per-graph tape's accumulation into the shared leaf.
+    pub fn matmul_rowseg(&mut self, a: Var, b: Var, offsets: Arc<Vec<usize>>) -> Var {
+        Self::check_offsets(&offsets, self.value(a).rows());
+        let mut v = self.alloc_zeros(self.value(a).rows(), self.value(b).cols());
+        matmul_into(self.value(a), self.value(b), &mut v);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::MatMulRowSeg(a, b, offsets), rg)
+    }
+
+    /// Broadcast-add a shared `1 × n` bias to every row of a
+    /// row-segmented matrix (forward ≡ [`Tape::add_bias`]; per-segment
+    /// reverse-order bias gradient).
+    pub fn add_bias_rowseg(&mut self, x: Var, bias: Var, offsets: Arc<Vec<usize>>) -> Var {
+        Self::check_offsets(&offsets, self.value(x).rows());
+        let (r, c) = self.value(x).shape();
+        assert_eq!(self.value(bias).shape(), (1, c), "add_bias_rowseg bias shape mismatch");
+        let mut v = self.clone_var_pooled(x);
+        {
+            let bias_row = self.nodes[bias.0].value.as_slice();
+            for rr in 0..r {
+                let row = v.row_mut(rr);
+                for (e, &bv) in row.iter_mut().zip(bias_row) {
+                    *e += bv;
+                }
+            }
+        }
+        let rg = self.rg(x) || self.rg(bias);
+        self.push(v, Op::AddBiasRowSeg(x, bias, offsets), rg)
+    }
+
+    /// PReLU over a row-segmented matrix with a shared `1 × 1` slope
+    /// (forward ≡ [`Tape::prelu`]; per-segment reverse-order slope
+    /// gradient).
+    pub fn prelu_rowseg(&mut self, x: Var, alpha: Var, offsets: Arc<Vec<usize>>) -> Var {
+        Self::check_offsets(&offsets, self.value(x).rows());
+        assert_eq!(self.value(alpha).shape(), (1, 1), "prelu alpha must be 1x1");
+        let a = self.scalar(alpha);
+        let mut v = self.clone_var_pooled(x);
+        // `a * e` (not `e * a`) and the `> 0.0` test match the
+        // [`Tape::prelu`] closure exactly; f32 multiply is commutative,
+        // but keep the literal expression for auditability.
+        for e in v.as_mut_slice() {
+            *e = if *e > 0.0 { *e } else { a * *e };
+        }
+        let rg = self.rg(x) || self.rg(alpha);
+        self.push(v, Op::PReluRowSeg(x, alpha, offsets), rg)
+    }
+
+    /// Column means of rows `[start, end)` (`1 × n`) — fused
+    /// `mean_rows(slice_rows(x, start, end))`, bit-identical to that
+    /// chain: the sum ascends the row range, then scales by
+    /// `1 / (end − start)`.
+    pub fn slice_mean_rows(&mut self, x: Var, start: usize, end: usize) -> Var {
+        let (r, c) = self.value(x).shape();
+        assert!(start <= end && end <= r, "slice_mean_rows range [{start}, {end}) out of {r} rows");
+        let mut buf = self.take_buf(c);
+        {
+            let xm = &self.nodes[x.0].value;
+            for rr in start..end {
+                let row = xm.row(rr);
+                for (o, &e) in buf.iter_mut().zip(row) {
+                    *o += e;
+                }
+            }
+            if end > start {
+                let s = 1.0 / (end - start) as f32;
+                for o in buf.iter_mut() {
+                    *o *= s;
+                }
+            }
+        }
+        let v = Matrix::from_vec(1, c, buf);
+        let rg = self.rg(x);
+        self.push(v, Op::SliceMeanRows(x, start, end), rg)
     }
 
     /// Elementwise sum.
@@ -640,12 +823,37 @@ impl Tape {
 
     fn accumulate(&mut self, v: Var, g: Matrix) {
         if !self.nodes[v.0].requires_grad {
+            self.recycle(g);
             return;
         }
         match &mut self.grads[v.0] {
-            Some(existing) => existing.add_assign(&g),
+            Some(existing) => {
+                existing.add_assign(&g);
+                self.recycle(g);
+            }
             slot @ None => *slot = Some(g),
         }
+    }
+
+    /// Combine per-segment gradient parts in *reverse* segment order:
+    /// `acc = part(S−1); acc += part(S−2); …; acc += part(0)`. This is
+    /// the float-add order the per-graph tape produces — the backward
+    /// sweep visits higher-index (later-recorded) graphs first, so the
+    /// shared-parameter slot is seeded by the last graph and earlier
+    /// graphs `add_assign` into it.
+    fn combine_rev_segments(
+        &mut self,
+        offsets: &[usize],
+        mut part: impl FnMut(&mut Self, usize, usize) -> Matrix,
+    ) -> Matrix {
+        let segs = offsets.len() - 1;
+        let mut acc = part(self, offsets[segs - 1], offsets[segs]);
+        for s in (0..segs - 1).rev() {
+            let p = part(self, offsets[s], offsets[s + 1]);
+            acc.add_assign(&p);
+            self.recycle(p);
+        }
+        acc
     }
 
     /// Run the reverse sweep from a scalar (`1 × 1`) loss.
@@ -661,12 +869,25 @@ impl Tape {
             "backward() requires a scalar loss, got {:?}",
             self.value(loss).shape()
         );
-        self.grads = (0..self.nodes.len()).map(|_| None).collect();
-        self.grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        // Arena: recycle any gradients from a previous backward on this
+        // tape and reuse the slot vector's capacity.
+        for g in self.grads.drain(..).flatten() {
+            if self.pool.len() < MAX_POOLED_BUFS {
+                self.pool.push(g.into_vec());
+            }
+        }
+        self.grads.resize_with(self.nodes.len(), || None);
+        let mut seed = self.take_buf_empty(1);
+        seed.push(1.0);
+        self.grads[loss.0] = Some(Matrix::from_vec(1, 1, seed));
 
         for i in (0..=loss.0).rev() {
-            let Some(g) = self.grads[i].clone() else { continue };
+            // Take-and-restore instead of clone: the node's own grad is
+            // never aliased by its parents' slots (parents have strictly
+            // lower indices), so the loop can own `g` for free.
+            let Some(g) = self.grads[i].take() else { continue };
             if !self.nodes[i].requires_grad {
+                self.grads[i] = Some(g);
                 continue;
             }
             let op = self.nodes[i].op.clone();
@@ -674,89 +895,255 @@ impl Tape {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
                     if self.rg(a) {
-                        let ga = matmul_nt(&g, self.value(b));
+                        let mut ga = self.alloc_zeros(g.rows(), self.value(b).rows());
+                        matmul_nt_into(&g, self.value(b), &mut ga);
                         self.accumulate(a, ga);
                     }
                     if self.rg(b) {
-                        let gb = matmul_tn(self.value(a), &g);
+                        let mut gb = self.alloc_zeros(self.value(a).cols(), g.cols());
+                        matmul_tn_into(self.value(a), &g, &mut gb);
                         self.accumulate(b, gb);
                     }
                 }
                 Op::Spmm(adj, x) => {
                     if self.rg(x) {
-                        let gx = adj.spmm_t(&g);
+                        let mut gx = self.alloc_zeros(adj.cols(), g.cols());
+                        adj.spmm_t_into(&g, &mut gx);
                         self.accumulate(x, gx);
+                    }
+                }
+                Op::SpmmBlockDiag(adj, x) => {
+                    if self.rg(x) {
+                        let mut gx = self.alloc_zeros(adj.cols(), g.cols());
+                        adj.spmm_t_into(&g, &mut gx);
+                        self.accumulate(x, gx);
+                    }
+                }
+                Op::MatMulRowSeg(a, b, offsets) => {
+                    if self.rg(a) {
+                        // Row-local: each output row depends only on its
+                        // own `g` row, so the whole-matrix product is
+                        // bit-identical to the per-segment products.
+                        let mut ga = self.alloc_zeros(g.rows(), self.value(b).rows());
+                        matmul_nt_into(&g, self.value(b), &mut ga);
+                        self.accumulate(a, ga);
+                    }
+                    if self.rg(b) {
+                        // Shared weight: per-segment grads, combined in
+                        // reverse segment order (see combine_rev_segments).
+                        // Segments are materialized so the kernel sees the
+                        // same operand shapes as the per-graph tape (same
+                        // packing/threshold decisions → same sweep).
+                        let gb = self.combine_rev_segments(&offsets, |t, o0, o1| {
+                            let a_seg = t.slice_var_pooled(a, o0, o1);
+                            let g_seg = t.slice_pooled(&g, o0, o1);
+                            let mut part = t.alloc_zeros(a_seg.cols(), g_seg.cols());
+                            matmul_tn_into(&a_seg, &g_seg, &mut part);
+                            t.recycle(a_seg);
+                            t.recycle(g_seg);
+                            part
+                        });
+                        self.accumulate(b, gb);
+                    }
+                }
+                Op::AddBiasRowSeg(x, bias, offsets) => {
+                    if self.rg(x) {
+                        let gx = self.clone_pooled(&g);
+                        self.accumulate(x, gx);
+                    }
+                    if self.rg(bias) {
+                        // Per-segment sum_rows (ascending rows within a
+                        // segment), combined in reverse segment order.
+                        let gb = self.combine_rev_segments(&offsets, |t, o0, o1| {
+                            let mut part = t.alloc_zeros(1, g.cols());
+                            for rr in o0..o1 {
+                                let row = g.row(rr);
+                                for (o, &e) in part.as_mut_slice().iter_mut().zip(row) {
+                                    *o += e;
+                                }
+                            }
+                            part
+                        });
+                        self.accumulate(bias, gb);
+                    }
+                }
+                Op::PReluRowSeg(x, alpha, offsets) => {
+                    let a = self.scalar(alpha);
+                    if self.rg(x) {
+                        // Elementwise → row-local → whole-matrix pass is
+                        // bit-identical to per-segment passes.
+                        let mut gx = self.clone_pooled(&g);
+                        for (gi, &xi) in
+                            gx.as_mut_slice().iter_mut().zip(self.nodes[x.0].value.as_slice())
+                        {
+                            *gi = if xi > 0.0 { *gi } else { a * *gi };
+                        }
+                        self.accumulate(x, gx);
+                    }
+                    if self.rg(alpha) {
+                        // Per-segment slope fold (the same ascending
+                        // iterator sum as Op::PRelu over each segment's
+                        // contiguous element range), combined reversed.
+                        let galpha = self.combine_rev_segments(&offsets, |t, o0, o1| {
+                            let c = g.cols();
+                            let da: f32 = g.as_slice()[o0 * c..o1 * c]
+                                .iter()
+                                .zip(&t.nodes[x.0].value.as_slice()[o0 * c..o1 * c])
+                                .map(|(&gi, &xi)| if xi > 0.0 { 0.0 } else { gi * xi })
+                                .sum();
+                            let mut buf = t.take_buf_empty(1);
+                            buf.push(da);
+                            Matrix::from_vec(1, 1, buf)
+                        });
+                        self.accumulate(alpha, galpha);
+                    }
+                }
+                Op::SliceMeanRows(x, start, end) => {
+                    if self.rg(x) {
+                        // Ranged in-place update of the parent's grad:
+                        // rows outside [start, end) are never touched, so
+                        // no `0.0 + (-0.0)` sign flips and no full-size
+                        // scratch matrix. Matches the SliceRows +
+                        // MeanRows chain's float ops on the rows it does
+                        // touch (g[c] · scale, then add_assign).
+                        let scale = 1.0 / (end - start).max(1) as f32;
+                        // Fresh slot: *assign* `g[c] · scale` into the
+                        // range (a `0.0 +` would turn `-0.0` grads into
+                        // `+0.0`, diverging from the per-graph assign).
+                        let fresh = self.grads[x.0].is_none();
+                        if fresh {
+                            let (r, c) = self.nodes[x.0].value.shape();
+                            let z = self.alloc_zeros(r, c);
+                            self.grads[x.0] = Some(z);
+                        }
+                        let gx = self.grads[x.0].as_mut().expect("slot just filled");
+                        let g_row = g.row(0);
+                        for rr in start..end {
+                            let dst = gx.row_mut(rr);
+                            for (d, &gc) in dst.iter_mut().zip(g_row) {
+                                if fresh {
+                                    *d = gc * scale;
+                                } else {
+                                    *d += gc * scale;
+                                }
+                            }
+                        }
                     }
                 }
                 Op::Add(a, b) => {
                     if self.rg(a) {
-                        self.accumulate(a, g.clone());
+                        let ga = self.clone_pooled(&g);
+                        self.accumulate(a, ga);
                     }
                     if self.rg(b) {
-                        self.accumulate(b, g);
+                        let gb = self.clone_pooled(&g);
+                        self.accumulate(b, gb);
                     }
                 }
                 Op::Sub(a, b) => {
                     if self.rg(a) {
-                        self.accumulate(a, g.clone());
+                        let ga = self.clone_pooled(&g);
+                        self.accumulate(a, ga);
                     }
                     if self.rg(b) {
-                        self.accumulate(b, g.scale(-1.0));
+                        let mut gb = self.clone_pooled(&g);
+                        for e in gb.as_mut_slice() {
+                            *e *= -1.0;
+                        }
+                        self.accumulate(b, gb);
                     }
                 }
                 Op::Mul(a, b) => {
                     if self.rg(a) {
-                        let ga = g.hadamard(self.value(b));
+                        let mut ga = self.clone_pooled(&g);
+                        for (e, &bv) in ga.as_mut_slice().iter_mut().zip(self.nodes[b.0].value.as_slice()) {
+                            *e *= bv;
+                        }
                         self.accumulate(a, ga);
                     }
                     if self.rg(b) {
-                        let gb = g.hadamard(self.value(a));
+                        let mut gb = self.clone_pooled(&g);
+                        for (e, &av) in gb.as_mut_slice().iter_mut().zip(self.nodes[a.0].value.as_slice()) {
+                            *e *= av;
+                        }
                         self.accumulate(b, gb);
                     }
                 }
                 Op::AddBias(x, bias) => {
                     if self.rg(x) {
-                        self.accumulate(x, g.clone());
+                        let gx = self.clone_pooled(&g);
+                        self.accumulate(x, gx);
                     }
                     if self.rg(bias) {
-                        self.accumulate(bias, g.sum_rows());
+                        // sum_rows, pooled: ascending rows then columns,
+                        // exactly Matrix::sum_rows' accumulation order.
+                        let mut gb = self.alloc_zeros(1, g.cols());
+                        for rr in 0..g.rows() {
+                            let row = g.row(rr);
+                            for (o, &e) in gb.as_mut_slice().iter_mut().zip(row) {
+                                *o += e;
+                            }
+                        }
+                        self.accumulate(bias, gb);
                     }
                 }
                 Op::Scale(x, s) => {
                     if self.rg(x) {
-                        self.accumulate(x, g.scale(s));
+                        let mut gx = self.clone_pooled(&g);
+                        for e in gx.as_mut_slice() {
+                            *e *= s;
+                        }
+                        self.accumulate(x, gx);
                     }
                 }
                 Op::AddScalar(x, _) => {
                     if self.rg(x) {
-                        self.accumulate(x, g);
+                        let gx = self.clone_pooled(&g);
+                        self.accumulate(x, gx);
                     }
                 }
                 Op::Sigmoid(x) => {
                     if self.rg(x) {
-                        let y = &self.nodes[i].value;
-                        let gx = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
+                        let mut gx = self.clone_pooled(&g);
+                        for (gi, &yi) in
+                            gx.as_mut_slice().iter_mut().zip(self.nodes[i].value.as_slice())
+                        {
+                            *gi = *gi * yi * (1.0 - yi);
+                        }
                         self.accumulate(x, gx);
                     }
                 }
                 Op::Tanh(x) => {
                     if self.rg(x) {
-                        let y = &self.nodes[i].value;
-                        let gx = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
+                        let mut gx = self.clone_pooled(&g);
+                        for (gi, &yi) in
+                            gx.as_mut_slice().iter_mut().zip(self.nodes[i].value.as_slice())
+                        {
+                            *gi = *gi * (1.0 - yi * yi);
+                        }
                         self.accumulate(x, gx);
                     }
                 }
                 Op::Relu(x) => {
                     if self.rg(x) {
-                        let gx = g.zip_map(self.value(x), |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                        let mut gx = self.clone_pooled(&g);
+                        for (gi, &xi) in
+                            gx.as_mut_slice().iter_mut().zip(self.nodes[x.0].value.as_slice())
+                        {
+                            *gi = if xi > 0.0 { *gi } else { 0.0 };
+                        }
                         self.accumulate(x, gx);
                     }
                 }
                 Op::PRelu(x, alpha) => {
                     let a = self.scalar(alpha);
                     if self.rg(x) {
-                        let gx =
-                            g.zip_map(self.value(x), |gi, xi| if xi > 0.0 { gi } else { a * gi });
+                        let mut gx = self.clone_pooled(&g);
+                        for (gi, &xi) in
+                            gx.as_mut_slice().iter_mut().zip(self.nodes[x.0].value.as_slice())
+                        {
+                            *gi = if xi > 0.0 { *gi } else { a * *gi };
+                        }
                         self.accumulate(x, gx);
                     }
                     if self.rg(alpha) {
@@ -766,31 +1153,43 @@ impl Tape {
                             .zip(self.value(x).as_slice())
                             .map(|(&gi, &xi)| if xi > 0.0 { 0.0 } else { gi * xi })
                             .sum();
-                        self.accumulate(alpha, Matrix::from_vec(1, 1, vec![da]));
+                        let mut buf = self.take_buf_empty(1);
+                        buf.push(da);
+                        self.accumulate(alpha, Matrix::from_vec(1, 1, buf));
                     }
                 }
                 Op::Exp(x) => {
                     if self.rg(x) {
-                        let y = &self.nodes[i].value;
-                        let gx = g.hadamard(y);
+                        let mut gx = self.clone_pooled(&g);
+                        for (gi, &yi) in
+                            gx.as_mut_slice().iter_mut().zip(self.nodes[i].value.as_slice())
+                        {
+                            *gi *= yi;
+                        }
                         self.accumulate(x, gx);
                     }
                 }
                 Op::Ln(x) => {
                     if self.rg(x) {
-                        let gx = g.zip_map(self.value(x), |gi, xi| gi / xi);
+                        let mut gx = self.clone_pooled(&g);
+                        for (gi, &xi) in
+                            gx.as_mut_slice().iter_mut().zip(self.nodes[x.0].value.as_slice())
+                        {
+                            *gi /= xi;
+                        }
                         self.accumulate(x, gx);
                     }
                 }
                 Op::SoftmaxRows(x) => {
                     if self.rg(x) {
                         // dx = p ⊙ (g − ⟨g, p⟩) per row.
-                        let p = self.nodes[i].value.clone();
-                        let mut gx = Matrix::zeros(p.rows(), p.cols());
-                        for r in 0..p.rows() {
+                        let (rows, cols) = self.nodes[i].value.shape();
+                        let mut gx = self.alloc_zeros(rows, cols);
+                        let p = &self.nodes[i].value;
+                        for r in 0..rows {
                             let dot: f32 =
                                 g.row(r).iter().zip(p.row(r)).map(|(&gi, &pi)| gi * pi).sum();
-                            for c in 0..p.cols() {
+                            for c in 0..cols {
                                 gx.set(r, c, p.get(r, c) * (g.get(r, c) - dot));
                             }
                         }
@@ -800,11 +1199,12 @@ impl Tape {
                 Op::LogSoftmaxRows(x) => {
                     if self.rg(x) {
                         // dx = g − softmax(x) · Σ_row(g)
-                        let lp = self.nodes[i].value.clone();
-                        let mut gx = Matrix::zeros(lp.rows(), lp.cols());
-                        for r in 0..lp.rows() {
+                        let (rows, cols) = self.nodes[i].value.shape();
+                        let mut gx = self.alloc_zeros(rows, cols);
+                        let lp = &self.nodes[i].value;
+                        for r in 0..rows {
                             let gsum: f32 = g.row(r).iter().sum();
-                            for c in 0..lp.cols() {
+                            for c in 0..cols {
                                 let p = lp.get(r, c).exp();
                                 gx.set(r, c, g.get(r, c) - p * gsum);
                             }
@@ -816,14 +1216,18 @@ impl Tape {
                     if self.rg(x) {
                         let n = self.value(x).len() as f32;
                         let (r, c) = self.value(x).shape();
-                        let gx = Matrix::full(r, c, g.get(0, 0) / n);
+                        let fill = g.get(0, 0) / n;
+                        let mut gx = self.alloc_zeros(r, c);
+                        gx.as_mut_slice().fill(fill);
                         self.accumulate(x, gx);
                     }
                 }
                 Op::SumAll(x) => {
                     if self.rg(x) {
                         let (r, c) = self.value(x).shape();
-                        let gx = Matrix::full(r, c, g.get(0, 0));
+                        let fill = g.get(0, 0);
+                        let mut gx = self.alloc_zeros(r, c);
+                        gx.as_mut_slice().fill(fill);
                         self.accumulate(x, gx);
                     }
                 }
@@ -831,14 +1235,23 @@ impl Tape {
                     if self.rg(x) {
                         let (r, c) = self.value(x).shape();
                         let scale = 1.0 / r.max(1) as f32;
-                        let gx = Matrix::from_fn(r, c, |_, cc| g.get(0, cc) * scale);
+                        let mut gx = self.alloc_zeros(r, c);
+                        for rr in 0..r {
+                            let dst = gx.row_mut(rr);
+                            for (d, &gc) in dst.iter_mut().zip(g.row(0)) {
+                                *d = gc * scale;
+                            }
+                        }
                         self.accumulate(x, gx);
                     }
                 }
                 Op::SumRows(x) => {
                     if self.rg(x) {
                         let (r, c) = self.value(x).shape();
-                        let gx = Matrix::from_fn(r, c, |_, cc| g.get(0, cc));
+                        let mut gx = self.alloc_zeros(r, c);
+                        for rr in 0..r {
+                            gx.row_mut(rr).copy_from_slice(g.row(0));
+                        }
                         self.accumulate(x, gx);
                     }
                 }
@@ -916,17 +1329,12 @@ impl Tape {
                 }
                 Op::Clamp(x, lo, hi) => {
                     if self.rg(x) {
-                        let gx =
-                            g.zip_map(
-                                self.value(x),
-                                |gi, xi| {
-                                    if xi > lo && xi < hi {
-                                        gi
-                                    } else {
-                                        0.0
-                                    }
-                                },
-                            );
+                        let mut gx = self.clone_pooled(&g);
+                        for (gi, &xi) in
+                            gx.as_mut_slice().iter_mut().zip(self.nodes[x.0].value.as_slice())
+                        {
+                            *gi = if xi > lo && xi < hi { *gi } else { 0.0 };
+                        }
                         self.accumulate(x, gx);
                     }
                 }
@@ -958,9 +1366,10 @@ impl Tape {
                     if self.rg(x) {
                         let n = self.value(x).len() as f32;
                         let scale = g.get(0, 0) / n;
-                        let gx = self
-                            .value(x)
-                            .zip_map(&targets, |xi, ti| (stats::sigmoid(xi) - ti) * scale);
+                        let mut gx = self.clone_var_pooled(x);
+                        for (e, &ti) in gx.as_mut_slice().iter_mut().zip(targets.as_slice()) {
+                            *e = (stats::sigmoid(*e) - ti) * scale;
+                        }
                         self.accumulate(x, gx);
                     }
                 }
@@ -1094,6 +1503,9 @@ impl Tape {
                     }
                 }
             }
+            // Restore the node's own grad (taken, not cloned, above) so
+            // Tape::grad / take_grad still see every computed gradient.
+            self.grads[i] = Some(g);
         }
     }
 }
@@ -1221,6 +1633,206 @@ mod tests {
         let x = t.leaf_copy(&Matrix::from_vec(1, 1, vec![1.0]));
         let loss = t.sum_all(x);
         t.backward(loss);
+    }
+
+    /// Deterministic pseudo-random matrix for equivalence tests.
+    fn pseudo(r: usize, c: usize, seed: u32) -> Matrix {
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        Matrix::from_fn(r, c, |_, _| {
+            s = s.wrapping_mul(1103515245).wrapping_add(12345);
+            ((s >> 8) & 0xffff) as f32 / 65536.0 - 0.5
+        })
+    }
+
+    /// The batched DGI-style encoder chain
+    /// (`matmul_rowseg → add_bias_rowseg → prelu_rowseg → slice_mean_rows`)
+    /// must produce bit-identical values AND parameter gradients to two
+    /// per-graph chains sharing the same leaves — the house invariant
+    /// the corpus-batched encoder rests on.
+    #[test]
+    fn rowseg_chain_matches_per_graph_chains_bitwise() {
+        let n0 = 5; // graph 0 rows
+        let n1 = 7; // graph 1 rows
+        let fdim = 4;
+        let odim = 3;
+        let x0 = pseudo(n0, fdim, 1);
+        let x1 = pseudo(n1, fdim, 2);
+        let wm = pseudo(fdim, odim, 3);
+        let bm = pseudo(1, odim, 4);
+        let am = Matrix::from_vec(1, 1, vec![0.25]);
+
+        // Reference: per-graph chains recorded sequentially (graph 0
+        // first), each ending in its own mean; loss sums both means.
+        let mut per = Tape::new();
+        let w = per.leaf(wm.clone(), true);
+        let b = per.leaf(bm.clone(), true);
+        let al = per.leaf(am.clone(), true);
+        let mut means = Vec::new();
+        for xm in [&x0, &x1] {
+            let x = per.constant(xm.clone());
+            let mm = per.matmul(x, w);
+            let ab = per.add_bias(mm, b);
+            let pr = per.prelu(ab, al);
+            means.push(per.mean_rows(pr));
+        }
+        let cat = per.concat_cols(means[0], means[1]);
+        let loss = per.sum_all(cat);
+        per.backward(loss);
+
+        // Batched: one packed chain over the same leaves.
+        let mut bat = Tape::new();
+        let wb = bat.leaf(wm.clone(), true);
+        let bb = bat.leaf(bm.clone(), true);
+        let ab2 = bat.leaf(am.clone(), true);
+        let offs = Arc::new(vec![0usize, n0, n0 + n1]);
+        let xcat = bat.constant(x0.vcat(&x1));
+        let mm = bat.matmul_rowseg(xcat, wb, offs.clone());
+        let abv = bat.add_bias_rowseg(mm, bb, offs.clone());
+        let pr = bat.prelu_rowseg(abv, ab2, offs.clone());
+        let m0 = bat.slice_mean_rows(pr, 0, n0);
+        let m1 = bat.slice_mean_rows(pr, n0, n0 + n1);
+        let cat2 = bat.concat_cols(m0, m1);
+        let loss2 = bat.sum_all(cat2);
+
+        // Forward values bit-identical.
+        assert_eq!(
+            per.value(means[0]).as_slice(),
+            bat.value(m0).as_slice(),
+            "segment-0 mean diverged"
+        );
+        assert_eq!(
+            per.value(means[1]).as_slice(),
+            bat.value(m1).as_slice(),
+            "segment-1 mean diverged"
+        );
+        let h0 = {
+            let mut rows = per.value(loss).as_slice().to_vec();
+            rows.extend_from_slice(bat.value(loss2).as_slice());
+            rows
+        };
+        assert_eq!(h0[0].to_bits(), h0[1].to_bits(), "loss diverged");
+
+        bat.backward(loss2);
+        for (pv, bv, name) in [(w, wb, "w"), (b, bb, "bias"), (al, ab2, "alpha")] {
+            let gp = per.grad(pv).expect("per-graph grad");
+            let gb = bat.grad(bv).expect("batched grad");
+            let pb: Vec<u32> = gp.as_slice().iter().map(|v| v.to_bits()).collect();
+            let bb_: Vec<u32> = gb.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(pb, bb_, "{name} gradient not bit-identical");
+        }
+    }
+
+    #[test]
+    fn spmm_blockdiag_grad_matches_per_graph_spmm() {
+        use mars_tensor::ops::BlockDiagCsr;
+        // Two tiny graphs; gradients w.r.t. the features of a blockdiag
+        // spmm must equal the stacked per-graph spmm_t results.
+        let sparsify = |m: Matrix| {
+            let mut trips = Vec::new();
+            for r in 0..m.rows() {
+                for c in 0..m.cols() {
+                    let v = m.get(r, c);
+                    if v > 0.1 {
+                        trips.push((r, c, v));
+                    }
+                }
+            }
+            CsrMatrix::from_triplets(m.rows(), m.cols(), &trips)
+        };
+        let a0 = sparsify(pseudo(3, 3, 9));
+        let a1 = sparsify(pseudo(4, 4, 10));
+        let x0 = pseudo(3, 2, 11);
+        let x1 = pseudo(4, 2, 12);
+
+        let mut per = Tape::new();
+        let xa = per.leaf(x0.clone(), true);
+        let xb = per.leaf(x1.clone(), true);
+        let s0 = per.spmm(Arc::new(a0.clone()), xa);
+        let s1 = per.spmm(Arc::new(a1.clone()), xb);
+        let cat = per.concat_rows(s0, s1);
+        let loss = per.sum_all(cat);
+        per.backward(loss);
+
+        let mut bat = Tape::new();
+        let bd = Arc::new(BlockDiagCsr::new(vec![Arc::new(a0), Arc::new(a1)]));
+        let xcat = bat.leaf(x0.vcat(&x1), true);
+        let s = bat.spmm_blockdiag(bd, xcat);
+        let loss2 = bat.sum_all(s);
+        assert_eq!(per.value(cat).as_slice(), bat.value(s).as_slice());
+        bat.backward(loss2);
+        let gx = bat.grad(xcat).expect("gx");
+        let want = per.grad(xa).expect("gxa").vcat(per.grad(xb).expect("gxb"));
+        let wb: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+        let gb: Vec<u32> = gx.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(wb, gb, "blockdiag feature grad not bit-identical");
+    }
+
+    /// A persistent training tape (forward → backward → reset_for_reuse,
+    /// repeated) must produce bit-identical losses and gradients every
+    /// round — the arena recycles buffers but never changes results.
+    #[test]
+    fn reused_training_tape_is_bit_stable() {
+        let run = |t: &mut Tape| -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+            let x = t.leaf_from(&pseudo(6, 4, 21), false);
+            let w = t.leaf_from(&pseudo(4, 3, 22), true);
+            let b = t.leaf_from(&pseudo(1, 3, 23), true);
+            let mm = t.matmul(x, w);
+            let ab = t.add_bias(mm, b);
+            let sg = t.sigmoid(ab);
+            let loss = t.mean_all(sg);
+            t.backward(loss);
+            (
+                t.value(loss).as_slice().to_vec(),
+                t.grad(w).expect("gw").as_slice().to_vec(),
+                t.grad(b).expect("gb").as_slice().to_vec(),
+            )
+        };
+        let mut fresh = Tape::new();
+        let want = run(&mut fresh);
+        let mut reused = Tape::new();
+        let first = run(&mut reused);
+        assert_eq!(want, first, "fresh vs to-be-reused tape diverged");
+        for round in 0..3 {
+            reused.reset_for_reuse();
+            assert!(reused.is_empty());
+            let again = run(&mut reused);
+            assert_eq!(want, again, "arena reuse changed results in round {round}");
+        }
+        assert!(reused.arena_high_water() > 0, "high-water gauge never recorded");
+    }
+
+    #[test]
+    fn take_grad_moves_out_and_empties_slot() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]), true);
+        let loss = t.sum_all(x);
+        t.backward(loss);
+        let g = t.take_grad(x).expect("grad present");
+        assert_eq!(g.as_slice(), &[1.0, 1.0]);
+        assert!(t.grad(x).is_none(), "slot should be empty after take_grad");
+    }
+
+    #[test]
+    fn slice_mean_rows_matches_slice_then_mean() {
+        let xm = pseudo(8, 3, 31);
+        let mut a = Tape::new();
+        let xa = a.leaf(xm.clone(), true);
+        let sl = a.slice_rows(xa, 2, 6);
+        let mn = a.mean_rows(sl);
+        let la = a.sum_all(mn);
+        a.backward(la);
+
+        let mut b = Tape::new();
+        let xb = b.leaf(xm, true);
+        let fused = b.slice_mean_rows(xb, 2, 6);
+        let lb = b.sum_all(fused);
+        assert_eq!(a.value(mn).as_slice(), b.value(fused).as_slice());
+        b.backward(lb);
+        assert_eq!(
+            a.grad(xa).expect("ga").as_slice(),
+            b.grad(xb).expect("gb").as_slice(),
+            "fused slice-mean backward diverged"
+        );
     }
 
     #[test]

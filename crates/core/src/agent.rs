@@ -286,6 +286,7 @@ impl Agent {
             self.cfg.dgi_iters,
             self.cfg.dgi_lr,
             self.cfg.grad_clip,
+            self.cfg.encode_batch,
             rng,
         );
         Some(report)
@@ -364,6 +365,10 @@ impl Agent {
         let t0 = Instant::now();
         let machine_t0 = env.machine_seconds();
         let start_wall = log.train_wall_s;
+        // Training-tape scratch arena: minibatch tapes recycle their
+        // node and gradient buffers across PPO steps (bit-identical to
+        // fresh tapes; see `Tape::reset_for_reuse`).
+        let mut tape: Option<mars_autograd::Tape> = None;
 
         while log.total_samples < max_samples {
             // ---- Sampling phase: one forward, S samples. ----
@@ -445,7 +450,10 @@ impl Agent {
                 for batch_ids in idx.chunks(chunk) {
                     let batch: Vec<&SampleRecord> =
                         batch_ids.iter().map(|&i| &records[i]).collect();
-                    let mut ctx = FwdCtx::new(&self.store);
+                    let mut ctx = match tape.take() {
+                        Some(t) => FwdCtx::with_tape(t, &self.store),
+                        None => FwdCtx::new(&self.store),
+                    };
                     let reps = self.reps_on(&mut ctx, input);
                     let logits = self.placer.logits(&mut ctx, reps);
                     let (loss, stats) = ppo_loss_stats(
@@ -459,7 +467,7 @@ impl Agent {
                     stats_acc.approx_kl += stats.approx_kl;
                     stats_acc.entropy += stats.entropy;
                     stats_n += 1;
-                    let grads = ctx.into_grads(loss, 1.0);
+                    let (grads, mut t) = ctx.into_grads_and_tape(loss, 1.0);
                     if mars_telemetry::active() {
                         grad_norm_sq += grads
                             .iter()
@@ -469,6 +477,8 @@ impl Agent {
                             .sum::<f64>();
                     }
                     apply_grads(&mut self.store, grads);
+                    t.reset_for_reuse();
+                    tape = Some(t);
                     self.adam.step(&mut self.store, self.cfg.grad_clip);
                 }
             }

@@ -12,8 +12,9 @@
 //! loss" — [`pretrain`] restores the best snapshot before returning.
 
 use crate::encoder::Encoder;
+use crate::graph_batch::GraphBatch;
 use crate::workload_input::WorkloadInput;
-use mars_autograd::Var;
+use mars_autograd::{Tape, Var};
 use mars_nn::{apply_grads, Adam, FwdCtx, ParamId, ParamStore};
 use mars_rng::seq::SliceRandom;
 use mars_rng::Rng;
@@ -110,9 +111,69 @@ impl Dgi {
         let acc = correct as f32 / (2 * n) as f32;
         (loss, acc)
     }
+
+    /// [`Dgi::loss_stats`] over the corpus-batched encoder path: the
+    /// positive and corrupted views are packed into one
+    /// [`GraphBatch`] (segments `[0, n)` and `[n, 2n)`) and encoded by
+    /// a single block-diagonal forward. Returns `None` when `encoder`
+    /// has no batched path (nothing is recorded in that case). Loss,
+    /// accuracy, and every parameter gradient are bit-identical to
+    /// [`Dgi::loss_stats`]: the readout is the fused
+    /// `slice_mean_rows` over the positive segment, and the score
+    /// product is row-segmented so shared-parameter gradients combine
+    /// in the per-graph tape's float-add order.
+    pub fn loss_stats_batched(
+        &self,
+        ctx: &mut FwdCtx<'_>,
+        encoder: &dyn Encoder,
+        input: &WorkloadInput,
+        perm: &[usize],
+    ) -> Option<(Var, f32)> {
+        let n = input.num_ops;
+        assert_eq!(perm.len(), n);
+
+        let corrupted = WorkloadInput {
+            features: input.features.gather_rows(perm),
+            adj: input.adj.clone(),
+            num_ops: n,
+        };
+        let batch = GraphBatch::pack(&[input, &corrupted]);
+        let h = encoder.encode_batch(ctx, &batch)?; // 2N × d
+
+        // Readout over the positive segment only, Eq. (4).
+        let mean = ctx.tape.slice_mean_rows(h, 0, n);
+        let s = ctx.tape.sigmoid(mean); // 1 × d
+
+        // Bilinear scores for both segments in one row-segmented
+        // product, Eq. (5).
+        let w = ctx.p(self.w);
+        let st = ctx.tape.transpose(s); // d × 1
+        let ws = ctx.tape.matmul(w, st); // d × 1
+        let all = ctx.tape.matmul_rowseg(h, ws, batch.offsets.clone()); // 2N × 1
+
+        let mut targets = Matrix::zeros(2 * n, 1);
+        for i in 0..n {
+            targets.set(i, 0, 1.0);
+        }
+        let loss = ctx.tape.bce_with_logits(all, Arc::new(targets));
+
+        let scores = ctx.tape.value(all);
+        let correct = scores.as_slice()[..n].iter().filter(|&&v| v > 0.0).count()
+            + scores.as_slice()[n..].iter().filter(|&&v| v < 0.0).count();
+        let acc = correct as f32 / (2 * n) as f32;
+        Some((loss, acc))
+    }
 }
 
 /// Run DGI pre-training and restore the lowest-loss parameters.
+///
+/// `encode_batch >= 2` routes each iteration through the corpus-batched
+/// encoder (positive + corrupted view packed into one block-diagonal
+/// pass) when the encoder supports it — bit-identical losses and
+/// parameter updates to the per-graph path, at a fraction of the
+/// per-iteration overhead. The tape persists across iterations either
+/// way, so activation and gradient buffers come from the scratch arena
+/// after the first update.
 #[allow(clippy::too_many_arguments)]
 pub fn pretrain(
     store: &mut ParamStore,
@@ -122,23 +183,37 @@ pub fn pretrain(
     iters: usize,
     lr: f32,
     grad_clip: f32,
+    encode_batch: usize,
     rng: &mut impl Rng,
 ) -> DgiReport {
     let _span = mars_telemetry::span("core.dgi.pretrain");
+    assert!(encode_batch >= 1, "encode_batch must be >= 1");
     let mut adam = Adam::new(lr);
     let mut losses = Vec::with_capacity(iters);
     let mut best_loss = f32::INFINITY;
     let mut best_iter = 0;
     let mut best_snapshot = store.snapshot();
     let mut perm: Vec<usize> = (0..input.num_ops).collect();
+    let mut tape: Option<Tape> = None;
 
     for it in 0..iters {
         perm.shuffle(rng);
-        let mut ctx = FwdCtx::new(store);
-        let (loss, disc_acc) = dgi.loss_stats(&mut ctx, encoder, input, &perm);
+        let mut ctx = match tape.take() {
+            Some(t) => FwdCtx::with_tape(t, store),
+            None => FwdCtx::new(store),
+        };
+        let batched = if encode_batch >= 2 {
+            dgi.loss_stats_batched(&mut ctx, encoder, input, &perm)
+        } else {
+            None
+        };
+        let (loss, disc_acc) =
+            batched.unwrap_or_else(|| dgi.loss_stats(&mut ctx, encoder, input, &perm));
         let value = ctx.tape.scalar(loss);
-        let grads = ctx.into_grads(loss, 1.0);
+        let (grads, mut t) = ctx.into_grads_and_tape(loss, 1.0);
         apply_grads(store, grads);
+        t.reset_for_reuse();
+        tape = Some(t);
         adam.step(store, grad_clip);
         losses.push(value);
         if mars_telemetry::active() {
@@ -178,7 +253,7 @@ mod tests {
         let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 16, 2, &mut rng);
         let dgi = Dgi::new(&mut store, 16, &mut rng);
         let input = WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
-        let report = pretrain(&mut store, &enc, &dgi, &input, 150, 5e-3, 1.0, &mut rng);
+        let report = pretrain(&mut store, &enc, &dgi, &input, 150, 5e-3, 1.0, 1, &mut rng);
         let first10: f32 = report.losses[..10].iter().sum::<f32>() / 10.0;
         let last10: f32 = report.losses[report.losses.len() - 10..].iter().sum::<f32>() / 10.0;
         assert!(
@@ -204,6 +279,68 @@ mod tests {
         assert!((v - 0.693).abs() < 0.1, "initial loss {v}");
     }
 
+    /// The corpus-batched DGI path must reproduce the per-graph path
+    /// bit for bit: same per-call loss/accuracy, and identical
+    /// parameter streams over a whole training run.
+    #[test]
+    fn batched_loss_bit_identical_to_per_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 12, 2, &mut rng);
+        let dgi = Dgi::new(&mut store, 12, &mut rng);
+        let input = WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
+        let perm: Vec<usize> = (0..input.num_ops).rev().collect();
+
+        let mut pctx = FwdCtx::new(&store);
+        let (ploss, pacc) = dgi.loss_stats(&mut pctx, &enc, &input, &perm);
+        let pvalue = pctx.tape.scalar(ploss);
+        let pgrads = pctx.into_grads(ploss, 1.0);
+
+        let mut bctx = FwdCtx::new(&store);
+        let (bloss, bacc) =
+            dgi.loss_stats_batched(&mut bctx, &enc, &input, &perm).expect("GCN supports batching");
+        let bvalue = bctx.tape.scalar(bloss);
+        let bgrads = bctx.into_grads(bloss, 1.0);
+
+        assert_eq!(pvalue.to_bits(), bvalue.to_bits(), "loss diverged");
+        assert_eq!(pacc, bacc, "accuracy diverged");
+        for (id, pg) in &pgrads {
+            let bg = &bgrads.iter().find(|(i, _)| i == id).expect("grad present").1;
+            let pb: Vec<u32> = pg.as_slice().iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = bg.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(pb, bb, "grad for param {id:?} not bit-identical");
+        }
+    }
+
+    #[test]
+    fn batched_pretrain_trace_bit_identical_to_per_graph() {
+        let input = WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
+        let run = |encode_batch: usize| -> Vec<u32> {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut store = ParamStore::new();
+            let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 8, 2, &mut rng);
+            let dgi = Dgi::new(&mut store, 8, &mut rng);
+            let report =
+                pretrain(&mut store, &enc, &dgi, &input, 12, 5e-3, 1.0, encode_batch, &mut rng);
+            report.losses.iter().map(|l| l.to_bits()).collect()
+        };
+        assert_eq!(run(1), run(2), "batched pretrain loss trace diverged from per-graph");
+    }
+
+    #[test]
+    fn raw_encoder_falls_back_to_per_graph() {
+        // An encoder without a batched path must not break pretraining
+        // when encode_batch > 1 is requested.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let enc = crate::encoder::RawEncoder::new(FEATURE_DIM);
+        let dgi = Dgi::new(&mut store, FEATURE_DIM, &mut rng);
+        let input = WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
+        let report = pretrain(&mut store, &enc, &dgi, &input, 3, 5e-3, 1.0, 4, &mut rng);
+        assert_eq!(report.losses.len(), 3);
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+    }
+
     #[test]
     fn best_snapshot_restored() {
         let mut rng = StdRng::seed_from_u64(2);
@@ -211,7 +348,7 @@ mod tests {
         let enc = GcnEncoder::new(&mut store, FEATURE_DIM, 8, 1, &mut rng);
         let dgi = Dgi::new(&mut store, 8, &mut rng);
         let input = WorkloadInput::from_graph(&Workload::InceptionV3.build(Profile::Reduced));
-        let report = pretrain(&mut store, &enc, &dgi, &input, 30, 5e-3, 1.0, &mut rng);
+        let report = pretrain(&mut store, &enc, &dgi, &input, 30, 5e-3, 1.0, 1, &mut rng);
         // Evaluate the restored parameters: their loss must be close to
         // the reported best (same permutation class, modest variance).
         let perm: Vec<usize> = (0..input.num_ops).rev().collect();

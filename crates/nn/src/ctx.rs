@@ -50,12 +50,9 @@ impl<'s> FwdCtx<'s> {
         if let Some(&v) = self.bound.get(&id) {
             return v;
         }
-        let v = if self.tape.is_recording() {
-            self.tape.leaf(self.store.value(id).clone(), true)
-        } else {
-            // Inference: copy into a pooled buffer, no grad flag.
-            self.tape.leaf_copy(self.store.value(id))
-        };
+        // Copy into a pooled buffer either way (bit-identical to a
+        // fresh clone); recording tapes keep the grad flag.
+        let v = self.tape.leaf_from(self.store.value(id), self.tape.is_recording());
         self.bound.insert(id, v);
         v
     }
@@ -78,6 +75,27 @@ impl<'s> FwdCtx<'s> {
             }
         }
         out
+    }
+
+    /// Like [`FwdCtx::into_grads`], but also hands the tape back so a
+    /// persistent training loop can `reset_for_reuse` it and keep its
+    /// scratch arena warm across updates. Parameter gradients are moved
+    /// out of the tape (no clone) and scaled in place — bit-identical
+    /// to [`FwdCtx::into_grads`] for the same pass.
+    pub fn into_grads_and_tape(mut self, loss: Var, scale: f32) -> (Vec<(ParamId, Matrix)>, Tape) {
+        self.tape.backward(loss);
+        let mut out = Vec::with_capacity(self.bound.len());
+        for (id, var) in self.bound.drain() {
+            if let Some(mut g) = self.tape.take_grad(var) {
+                if scale != 1.0 {
+                    for e in g.as_mut_slice() {
+                        *e *= scale;
+                    }
+                }
+                out.push((id, g));
+            }
+        }
+        (out, self.tape)
     }
 }
 

@@ -229,6 +229,15 @@ pub struct RolloutReport {
     /// Total per-evaluation compute seconds (sum of each evaluation's
     /// own wall time — what a fully serial engine would have spent).
     pub total_compute_s: f64,
+    /// Training-tape arena reuses (`autograd.arena.reset` counter).
+    pub arena_resets: u64,
+    /// Peak pooled gradient/activation capacity in f32 elements
+    /// (`autograd.arena.high_water` gauge; 0 when never recorded).
+    pub arena_high_water: f64,
+    /// Batched encoder passes (`encode.batch_size` histogram count).
+    pub encodes: u64,
+    /// Sum of corpus widths across those passes.
+    pub encode_batch_sum: f64,
 }
 
 impl RolloutReport {
@@ -252,9 +261,22 @@ impl RolloutReport {
         }
     }
 
-    /// Render as the two summary lines `metrics summarize` prints.
+    /// Mean corpus width over all batched encoder passes (0 when
+    /// the run never encoded a batch).
+    pub fn mean_encode_batch(&self) -> f64 {
+        if self.encodes > 0 {
+            self.encode_batch_sum / self.encodes as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Render as the summary lines `metrics summarize` prints. The
+    /// cache/round lines always appear (a pretrain-only trace reads
+    /// "0 of 0 evaluations"); the arena lines appear whenever the run
+    /// recorded training-arena or batched-encoding activity.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "eval cache hit rate: {:.1}% ({} of {} evaluations)\n\
              eval rounds: {} (mean {:.4} s wall; parallel speedup {:.2}x over serial compute)\n",
             self.cache_hit_rate() * 100.0,
@@ -263,7 +285,23 @@ impl RolloutReport {
             self.rounds,
             self.mean_round_wall_s,
             self.parallel_speedup(),
-        )
+        );
+        if self.arena_resets > 0 || self.arena_high_water > 0.0 {
+            let _ = writeln!(
+                out,
+                "training arena: {} tape reuses (high water {:.0} pooled f32s)",
+                self.arena_resets, self.arena_high_water
+            );
+        }
+        if self.encodes > 0 {
+            let _ = writeln!(
+                out,
+                "batched encodes: {} (mean corpus width {:.2})",
+                self.encodes,
+                self.mean_encode_batch()
+            );
+        }
+        out
     }
 }
 
@@ -371,19 +409,29 @@ impl RunSummary {
     }
 
     /// Rollout-engine digest, if the run recorded any evaluations
-    /// (`sim.cache.*` counters or `sim.eval_batch` events).
+    /// (`sim.cache.*` counters or `sim.eval_batch` events) *or* any
+    /// training-arena activity (`autograd.arena.*`, `encode.batch_size`).
+    /// Pretrain-only traces have no evaluations but do reuse the
+    /// training tape, so they still get a report — the eval lines read
+    /// zero and the arena/encode lines carry the signal.
     pub fn rollout_report(&self) -> Option<RolloutReport> {
-        let counter = |name: &str| {
-            self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
-        };
-        let hits = counter("sim.cache.hit");
-        let misses = counter("sim.cache.miss");
+        let hits = self.counter("sim.cache.hit");
+        let misses = self.counter("sim.cache.miss");
         let rollup = |field: &str| {
             self.rollups.iter().find(|r| r.event == "sim.eval_batch" && r.field == field)
         };
         let wall = rollup("wall_s");
         let compute = rollup("compute_s");
-        if hits + misses == 0 && wall.is_none() {
+        let arena_resets = self.counter("autograd.arena.reset");
+        let arena_high_water = self
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "autograd.arena.high_water")
+            .map_or(0.0, |(_, v)| *v);
+        let enc = self.histograms.iter().find(|h| h.name == "encode.batch_size");
+        let encodes = enc.map_or(0, |h| h.count);
+        let encode_batch_sum = enc.map_or(0.0, |h| h.sum);
+        if hits + misses == 0 && wall.is_none() && arena_resets == 0 && encodes == 0 {
             return None;
         }
         let rounds = wall.map_or(0, |r| r.count);
@@ -397,6 +445,10 @@ impl RunSummary {
             mean_round_wall_s,
             total_wall_s,
             total_compute_s,
+            arena_resets,
+            arena_high_water,
+            encodes,
+            encode_batch_sum,
         })
     }
 
@@ -934,6 +986,30 @@ mod tests {
     fn rollout_report_absent_without_eval_telemetry() {
         let run = summarize(&sample_run()).expect("parse");
         assert!(run.rollout_report().is_none());
+    }
+
+    /// A pretrain-only trace (zero PPO updates, zero evaluations) must
+    /// still produce a rollout report carrying the training-arena and
+    /// batched-encoding telemetry, with the eval lines reading zero.
+    #[test]
+    fn rollout_report_renders_arena_for_pretrain_only_traces() {
+        let run = [
+            r#"{"seq":1,"kind":"event","name":"dgi.iter","loss":0.69}"#,
+            r#"{"kind":"counters","counters":{"autograd.arena.reset":300}}"#,
+            r#"{"kind":"gauges","gauges":{"autograd.arena.high_water":8192}}"#,
+            r#"{"kind":"histograms","histograms":[{"name":"encode.batch_size","edges":[1,2,4,8,16,32],"buckets":[0,300,0,0,0,0,0],"count":300,"sum":600}]}"#,
+        ]
+        .join("\n");
+        let report = summarize(&run).expect("parse").rollout_report().expect("arena report");
+        assert_eq!(report.cache_hits + report.cache_misses, 0);
+        assert_eq!(report.arena_resets, 300);
+        assert_eq!(report.arena_high_water, 8192.0);
+        assert_eq!(report.encodes, 300);
+        assert!((report.mean_encode_batch() - 2.0).abs() < 1e-12);
+        let text = report.render();
+        assert!(text.contains("0 of 0 evaluations"), "{text}");
+        assert!(text.contains("training arena: 300 tape reuses (high water 8192 pooled f32s)"), "{text}");
+        assert!(text.contains("batched encodes: 300 (mean corpus width 2.00)"), "{text}");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 use crate::simd::{self, AlignedBuf};
 use crate::{pool, Matrix};
+use std::sync::Arc;
 
 /// Minimum number of multiply-accumulate operations before a kernel
 /// parallelizes across rows. Below this the sequential loop wins.
@@ -156,6 +157,16 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 /// This is the gradient-w.r.t.-weights kernel: for `Y = X·W`,
 /// `dW = Xᵀ·dY`.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    matmul_tn_into(a, b, &mut out);
+    out
+}
+
+/// `C = Aᵀ · B` written into a caller-provided `m×n` matrix (zeroed
+/// here first) — the allocation-free entry point that [`matmul_tn`]
+/// wraps, used by the training arena's pooled gradient buffers. Same
+/// kernels and per-element op order as [`matmul_tn`].
+pub fn matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let _span = mars_telemetry::span("tensor.ops.matmul_tn");
     assert_eq!(
         a.rows(),
@@ -167,7 +178,8 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let k = a.rows();
     let m = a.cols();
     let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
+    assert_eq!(out.shape(), (m, n), "matmul_tn_into: out shape {:?} != ({m}, {n})", out.shape());
+    out.as_mut_slice().fill(0.0);
     if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
         // Packed path: transpose A once so each output row reads one
         // contiguous k-slice, then sweep rows in parallel. Per element
@@ -182,7 +194,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
         pool::par_chunks_mut(out.as_mut_slice(), n.max(1), |i, out_row| {
             simd::strided_sweep(out_row, &at[i * k..(i + 1) * k], b.as_slice(), n);
         });
-        return out;
+        return;
     }
     // Accumulate rank-1 updates; row-major friendly for both inputs.
     for t in 0..k {
@@ -195,7 +207,6 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
             simd::axpy(&mut out.as_mut_slice()[i * n..(i + 1) * n], av, b_row);
         }
     }
-    out
 }
 
 /// `C = A · Bᵀ` where `A: m×k`, `B: n×k` (result `m×n`).
@@ -203,6 +214,17 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 /// This is the gradient-w.r.t.-input kernel: for `Y = X·W`,
 /// `dX = dY·Wᵀ`.
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    matmul_nt_into(a, b, &mut out);
+    out
+}
+
+/// `C = A · Bᵀ` written into a caller-provided `m×n` matrix — the
+/// allocation-free entry point that [`matmul_nt`] wraps, used by the
+/// training arena's pooled gradient buffers. Every element is fully
+/// overwritten (each dot product assigns, never accumulates into prior
+/// contents), so results are independent of what `out` previously held.
+pub fn matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let _span = mars_telemetry::span("tensor.ops.matmul_nt");
     assert_eq!(
         a.cols(),
@@ -213,7 +235,7 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k) = a.shape();
     let n = b.rows();
-    let mut out = Matrix::zeros(m, n);
+    assert_eq!(out.shape(), (m, n), "matmul_nt_into: out shape {:?} != ({m}, {n})", out.shape());
     // Four output columns at a time: a_row stays in registers across
     // four dot products. Each accumulator still ascends in t, so the
     // result is bit-identical to the single-column loop. This kernel
@@ -257,7 +279,6 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
             compute_row(i, row);
         }
     }
-    out
 }
 
 /// Dot product of two equal-length slices.
@@ -346,10 +367,21 @@ impl CsrMatrix {
 
     /// Sparse × dense product `self · x`.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        self.spmm_into(x, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::spmm`] written into a caller-provided matrix
+    /// (zeroed here first) — the allocation-free entry point used by
+    /// the training arena's pooled buffers. Same kernels and
+    /// per-element op order as [`CsrMatrix::spmm`].
+    pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) {
         let _span = mars_telemetry::span("tensor.ops.spmm");
         assert_eq!(self.cols, x.rows(), "spmm: {}x{} · {:?}", self.rows, self.cols, x.shape());
         let n = x.cols();
-        let mut out = Matrix::zeros(self.rows, n);
+        assert_eq!(out.shape(), (self.rows, n), "spmm_into: out shape mismatch");
+        out.as_mut_slice().fill(0.0);
         let rows_big = self.nnz() * n >= PAR_FLOP_THRESHOLD;
         let compute = |r: usize, out_row: &mut [f32]| {
             let lo = self.indptr[r];
@@ -366,22 +398,30 @@ impl CsrMatrix {
                 compute(r, row);
             }
         }
-        out
     }
 
     /// Transposed sparse × dense product `selfᵀ · x` (for backprop).
     pub fn spmm_t(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, x.cols());
+        self.spmm_t_into(x, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::spmm_t`] written into a caller-provided matrix
+    /// (zeroed here first) — allocation-free for pooled gradient
+    /// buffers, same scatter order as [`CsrMatrix::spmm_t`].
+    pub fn spmm_t_into(&self, x: &Matrix, out: &mut Matrix) {
         let _span = mars_telemetry::span("tensor.ops.spmm_t");
         assert_eq!(self.rows, x.rows(), "spmm_t: ({}x{})ᵀ · {:?}", self.rows, self.cols, x.shape());
         let n = x.cols();
-        let mut out = Matrix::zeros(self.cols, n);
+        assert_eq!(out.shape(), (self.cols, n), "spmm_t_into: out shape mismatch");
+        out.as_mut_slice().fill(0.0);
         for r in 0..self.rows {
             let x_row = x.row(r);
             for (c, v) in self.row_iter(r) {
                 simd::axpy(&mut out.as_mut_slice()[c * n..(c + 1) * n], v, x_row);
             }
         }
-        out
     }
 
     /// Densify (for tests and small problems).
@@ -393,6 +433,172 @@ impl CsrMatrix {
             }
         }
         out
+    }
+}
+
+/// `N` sparse adjacencies packed as one block-diagonal CSR operand.
+///
+/// Block `b` occupies rows `row_offsets[b]..row_offsets[b+1]` and
+/// columns `col_offsets[b]..col_offsets[b+1]` of the concatenated
+/// matrix; no storage is copied — the blocks stay shared behind their
+/// `Arc`s and only the offset tables are materialized. This is the
+/// sparse side of corpus-batched GCN encoding: one [`BlockDiagCsr::spmm`]
+/// sweep replaces `N` per-graph [`CsrMatrix::spmm`] calls.
+///
+/// **Bit-exactness.** Each output row belongs to exactly one block and
+/// accumulates its non-zeros in the same ascending order (through the
+/// same dispatched [`simd::axpy`]) as the per-graph kernel, with column
+/// indices shifted by the block's offset. Parallelism only reorders
+/// *which row* is computed next, so `spmm`/`spmm_t` here are
+/// bit-identical to looping the per-graph kernels over the blocks
+/// (pinned by the `blockdiag_*` tests and
+/// `crates/tensor/tests/properties.rs`).
+#[derive(Clone, Debug)]
+pub struct BlockDiagCsr {
+    blocks: Vec<Arc<CsrMatrix>>,
+    /// Row offset of each block in the concatenated matrix (one
+    /// trailing sentinel = total rows).
+    row_offsets: Vec<usize>,
+    /// Column offset of each block (one trailing sentinel = total cols).
+    col_offsets: Vec<usize>,
+    /// Block index owning each concatenated row (for the parallel
+    /// row sweep).
+    row_block: Vec<usize>,
+    nnz: usize,
+}
+
+impl BlockDiagCsr {
+    /// Pack `blocks` along the diagonal. Empty (0-row) blocks are
+    /// allowed and contribute nothing.
+    pub fn new(blocks: Vec<Arc<CsrMatrix>>) -> Self {
+        let mut row_offsets = Vec::with_capacity(blocks.len() + 1);
+        let mut col_offsets = Vec::with_capacity(blocks.len() + 1);
+        row_offsets.push(0);
+        col_offsets.push(0);
+        let mut row_block = Vec::new();
+        let mut nnz = 0;
+        for (bi, b) in blocks.iter().enumerate() {
+            nnz += b.nnz();
+            row_offsets.push(row_offsets[bi] + b.rows());
+            col_offsets.push(col_offsets[bi] + b.cols());
+            row_block.extend(std::iter::repeat(bi).take(b.rows()));
+        }
+        BlockDiagCsr { blocks, row_offsets, col_offsets, row_block, nnz }
+    }
+
+    /// Total rows of the concatenated matrix.
+    pub fn rows(&self) -> usize {
+        *self.row_offsets.last().expect("offsets non-empty")
+    }
+
+    /// Total columns of the concatenated matrix.
+    pub fn cols(&self) -> usize {
+        *self.col_offsets.last().expect("offsets non-empty")
+    }
+
+    /// Total stored non-zeros across all blocks.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of packed blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The `b`-th block.
+    pub fn block(&self, b: usize) -> &Arc<CsrMatrix> {
+        &self.blocks[b]
+    }
+
+    /// Row offset of block `b` (index `num_blocks()` gives total rows).
+    pub fn row_offset(&self, b: usize) -> usize {
+        self.row_offsets[b]
+    }
+
+    /// Block-diagonal sparse × dense product `self · x` — the
+    /// `spmm_blockdiag` kernel. One sweep over all concatenated rows,
+    /// parallelized like [`CsrMatrix::spmm`] once the whole batch is
+    /// large enough (so small per-graph products that would each stay
+    /// sequential can still fan out across the pool together).
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), x.cols());
+        self.spmm_into(x, &mut out);
+        out
+    }
+
+    /// [`BlockDiagCsr::spmm`] written into a caller-provided matrix
+    /// (zeroed here first) for pooled buffers.
+    pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) {
+        let _span = mars_telemetry::span("tensor.ops.spmm_blockdiag");
+        assert_eq!(
+            self.cols(),
+            x.rows(),
+            "spmm_blockdiag: {}x{} · {:?}",
+            self.rows(),
+            self.cols(),
+            x.shape()
+        );
+        let n = x.cols();
+        assert_eq!(out.shape(), (self.rows(), n), "spmm_blockdiag: out shape mismatch");
+        out.as_mut_slice().fill(0.0);
+        let compute = |r: usize, out_row: &mut [f32]| {
+            let b = self.row_block[r];
+            let blk = &self.blocks[b];
+            let lr = r - self.row_offsets[b];
+            let co = self.col_offsets[b];
+            let lo = blk.indptr[lr];
+            let hi = blk.indptr[lr + 1];
+            for t in lo..hi {
+                simd::axpy(out_row, blk.values[t], x.row(co + blk.indices[t]));
+            }
+        };
+        if self.nnz * n >= PAR_FLOP_THRESHOLD && self.rows() > 1 {
+            pool::par_chunks_mut(out.as_mut_slice(), n.max(1), |r, out_row| compute(r, out_row));
+        } else {
+            for r in 0..self.rows() {
+                let row = &mut out.as_mut_slice()[r * n..(r + 1) * n];
+                compute(r, row);
+            }
+        }
+    }
+
+    /// Transposed block-diagonal product `selfᵀ · x` (backward of
+    /// [`BlockDiagCsr::spmm`]). Serial per-block scatter in ascending
+    /// block order — exactly the per-graph [`CsrMatrix::spmm_t`] loop
+    /// with offset rows, so results are bit-identical to it.
+    pub fn spmm_t(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), x.cols());
+        self.spmm_t_into(x, &mut out);
+        out
+    }
+
+    /// [`BlockDiagCsr::spmm_t`] written into a caller-provided matrix
+    /// (zeroed here first) for pooled buffers.
+    pub fn spmm_t_into(&self, x: &Matrix, out: &mut Matrix) {
+        let _span = mars_telemetry::span("tensor.ops.spmm_blockdiag_t");
+        assert_eq!(
+            self.rows(),
+            x.rows(),
+            "spmm_blockdiag_t: ({}x{})ᵀ · {:?}",
+            self.rows(),
+            self.cols(),
+            x.shape()
+        );
+        let n = x.cols();
+        assert_eq!(out.shape(), (self.cols(), n), "spmm_blockdiag_t: out shape mismatch");
+        out.as_mut_slice().fill(0.0);
+        for (bi, blk) in self.blocks.iter().enumerate() {
+            let ro = self.row_offsets[bi];
+            let co = self.col_offsets[bi];
+            for r in 0..blk.rows() {
+                let x_row = x.row(ro + r);
+                for (c, v) in blk.row_iter(r) {
+                    let cc = co + c;
+                    simd::axpy(&mut out.as_mut_slice()[cc * n..(cc + 1) * n], v, x_row);
+                }
+            }
+        }
     }
 }
 
@@ -599,5 +805,141 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = matmul(&a, &b);
+    }
+
+    /// A pseudo-random sparse square adjacency with self-loops, sized
+    /// to mimic normalized workload graphs.
+    fn rand_adj(n: usize, seed: usize) -> Arc<CsrMatrix> {
+        let mut triplets = Vec::new();
+        for r in 0..n {
+            triplets.push((r, r, 0.5));
+            for c in 0..n {
+                if (r * 31 + c * 17 + seed * 7) % 5 == 0 && r != c {
+                    triplets.push((r, c, ((r + c + seed) as f32 * 0.07).sin()));
+                }
+            }
+        }
+        Arc::new(CsrMatrix::from_triplets(n, n, &triplets))
+    }
+
+    fn rand_feats(rows: usize, cols: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| ((r * 13 + c * 5 + seed) as f32 * 0.011).sin())
+    }
+
+    /// Vertically concatenate per-block feature matrices.
+    fn vcat_all(parts: &[Matrix]) -> Matrix {
+        let mut it = parts.iter();
+        let mut acc = it.next().expect("non-empty").clone();
+        for p in it {
+            acc = acc.vcat(p);
+        }
+        acc
+    }
+
+    #[test]
+    fn blockdiag_spmm_bit_identical_to_per_graph_loop() {
+        // Mixed block sizes, including widths off the SIMD lane
+        // boundaries; the packed sweep must equal running each block's
+        // spmm separately, bit for bit.
+        let sizes = [5usize, 1, 9, 16];
+        let cols = 13; // ragged width exercises the axpy remainder tail
+        let blocks: Vec<Arc<CsrMatrix>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| rand_adj(n, i))
+            .collect();
+        let feats: Vec<Matrix> =
+            sizes.iter().enumerate().map(|(i, &n)| rand_feats(n, cols, i)).collect();
+        let bd = BlockDiagCsr::new(blocks.clone());
+        assert_eq!(bd.rows(), sizes.iter().sum::<usize>());
+        let x = vcat_all(&feats);
+        let batched = bd.spmm(&x);
+        let per_graph = vcat_all(
+            &blocks.iter().zip(&feats).map(|(b, f)| b.spmm(f)).collect::<Vec<_>>(),
+        );
+        assert_eq!(batched, per_graph);
+    }
+
+    #[test]
+    fn blockdiag_spmm_t_bit_identical_to_per_graph_loop() {
+        let sizes = [7usize, 3, 12];
+        let cols = 9;
+        let blocks: Vec<Arc<CsrMatrix>> =
+            sizes.iter().enumerate().map(|(i, &n)| rand_adj(n, i + 10)).collect();
+        let feats: Vec<Matrix> =
+            sizes.iter().enumerate().map(|(i, &n)| rand_feats(n, cols, i + 10)).collect();
+        let bd = BlockDiagCsr::new(blocks.clone());
+        let x = vcat_all(&feats);
+        let batched = bd.spmm_t(&x);
+        let per_graph = vcat_all(
+            &blocks.iter().zip(&feats).map(|(b, f)| b.spmm_t(f)).collect::<Vec<_>>(),
+        );
+        assert_eq!(batched, per_graph);
+    }
+
+    #[test]
+    fn blockdiag_parallel_path_bit_identical() {
+        // Big enough that nnz · n crosses the parallel threshold: the
+        // pooled row sweep must still equal the per-block serial loop.
+        let sizes = [160usize, 140, 150];
+        let cols = 96;
+        let blocks: Vec<Arc<CsrMatrix>> =
+            sizes.iter().enumerate().map(|(i, &n)| rand_adj(n, i + 3)).collect();
+        let feats: Vec<Matrix> =
+            sizes.iter().enumerate().map(|(i, &n)| rand_feats(n, cols, i + 3)).collect();
+        let bd = BlockDiagCsr::new(blocks.clone());
+        assert!(bd.nnz() * cols >= PAR_FLOP_THRESHOLD, "nnz {} too small", bd.nnz());
+        let x = vcat_all(&feats);
+        let batched = bd.spmm(&x);
+        let per_graph = vcat_all(
+            &blocks.iter().zip(&feats).map(|(b, f)| b.spmm(f)).collect::<Vec<_>>(),
+        );
+        assert_eq!(batched, per_graph);
+    }
+
+    #[test]
+    fn blockdiag_handles_empty_and_single_node_blocks() {
+        let blocks = vec![
+            Arc::new(CsrMatrix::from_triplets(0, 0, &[])),
+            Arc::new(CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0)])),
+            rand_adj(4, 0),
+        ];
+        let bd = BlockDiagCsr::new(blocks.clone());
+        assert_eq!(bd.rows(), 5);
+        assert_eq!(bd.num_blocks(), 3);
+        let x = rand_feats(5, 6, 0);
+        let y = bd.spmm(&x);
+        assert_eq!(y.shape(), (5, 6));
+        // Row 0 of x belongs to the 1×1 identity block.
+        assert_eq!(y.row(0), x.row(0));
+        let yt = bd.spmm_t(&x);
+        assert_eq!(yt.shape(), (5, 6));
+        assert_eq!(yt.row(0), x.row(0));
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_buffers() {
+        let a = rand_feats(6, 5, 1);
+        let b = rand_feats(6, 4, 2); // for tn: a 6×5, b 6×4 → 5×4
+        let want_tn = matmul_tn(&a, &b);
+        let mut dirty = Matrix::full(5, 4, f32::NAN);
+        matmul_tn_into(&a, &b, &mut dirty);
+        assert_eq!(dirty, want_tn);
+
+        let c = rand_feats(4, 5, 3); // for nt: a 6×5, c 4×5 → 6×4
+        let want_nt = matmul_nt(&a, &c);
+        let mut dirty = Matrix::full(6, 4, f32::NAN);
+        matmul_nt_into(&a, &c, &mut dirty);
+        assert_eq!(dirty, want_nt);
+
+        let adj = rand_adj(6, 4);
+        let want_s = adj.spmm(&a);
+        let mut dirty = Matrix::full(6, 5, f32::NAN);
+        adj.spmm_into(&a, &mut dirty);
+        assert_eq!(dirty, want_s);
+        let want_st = adj.spmm_t(&a);
+        let mut dirty = Matrix::full(6, 5, f32::NAN);
+        adj.spmm_t_into(&a, &mut dirty);
+        assert_eq!(dirty, want_st);
     }
 }

@@ -19,6 +19,9 @@
 //! train options: --agent mars|mars-nopre|grouper|encoder   --budget N
 //!                --seed N   --profile small|full   --save <ckpt-path>
 //!                --telemetry <run.jsonl>   --dgi-iters N
+//!                --encode-batch N   (DGI corpus batching; N >= 2 packs
+//!                 the clean and corrupted graphs into one block-diagonal
+//!                 encoder pass — bit-identical trace, less overhead)
 //!                --eval-threads N   --no-eval-cache   --fast-math
 //!                --fault-plan <spec>   --max-eval-retries N
 //!                --eval-timeout-s S    --auto-checkpoint <ckpt-path>
@@ -178,6 +181,12 @@ fn config_from_flags(flags: &Flags) -> Result<MarsConfig, String> {
             return Err("invalid value '0' for --eval-threads (need at least 1)".into());
         }
         cfg.eval_threads = threads;
+    }
+    if let Some(batch) = flags.parsed_opt("encode-batch")? {
+        if batch == 0 {
+            return Err("invalid value '0' for --encode-batch (need at least 1)".into());
+        }
+        cfg.encode_batch = batch;
     }
     if flags.switch("no-eval-cache")? {
         cfg.eval_cache = false;
